@@ -1,0 +1,102 @@
+// Figure 4 — "Bandwidth-optimized kernel density estimates of NOAA and
+// FEMA data": the five per-hazard likelihood surfaces over the
+// continental US.
+//
+// Rasterizes each hazard's KDE over a CONUS grid and reports, per hazard,
+// the grid peak and the relative density at six reference cities.
+// Reproduced shape: hurricanes peak along the Gulf/Atlantic coast,
+// tornadoes in tornado alley, storms across the central plains/southeast,
+// earthquakes on the west coast, wind fine-grained across the storm belt.
+#include <iostream>
+
+#include "bench/common.h"
+#include "geo/bounding_box.h"
+#include "hazard/risk_field.h"
+#include "hazard/synthesis.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace riskroute;
+
+struct ReferenceCity {
+  const char* name;
+  geo::GeoPoint location;
+};
+
+const ReferenceCity kCities[] = {
+    {"New Orleans LA", geo::GeoPoint(29.95, -90.07)},
+    {"Oklahoma City OK", geo::GeoPoint(35.47, -97.52)},
+    {"Chicago IL", geo::GeoPoint(41.88, -87.63)},
+    {"Los Angeles CA", geo::GeoPoint(34.05, -118.24)},
+    {"Seattle WA", geo::GeoPoint(47.61, -122.33)},
+    {"New York NY", geo::GeoPoint(40.71, -74.01)},
+};
+
+void Reproduce() {
+  const core::Study& study = bench::SharedStudy();
+  const hazard::HistoricalRiskField& field = study.hazard_field();
+  const geo::BoundingBox& conus = geo::ConusBounds();
+  constexpr std::size_t kRows = 50, kCols = 120;
+
+  for (std::size_t m = 0; m < field.model_count(); ++m) {
+    const auto type = field.model_type(m);
+    const auto raster = field.model(m).Raster(conus, kRows, kCols);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < raster.size(); ++i) {
+      if (raster[i] > raster[peak]) peak = i;
+    }
+    const double peak_lat =
+        conus.min_lat() + (static_cast<double>(peak / kCols) + 0.5) *
+                              (conus.max_lat() - conus.min_lat()) / kRows;
+    const double peak_lon =
+        conus.min_lon() + (static_cast<double>(peak % kCols) + 0.5) *
+                              (conus.max_lon() - conus.min_lon()) / kCols;
+    std::cout << "\n" << hazard::ToString(type)
+              << util::Format(": raster peak at (%.1f, %.1f), value %.3g\n",
+                              peak_lat, peak_lon, raster[peak]);
+    util::Table table({"Reference City", "Density (rel. to peak)"});
+    for (const ReferenceCity& city : kCities) {
+      table.Add(city.name, field.RiskAt(city.location, type) / raster[peak]);
+    }
+    table.Render(std::cout);
+  }
+  std::cout << "(paper Fig 4: hurricane peak Gulf coast, tornado peak "
+               "OK/KS, storm peak central plains, earthquake peak west "
+               "coast, wind fine-grained over the storm belt)\n";
+}
+
+void BM_KdeEvaluateHurricane(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  const auto& field = study.hazard_field();
+  std::size_t i = 0;
+  const geo::GeoPoint probes[] = {geo::GeoPoint(29.95, -90.07),
+                                  geo::GeoPoint(40.71, -74.01),
+                                  geo::GeoPoint(47.61, -122.33)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        field.RiskAt(probes[i % 3], hazard::HazardType::kFemaHurricane));
+    ++i;
+  }
+}
+BENCHMARK(BM_KdeEvaluateHurricane);
+
+void BM_AggregateRiskAt(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  const auto& field = study.hazard_field();
+  std::size_t i = 0;
+  const geo::GeoPoint probes[] = {geo::GeoPoint(29.95, -90.07),
+                                  geo::GeoPoint(40.71, -74.01),
+                                  geo::GeoPoint(35.47, -97.52)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.RiskAt(probes[i % 3]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AggregateRiskAt);
+
+}  // namespace
+
+RISKROUTE_BENCH_MAIN(
+    "Figure 4: per-hazard kernel density surfaces over the continental US",
+    Reproduce)

@@ -1,0 +1,74 @@
+// Figure 7 — "RiskRoute applied to the Level3 Network topology between
+// Houston, TX and Boston, MA PoPs".
+//
+// Prints the geographic shortest path and the RiskRoute path at
+// lambda_h = 1e4 and 1e5. Reproduced shape: as lambda_h grows the route
+// becomes more risk-averse and deviates further from the shortest path
+// (longer bit-miles, lower bit-risk).
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/strings.h"
+#include "core/riskroute.h"
+
+namespace {
+
+using namespace riskroute;
+
+void PrintRoute(const core::RiskGraph& graph, const char* label,
+                const core::RouteResult& route) {
+  std::cout << label << util::Format(" (%zu hops, %.0f mi, %.0f bit-risk mi):\n",
+                                     route.path.size() - 1, route.bit_miles,
+                                     route.bit_risk_miles);
+  for (std::size_t i = 0; i < route.path.size(); ++i) {
+    std::cout << "    " << graph.node(route.path[i]).name
+              << util::Format("  [o_h=%.4f]\n",
+                              graph.node(route.path[i]).historical_risk);
+  }
+}
+
+void Reproduce() {
+  const core::Study& study = bench::SharedStudy();
+  const core::RiskGraph graph = study.BuildGraphFor("Level3");
+
+  std::size_t houston = 0, boston = 0;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    if (graph.node(i).name == "Houston, TX") houston = i;
+    if (graph.node(i).name == "Boston, MA") boston = i;
+  }
+
+  const core::RiskRouter base(graph, core::RiskParams{0, 0});
+  const auto shortest = base.ShortestRoute(houston, boston);
+  PrintRoute(graph, "\nShortest path", *shortest);
+
+  for (const double lambda : {1e4, 1e5}) {
+    const core::RiskRouter router(graph, core::RiskParams{lambda, 1e3});
+    const auto route = router.MinRiskRoute(houston, boston);
+    PrintRoute(graph,
+               util::Format("\nRiskRoute (lambda_h = %.0e)", lambda).c_str(),
+               *route);
+  }
+  std::cout << "(paper Fig 7: the dotted RiskRoute path deviates from the "
+               "shortest path, more strongly at lambda_h = 1e5 than 1e4)\n";
+}
+
+void BM_HoustonBostonRiskRoute(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Level3");
+  std::size_t houston = 0, boston = 0;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    if (graph.node(i).name == "Houston, TX") houston = i;
+    if (graph.node(i).name == "Boston, MA") boston = i;
+  }
+  const core::RiskRouter router(graph, core::RiskParams{1e5, 1e3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.MinRiskRoute(houston, boston));
+  }
+}
+BENCHMARK(BM_HoustonBostonRiskRoute)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+RISKROUTE_BENCH_MAIN(
+    "Figure 7: Level3 Houston->Boston routes vs lambda_h",
+    Reproduce)

@@ -1,0 +1,105 @@
+// Performance microbenchmarks for the library's computational kernels:
+// great-circle math, kd-tree queries, KDE evaluation, Dijkstra, Eq 1
+// metric evaluation and the parallel ratio sweep. Not tied to a paper
+// table; used to track regressions in the hot paths.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/riskroute.h"
+#include "forecast/parser.h"
+#include "forecast/tracks.h"
+#include "forecast/writer.h"
+#include "geo/distance.h"
+#include "spatial/kd_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace riskroute;
+
+void Reproduce() {
+  std::cout << "Microbenchmarks of the RiskRoute hot paths follow.\n";
+}
+
+void BM_GreatCircleMiles(benchmark::State& state) {
+  const geo::GeoPoint a(29.76, -95.37), b(42.36, -71.06);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::GreatCircleMiles(a, b));
+  }
+}
+BENCHMARK(BM_GreatCircleMiles);
+
+void BM_ApproxMiles(benchmark::State& state) {
+  const geo::GeoPoint a(29.76, -95.37), b(42.36, -71.06);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::ApproxMiles(a, b));
+  }
+}
+BENCHMARK(BM_ApproxMiles);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<geo::GeoPoint> points;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    points.emplace_back(rng.Uniform(25, 49), rng.Uniform(-124, -67));
+  }
+  const spatial::KdTree tree(points);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const geo::GeoPoint probe(25.0 + static_cast<double>(q % 24),
+                              -124.0 + static_cast<double>(q % 57));
+    benchmark::DoNotOptimize(tree.Nearest(probe));
+    ++q;
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
+
+void BM_DijkstraLevel3AllTargets(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Level3");
+  core::DijkstraWorkspace workspace;
+  std::size_t source = 0;
+  for (auto _ : state) {
+    workspace.Run(graph, source % graph.node_count(), core::DistanceWeight);
+    benchmark::DoNotOptimize(workspace.DistanceTo(graph.node_count() - 1));
+    ++source;
+  }
+}
+BENCHMARK(BM_DijkstraLevel3AllTargets)->Unit(benchmark::kMicrosecond);
+
+void BM_PathBitRiskEvaluation(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Level3");
+  const core::RiskRouter router(graph, core::RiskParams{1e5, 1e3});
+  const auto route = router.ShortestRoute(0, graph.node_count() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.PathBitRiskMiles(route->path));
+  }
+}
+BENCHMARK(BM_PathBitRiskEvaluation);
+
+void BM_IntradomainRatiosParallel(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Tinet");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeIntradomainRatios(
+        graph, core::RiskParams{1e5, 1e3}, &bench::SharedPool()));
+  }
+}
+BENCHMARK(BM_IntradomainRatiosParallel)->Unit(benchmark::kMillisecond);
+
+void BM_AdvisoryRoundTrip(benchmark::State& state) {
+  const auto advisories = forecast::GenerateAdvisories(forecast::IreneTrack());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string text =
+        forecast::RenderAdvisory(advisories[i % advisories.size()]);
+    benchmark::DoNotOptimize(forecast::ParseAdvisory(text));
+    ++i;
+  }
+}
+BENCHMARK(BM_AdvisoryRoundTrip);
+
+}  // namespace
+
+RISKROUTE_BENCH_MAIN("Core kernel microbenchmarks", Reproduce)

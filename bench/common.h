@@ -1,0 +1,54 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary (a) prints the rows/series of the paper table or
+// figure it regenerates — these are the numbers EXPERIMENTS.md records —
+// and (b) registers google-benchmark timings for the computational kernel
+// behind that experiment. The full-scale Study (215,932 census blocks,
+// 176k hazard events, 23 networks) is built once per process and shared.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/study.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::bench {
+
+/// The reference study (full paper-scale substrates). Built on first use.
+inline const core::Study& SharedStudy() {
+  static const core::Study study = core::Study::Build();
+  return study;
+}
+
+/// Process-wide worker pool for the parallel sweeps.
+inline util::ThreadPool& SharedPool() {
+  static util::ThreadPool pool;
+  return pool;
+}
+
+/// Prints a banner separating the reproduction output from benchmark noise.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Standard main: print the reproduction first, then run registered
+/// google-benchmark timings.
+#define RISKROUTE_BENCH_MAIN(title, reproduce_fn)              \
+  int main(int argc, char** argv) {                            \
+    ::riskroute::bench::PrintHeader(title);                    \
+    reproduce_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \
+      return 1;                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                     \
+    ::benchmark::Shutdown();                                   \
+    return 0;                                                  \
+  }
+
+}  // namespace riskroute::bench

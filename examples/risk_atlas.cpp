@@ -1,0 +1,97 @@
+// Risk atlas: exports the hazard likelihood surfaces as CSV rasters and
+// ranks all 23 networks by disaster exposure — "our analysis reveals the
+// providers that have the highest risk to disaster-based outage events"
+// (paper abstract).
+//
+//   $ ./risk_atlas [output_directory]
+//
+// Writes one CSV per hazard (lat, lon, density) plus networks_ranked.csv,
+// and prints the ranking.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "geo/bounding_box.h"
+#include "hazard/risk_field.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+using namespace riskroute;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "risk_atlas_out";
+  std::filesystem::create_directories(out_dir);
+
+  std::puts("Building the RiskRoute study...");
+  const core::Study study = core::Study::Build();
+  const hazard::HistoricalRiskField& field = study.hazard_field();
+  const geo::BoundingBox& conus = geo::ConusBounds();
+  constexpr std::size_t kRows = 60, kCols = 140;
+
+  // --- Per-hazard rasters (the paper's Figure 4 surfaces). ---
+  for (std::size_t m = 0; m < field.model_count(); ++m) {
+    std::string file_name =
+        util::ToLower(std::string(hazard::ToString(field.model_type(m))));
+    for (char& c : file_name) {
+      if (c == ' ') c = '_';
+    }
+    const auto path = out_dir / (file_name + ".csv");
+    std::ofstream out(path);
+    util::CsvWriter csv(out);
+    csv.Write("latitude", "longitude", "density");
+    const auto raster = field.model(m).Raster(conus, kRows, kCols);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (std::size_t c = 0; c < kCols; ++c) {
+        const double lat = conus.min_lat() +
+                           (static_cast<double>(r) + 0.5) *
+                               (conus.max_lat() - conus.min_lat()) / kRows;
+        const double lon = conus.min_lon() +
+                           (static_cast<double>(c) + 0.5) *
+                               (conus.max_lon() - conus.min_lon()) / kCols;
+        csv.Write(lat, lon, raster[r * kCols + c]);
+      }
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  // --- Network exposure ranking. ---
+  struct Exposure {
+    std::string name;
+    std::string kind;
+    double mean_risk;
+    double max_risk;
+  };
+  std::vector<Exposure> exposures;
+  for (const topology::Network& network : study.corpus().networks()) {
+    double sum = 0.0, peak = 0.0;
+    for (const topology::Pop& pop : network.pops()) {
+      const double risk = field.RiskAt(pop.location);
+      sum += risk;
+      peak = std::max(peak, risk);
+    }
+    exposures.push_back(Exposure{
+        network.name(), std::string(topology::ToString(network.kind())),
+        sum / static_cast<double>(network.pop_count()), peak});
+  }
+  std::sort(exposures.begin(), exposures.end(),
+            [](const Exposure& a, const Exposure& b) {
+              return a.mean_risk > b.mean_risk;
+            });
+
+  const auto ranking_path = out_dir / "networks_ranked.csv";
+  std::ofstream out(ranking_path);
+  util::CsvWriter csv(out);
+  csv.Write("network", "kind", "mean_pop_risk", "max_pop_risk");
+  std::puts("\nNetworks ranked by mean PoP disaster risk (highest first):");
+  for (const Exposure& e : exposures) {
+    csv.Write(e.name, e.kind, e.mean_risk, e.max_risk);
+    std::printf("  %-14s %-9s mean %.4f  max %.4f\n", e.name.c_str(),
+                e.kind.c_str(), e.mean_risk, e.max_risk);
+  }
+  std::printf("wrote %s\n", ranking_path.c_str());
+  return 0;
+}

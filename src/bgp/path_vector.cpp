@@ -1,0 +1,214 @@
+#include "bgp/path_vector.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace riskroute::bgp {
+namespace {
+
+int ClassRank(NeighborRole role) {
+  switch (role) {
+    case NeighborRole::kCustomer:
+      return 0;  // most preferred
+    case NeighborRole::kPeer:
+      return 1;
+    case NeighborRole::kProvider:
+      return 2;
+  }
+  throw InternalError("unknown NeighborRole");
+}
+
+bool ContainsAs(const std::vector<std::size_t>& path, std::size_t as) {
+  return std::find(path.begin(), path.end(), as) != path.end();
+}
+
+/// Standard BGP export rule: a route learned from a customer (or
+/// originated) is exported to everyone; routes learned from peers or
+/// providers are exported only to customers.
+bool Exports(NeighborRole route_learned_from, NeighborRole receiver_role) {
+  if (receiver_role == NeighborRole::kCustomer) return true;
+  return route_learned_from == NeighborRole::kCustomer;
+}
+
+}  // namespace
+
+bool RoutePreferred(const Route& a, const Route& b) {
+  const int ra = ClassRank(a.learned_from);
+  const int rb = ClassRank(b.learned_from);
+  if (ra != rb) return ra < rb;
+  if (a.length() != b.length()) return a.length() < b.length();
+  return a.next_hop() < b.next_hop();
+}
+
+RoutingState RoutingState::Compute(const RelationshipGraph& graph,
+                                   std::size_t destination,
+                                   std::size_t max_alternates) {
+  const std::size_t n = graph.as_count();
+  if (destination >= n) {
+    throw InvalidArgument("RoutingState: destination out of range");
+  }
+  RoutingState state;
+  state.destination_ = destination;
+  state.ribs_.resize(n);
+
+  // The destination originates; its "route" is the trivial path. We model
+  // it implicitly: neighbours of the destination always have the direct
+  // candidate.
+  std::vector<std::optional<Route>> best(n);
+
+  // Synchronous iteration to the (unique, Gao-Rexford-guaranteed) fixed
+  // point; 2n rounds is a safe upper bound on convergence.
+  for (std::size_t round = 0; round < 2 * n + 2; ++round) {
+    bool changed = false;
+    std::vector<std::optional<Route>> next = best;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == destination) continue;
+      std::optional<Route> chosen;
+      const auto consider = [&](std::size_t v, NeighborRole v_role_of_u) {
+        // v's role of u decides exportability; u learns the route with the
+        // role *v plays for u*.
+        const NeighborRole u_learns_as = graph.RoleOf(u, v);
+        std::optional<Route> offer;
+        if (v == destination) {
+          offer = Route{{u, destination}, u_learns_as};
+        } else if (best[v] && Exports(best[v]->learned_from, v_role_of_u) &&
+                   !ContainsAs(best[v]->as_path, u)) {
+          Route r;
+          r.as_path.reserve(best[v]->as_path.size() + 1);
+          r.as_path.push_back(u);
+          r.as_path.insert(r.as_path.end(), best[v]->as_path.begin(),
+                           best[v]->as_path.end());
+          r.learned_from = u_learns_as;
+          offer = std::move(r);
+        }
+        if (offer && (!chosen || RoutePreferred(*offer, *chosen))) {
+          chosen = std::move(offer);
+        }
+      };
+      const AsNeighbors& adj = graph.neighbors(u);
+      for (const std::size_t v : adj.customers) {
+        consider(v, NeighborRole::kProvider);  // u is v's provider
+      }
+      for (const std::size_t v : adj.peers) consider(v, NeighborRole::kPeer);
+      for (const std::size_t v : adj.providers) {
+        consider(v, NeighborRole::kCustomer);  // u is v's customer
+      }
+      const bool differs =
+          chosen.has_value() != best[u].has_value() ||
+          (chosen && best[u] && chosen->as_path != best[u]->as_path);
+      if (differs) changed = true;
+      next[u] = std::move(chosen);
+    }
+    best = std::move(next);
+    if (!changed) break;
+  }
+
+  // Fill RIBs: best route plus the add-paths alternates (every exportable
+  // neighbour offer with a distinct next hop, preference order).
+  for (std::size_t u = 0; u < n; ++u) {
+    if (u == destination) {
+      state.ribs_[u].best = Route{{destination}, NeighborRole::kCustomer};
+      continue;
+    }
+    std::vector<Route> candidates;
+    const auto offer_from = [&](std::size_t v, NeighborRole v_role_of_u) {
+      const NeighborRole u_learns_as = graph.RoleOf(u, v);
+      if (v == destination) {
+        candidates.push_back(Route{{u, destination}, u_learns_as});
+        return;
+      }
+      if (best[v] && Exports(best[v]->learned_from, v_role_of_u) &&
+          !ContainsAs(best[v]->as_path, u)) {
+        Route r;
+        r.as_path.push_back(u);
+        r.as_path.insert(r.as_path.end(), best[v]->as_path.begin(),
+                         best[v]->as_path.end());
+        r.learned_from = u_learns_as;
+        candidates.push_back(std::move(r));
+      }
+    };
+    const AsNeighbors& adj = graph.neighbors(u);
+    for (const std::size_t v : adj.customers) {
+      offer_from(v, NeighborRole::kProvider);
+    }
+    for (const std::size_t v : adj.peers) offer_from(v, NeighborRole::kPeer);
+    for (const std::size_t v : adj.providers) {
+      offer_from(v, NeighborRole::kCustomer);
+    }
+    std::sort(candidates.begin(), candidates.end(), RoutePreferred);
+    RibEntry& rib = state.ribs_[u];
+    for (Route& route : candidates) {
+      const bool duplicate_next_hop = std::any_of(
+          rib.alternates.begin(), rib.alternates.end(),
+          [&](const Route& kept) { return kept.next_hop() == route.next_hop(); });
+      if (duplicate_next_hop) continue;
+      if (rib.alternates.size() > max_alternates) break;
+      rib.alternates.push_back(std::move(route));
+    }
+    if (!rib.alternates.empty()) rib.best = rib.alternates.front();
+  }
+  return state;
+}
+
+const RibEntry& RoutingState::rib(std::size_t as) const {
+  if (as >= ribs_.size()) {
+    throw InvalidArgument("RoutingState: AS out of range");
+  }
+  return ribs_[as];
+}
+
+RibEntry& RoutingState::mutable_rib(std::size_t as) {
+  if (as >= ribs_.size()) {
+    throw InvalidArgument("RoutingState: AS out of range");
+  }
+  return ribs_[as];
+}
+
+double RoutingState::Reachability() const {
+  std::size_t routed = 0;
+  for (std::size_t u = 0; u < ribs_.size(); ++u) {
+    if (u != destination_ && ribs_[u].best) ++routed;
+  }
+  if (ribs_.size() <= 1) return 1.0;
+  return static_cast<double>(routed) / static_cast<double>(ribs_.size() - 1);
+}
+
+double RoutingState::BackupCoverage() const {
+  std::size_t routed = 0, covered = 0;
+  for (std::size_t u = 0; u < ribs_.size(); ++u) {
+    if (u == destination_ || !ribs_[u].best) continue;
+    ++routed;
+    if (ribs_[u].alternates.size() >= 2) ++covered;
+  }
+  if (routed == 0) return 0.0;
+  return static_cast<double>(covered) / static_cast<double>(routed);
+}
+
+bool IsValleyFree(const RelationshipGraph& graph,
+                  const std::vector<std::size_t>& as_path) {
+  if (as_path.size() < 2) return true;
+  // Phase 0: ascending (toward providers). Phase 1: one peer crossing.
+  // Phase 2: descending (toward customers). No transition backwards.
+  int phase = 0;
+  bool crossed_peer = false;
+  for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {
+    const NeighborRole role = graph.RoleOf(as_path[i], as_path[i + 1]);
+    switch (role) {
+      case NeighborRole::kProvider:  // going up
+        if (phase != 0) return false;
+        break;
+      case NeighborRole::kPeer:  // one lateral step allowed
+        if (phase != 0 || crossed_peer) return false;
+        crossed_peer = true;
+        phase = 1;
+        break;
+      case NeighborRole::kCustomer:  // going down
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace riskroute::bgp

@@ -1,0 +1,78 @@
+// Policy-constrained path-vector routing (BGP-lite).
+//
+// The paper defers interdomain deployment to BGP machinery: backup routes
+// must be "inherently safe" under Gao et al.'s model (its ref [35]) and
+// fast restoration can ride the BGP add-paths option (its ref [40],
+// Section 3.1). This module implements that substrate: Gao-Rexford route
+// selection (customer > peer > provider, then shortest AS path) with the
+// matching export rules (customer routes go to everyone; peer/provider
+// routes only to customers), iterated to the unique stable solution, and
+// an add-paths table retaining every distinct policy-compliant route for
+// failover. All resulting paths are valley-free by construction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "bgp/relationships.h"
+
+namespace riskroute::bgp {
+
+/// A route to the destination AS: the AS-level path starting at the
+/// owning AS and ending at the destination, plus how it was learned.
+struct Route {
+  std::vector<std::size_t> as_path;  // front() = self, back() = destination
+  NeighborRole learned_from = NeighborRole::kCustomer;
+
+  [[nodiscard]] std::size_t next_hop() const { return as_path[1]; }
+  [[nodiscard]] std::size_t length() const { return as_path.size() - 1; }
+};
+
+/// Gao-Rexford preference: customer routes beat peer routes beat provider
+/// routes; ties break on shorter AS path, then lower next-hop index
+/// (a deterministic surrogate for router-id tie-breaking).
+[[nodiscard]] bool RoutePreferred(const Route& a, const Route& b);
+
+/// Per-AS routing state toward one destination.
+struct RibEntry {
+  /// Best route (nullopt when the destination is unreachable under policy).
+  std::optional<Route> best;
+  /// All distinct policy-learned routes, best first — the add-paths set.
+  std::vector<Route> alternates;
+};
+
+/// Routing toward one destination for every AS.
+class RoutingState {
+ public:
+  /// Computes the stable Gao-Rexford solution toward `destination`.
+  /// `max_alternates` bounds each AS's add-paths retention (distinct
+  /// next-hops; 0 keeps only the best route).
+  [[nodiscard]] static RoutingState Compute(const RelationshipGraph& graph,
+                                            std::size_t destination,
+                                            std::size_t max_alternates = 3);
+
+  [[nodiscard]] const RibEntry& rib(std::size_t as) const;
+  /// Mutable access for post-processing (e.g. risk-aware re-ranking).
+  [[nodiscard]] RibEntry& mutable_rib(std::size_t as);
+  [[nodiscard]] std::size_t destination() const { return destination_; }
+  [[nodiscard]] std::size_t as_count() const { return ribs_.size(); }
+
+  /// Fraction of ASes (excluding the destination) with a best route.
+  [[nodiscard]] double Reachability() const;
+
+  /// Fraction of routed ASes holding at least one alternate with a
+  /// different next hop — BGP add-paths failover coverage.
+  [[nodiscard]] double BackupCoverage() const;
+
+ private:
+  std::vector<RibEntry> ribs_;
+  std::size_t destination_ = 0;
+};
+
+/// True when the AS path never goes "down" (toward a customer or across a
+/// peer) and later "up" or across again — the Gao-Rexford safety shape.
+[[nodiscard]] bool IsValleyFree(const RelationshipGraph& graph,
+                                const std::vector<std::size_t>& as_path);
+
+}  // namespace riskroute::bgp

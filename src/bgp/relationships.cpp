@@ -1,0 +1,93 @@
+#include "bgp/relationships.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::bgp {
+
+RelationshipGraph RelationshipGraph::FromCorpus(
+    const topology::Corpus& corpus) {
+  RelationshipGraph graph;
+  graph.neighbors_.resize(corpus.network_count());
+  for (const topology::Peering& peering : corpus.peerings()) {
+    const bool a_tier1 = corpus.network(peering.a).kind() ==
+                         topology::NetworkKind::kTier1;
+    const bool b_tier1 = corpus.network(peering.b).kind() ==
+                         topology::NetworkKind::kTier1;
+    if (a_tier1 == b_tier1) {
+      // Same tier: settlement-free peering.
+      graph.neighbors_[peering.a].peers.push_back(peering.b);
+      graph.neighbors_[peering.b].peers.push_back(peering.a);
+    } else if (a_tier1) {
+      // a provides transit to b.
+      graph.neighbors_[peering.a].customers.push_back(peering.b);
+      graph.neighbors_[peering.b].providers.push_back(peering.a);
+    } else {
+      graph.neighbors_[peering.b].customers.push_back(peering.a);
+      graph.neighbors_[peering.a].providers.push_back(peering.b);
+    }
+  }
+  for (AsNeighbors& n : graph.neighbors_) {
+    std::sort(n.customers.begin(), n.customers.end());
+    std::sort(n.peers.begin(), n.peers.end());
+    std::sort(n.providers.begin(), n.providers.end());
+  }
+  return graph;
+}
+
+const AsNeighbors& RelationshipGraph::neighbors(std::size_t as) const {
+  if (as >= neighbors_.size()) {
+    throw InvalidArgument(util::Format("RelationshipGraph: AS %zu out of range", as));
+  }
+  return neighbors_[as];
+}
+
+NeighborRole RelationshipGraph::RoleOf(std::size_t as,
+                                       std::size_t neighbor) const {
+  const AsNeighbors& n = neighbors(as);
+  if (std::binary_search(n.customers.begin(), n.customers.end(), neighbor)) {
+    return NeighborRole::kCustomer;
+  }
+  if (std::binary_search(n.peers.begin(), n.peers.end(), neighbor)) {
+    return NeighborRole::kPeer;
+  }
+  if (std::binary_search(n.providers.begin(), n.providers.end(), neighbor)) {
+    return NeighborRole::kProvider;
+  }
+  throw InvalidArgument(
+      util::Format("RelationshipGraph: AS %zu and %zu are not adjacent", as,
+                   neighbor));
+}
+
+RelationshipGraph RelationshipGraph::WithoutAses(
+    const std::vector<bool>& removed) const {
+  if (removed.size() != neighbors_.size()) {
+    throw InvalidArgument("WithoutAses: flag vector size mismatch");
+  }
+  RelationshipGraph filtered;
+  filtered.neighbors_.resize(neighbors_.size());
+  const auto keep = [&](const std::vector<std::size_t>& from,
+                        std::vector<std::size_t>& to) {
+    for (const std::size_t v : from) {
+      if (!removed[v]) to.push_back(v);
+    }
+  };
+  for (std::size_t u = 0; u < neighbors_.size(); ++u) {
+    if (removed[u]) continue;
+    keep(neighbors_[u].customers, filtered.neighbors_[u].customers);
+    keep(neighbors_[u].peers, filtered.neighbors_[u].peers);
+    keep(neighbors_[u].providers, filtered.neighbors_[u].providers);
+  }
+  return filtered;
+}
+
+bool RelationshipGraph::AreAdjacent(std::size_t a, std::size_t b) const {
+  const AsNeighbors& n = neighbors(a);
+  return std::binary_search(n.customers.begin(), n.customers.end(), b) ||
+         std::binary_search(n.peers.begin(), n.peers.end(), b) ||
+         std::binary_search(n.providers.begin(), n.providers.end(), b);
+}
+
+}  // namespace riskroute::bgp

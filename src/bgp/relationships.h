@@ -1,0 +1,56 @@
+// AS business relationships.
+//
+// The paper's interdomain discussion builds on BGP practice: Gao et al.'s
+// inherently safe backup routing (its ref [35]) and the Gao-Rexford
+// stability conditions rest on classifying each AS adjacency as
+// customer->provider or peer<->peer. The corpus gives us the adjacencies
+// (Figure 2); the tiers imply the business roles: Tier-1 <-> Tier-1 links
+// are settlement-free peering, regional <-> Tier-1 links are
+// customer-provider (the regional buys transit), and regional <-> regional
+// links are peering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/corpus.h"
+
+namespace riskroute::bgp {
+
+/// Role of a neighbour from the local AS's point of view.
+enum class NeighborRole { kCustomer, kPeer, kProvider };
+
+/// One AS's classified adjacency lists (indices into the corpus).
+struct AsNeighbors {
+  std::vector<std::size_t> customers;
+  std::vector<std::size_t> peers;
+  std::vector<std::size_t> providers;
+};
+
+/// Relationship graph over the corpus's ASes.
+class RelationshipGraph {
+ public:
+  /// Classifies every corpus peering by tier as described above.
+  [[nodiscard]] static RelationshipGraph FromCorpus(
+      const topology::Corpus& corpus);
+
+  [[nodiscard]] std::size_t as_count() const { return neighbors_.size(); }
+  [[nodiscard]] const AsNeighbors& neighbors(std::size_t as) const;
+
+  /// Role of `neighbor` from `as`'s point of view; throws if they are not
+  /// adjacent.
+  [[nodiscard]] NeighborRole RoleOf(std::size_t as, std::size_t neighbor) const;
+
+  [[nodiscard]] bool AreAdjacent(std::size_t a, std::size_t b) const;
+
+  /// Copy with every adjacency involving a removed AS dropped (the AS
+  /// index space is preserved; removed ASes keep empty adjacency lists).
+  /// Used to model disaster-disabled ASes for reconvergence analysis.
+  [[nodiscard]] RelationshipGraph WithoutAses(
+      const std::vector<bool>& removed) const;
+
+ private:
+  std::vector<AsNeighbors> neighbors_;
+};
+
+}  // namespace riskroute::bgp

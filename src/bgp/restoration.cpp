@@ -1,0 +1,87 @@
+#include "bgp/restoration.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace riskroute::bgp {
+namespace {
+
+bool PathSurvives(const std::vector<std::size_t>& as_path,
+                  const std::vector<bool>& failed) {
+  return std::none_of(as_path.begin(), as_path.end(),
+                      [&](std::size_t as) { return failed[as]; });
+}
+
+}  // namespace
+
+double RestorationSummary::PrimarySurvival() const {
+  if (pairs == 0) return 1.0;
+  return static_cast<double>(primary_ok) / static_cast<double>(pairs);
+}
+
+double RestorationSummary::AddPathsRescueRate() const {
+  const std::size_t hit = pairs - primary_ok;
+  if (hit == 0) return 1.0;
+  return static_cast<double>(add_paths) / static_cast<double>(hit);
+}
+
+double RestorationSummary::FinalReachability() const {
+  if (pairs == 0) return 1.0;
+  return static_cast<double>(primary_ok + add_paths + reconverged) /
+         static_cast<double>(pairs);
+}
+
+RestorationSummary AssessFailover(const RelationshipGraph& graph,
+                                  const std::vector<bool>& as_failed,
+                                  std::size_t max_alternates) {
+  const std::size_t n = graph.as_count();
+  if (as_failed.size() != n) {
+    throw InvalidArgument("AssessFailover: flag vector size mismatch");
+  }
+  const RelationshipGraph degraded = graph.WithoutAses(as_failed);
+
+  RestorationSummary summary;
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (as_failed[dst]) continue;
+    const RoutingState healthy =
+        RoutingState::Compute(graph, dst, max_alternates);
+    const RoutingState reconverged = RoutingState::Compute(degraded, dst, 0);
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst || as_failed[src]) continue;
+      const RibEntry& rib = healthy.rib(src);
+      if (!rib.best) continue;  // never reachable: not a routed pair
+      ++summary.pairs;
+      if (PathSurvives(rib.best->as_path, as_failed)) {
+        ++summary.primary_ok;
+        continue;
+      }
+      const bool rescued = std::any_of(
+          rib.alternates.begin(), rib.alternates.end(), [&](const Route& r) {
+            return PathSurvives(r.as_path, as_failed);
+          });
+      if (rescued) {
+        ++summary.add_paths;
+      } else if (reconverged.rib(src).best) {
+        ++summary.reconverged;
+      } else {
+        ++summary.lost;
+      }
+    }
+  }
+  return summary;
+}
+
+std::vector<bool> FailedAsesFromStorm(const topology::Corpus& corpus,
+                                      const forecast::StormScope& scope,
+                                      double failure_threshold) {
+  std::vector<bool> failed(corpus.network_count(), false);
+  for (std::size_t n = 0; n < corpus.network_count(); ++n) {
+    const double fraction = scope.FractionPopsInZone(
+        corpus.network(n), forecast::WindZone::kHurricane);
+    failed[n] = fraction > failure_threshold;
+  }
+  return failed;
+}
+
+}  // namespace riskroute::bgp

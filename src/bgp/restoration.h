@@ -1,0 +1,57 @@
+// Interdomain fast restoration under disaster failures.
+//
+// The paper (Section 3.1): "over shorter time scales, RiskRoute could be
+// used in conjunction with the proposed BGP 'add paths' option as the
+// basis for inter-domain fast path restoration". This module measures how
+// much that buys: given a set of disaster-disabled ASes, every surviving
+// (source, destination) pair is classified by the cheapest machinery that
+// keeps it connected — the primary route still works, an add-paths
+// alternate (pre-installed, sub-second switchover) works, full BGP
+// reconvergence finds a route, or nothing does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/path_vector.h"
+#include "forecast/forecast_risk.h"
+#include "topology/corpus.h"
+
+namespace riskroute::bgp {
+
+/// Outcome classification for one (source, destination) pair.
+enum class FailoverOutcome {
+  kPrimarySurvives,
+  kRestoredByAddPaths,
+  kRestoredByReconvergence,
+  kUnreachable,
+};
+
+/// Aggregate over all ordered pairs of surviving ASes.
+struct RestorationSummary {
+  std::size_t pairs = 0;
+  std::size_t primary_ok = 0;
+  std::size_t add_paths = 0;
+  std::size_t reconverged = 0;
+  std::size_t lost = 0;
+
+  [[nodiscard]] double PrimarySurvival() const;
+  /// Fraction of failure-hit pairs rescued by pre-installed alternates
+  /// (the add-paths payoff).
+  [[nodiscard]] double AddPathsRescueRate() const;
+  [[nodiscard]] double FinalReachability() const;
+};
+
+/// Classifies every ordered pair of surviving ASes under the failure set.
+/// `max_alternates` is the add-paths retention depth.
+[[nodiscard]] RestorationSummary AssessFailover(
+    const RelationshipGraph& graph, const std::vector<bool>& as_failed,
+    std::size_t max_alternates = 3);
+
+/// Derives the failed-AS set from a storm scope: an AS fails when more
+/// than `failure_threshold` of its PoPs saw hurricane-force winds.
+[[nodiscard]] std::vector<bool> FailedAsesFromStorm(
+    const topology::Corpus& corpus, const forecast::StormScope& scope,
+    double failure_threshold = 0.5);
+
+}  // namespace riskroute::bgp

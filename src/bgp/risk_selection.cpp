@@ -1,0 +1,80 @@
+#include "bgp/risk_selection.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace riskroute::bgp {
+namespace {
+
+int ClassRank(NeighborRole role) {
+  switch (role) {
+    case NeighborRole::kCustomer:
+      return 0;
+    case NeighborRole::kPeer:
+      return 1;
+    case NeighborRole::kProvider:
+      return 2;
+  }
+  throw InternalError("unknown NeighborRole");
+}
+
+}  // namespace
+
+std::vector<double> AsRiskScores(const topology::Corpus& corpus,
+                                 const hazard::HistoricalRiskField& field) {
+  std::vector<double> scores;
+  scores.reserve(corpus.network_count());
+  for (const topology::Network& network : corpus.networks()) {
+    double sum = 0.0;
+    for (const topology::Pop& pop : network.pops()) {
+      sum += field.RiskAt(pop.location);
+    }
+    scores.push_back(network.pop_count() > 0
+                         ? sum / static_cast<double>(network.pop_count())
+                         : 0.0);
+  }
+  return scores;
+}
+
+double RouteRisk(const Route& route, const std::vector<double>& as_risk) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < route.as_path.size(); ++i) {
+    const std::size_t as = route.as_path[i];
+    if (as >= as_risk.size()) {
+      throw InvalidArgument("RouteRisk: AS path references unknown AS");
+    }
+    total += as_risk[as];
+  }
+  return total;
+}
+
+void RankAlternatesByRisk(std::vector<Route>& alternates,
+                          const std::vector<double>& as_risk) {
+  std::stable_sort(alternates.begin(), alternates.end(),
+                   [&](const Route& a, const Route& b) {
+                     const int ca = ClassRank(a.learned_from);
+                     const int cb = ClassRank(b.learned_from);
+                     if (ca != cb) return ca < cb;  // policy class dominates
+                     const double risk_a = RouteRisk(a, as_risk);
+                     const double risk_b = RouteRisk(b, as_risk);
+                     if (risk_a != risk_b) return risk_a < risk_b;
+                     return a.length() < b.length();
+                   });
+}
+
+std::size_t ApplyRiskAwareSelection(RoutingState& state,
+                                    const std::vector<double>& as_risk) {
+  std::size_t changed = 0;
+  for (std::size_t as = 0; as < state.as_count(); ++as) {
+    RibEntry& rib = state.mutable_rib(as);
+    if (rib.alternates.size() < 2) continue;
+    const std::vector<std::size_t> old_best = rib.alternates.front().as_path;
+    RankAlternatesByRisk(rib.alternates, as_risk);
+    rib.best = rib.alternates.front();
+    if (rib.best->as_path != old_best) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace riskroute::bgp

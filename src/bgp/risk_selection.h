@@ -1,0 +1,43 @@
+// Risk-aware BGP route selection.
+//
+// Paper Section 3.1: "the RiskRoute metric can be used to identify
+// service providers that may be able to offer additional connectivity
+// options" and, with add-paths, as "the basis for inter-domain fast path
+// restoration". Operationally that means: when BGP policy leaves several
+// equally preferred candidate routes, break the tie by disaster exposure
+// of the ASes the route traverses. This module scores AS paths with
+// per-AS aggregate risk and re-ranks a RIB's alternates accordingly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/path_vector.h"
+#include "hazard/risk_field.h"
+#include "topology/corpus.h"
+
+namespace riskroute::bgp {
+
+/// Mean historical PoP risk of every corpus AS — the AS-level risk score.
+[[nodiscard]] std::vector<double> AsRiskScores(
+    const topology::Corpus& corpus, const hazard::HistoricalRiskField& field);
+
+/// Summed risk of the ASes a route traverses (excluding the first hop's
+/// owner, whose risk is unavoidable).
+[[nodiscard]] double RouteRisk(const Route& route,
+                               const std::vector<double>& as_risk);
+
+/// Re-sorts `alternates` risk-aware: Gao-Rexford class still dominates
+/// (never prefer a provider route over a customer route — that would
+/// break policy safety), but within a class the lowest-RouteRisk
+/// candidate wins, then shorter paths. Returns the new best index 0.
+void RankAlternatesByRisk(std::vector<Route>& alternates,
+                          const std::vector<double>& as_risk);
+
+/// Applies RankAlternatesByRisk to every RIB of a routing state and
+/// returns how many ASes changed their best route — the deployment
+/// footprint of risk-aware selection.
+[[nodiscard]] std::size_t ApplyRiskAwareSelection(
+    RoutingState& state, const std::vector<double>& as_risk);
+
+}  // namespace riskroute::bgp

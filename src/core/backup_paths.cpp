@@ -1,0 +1,106 @@
+#include "core/backup_paths.h"
+
+#include "util/error.h"
+
+namespace riskroute::core {
+
+RoutingTable BuildRoutingTable(const RiskGraph& graph,
+                               const EdgeWeightFn& weight) {
+  const std::size_t n = graph.node_count();
+  RoutingTable table;
+  table.next_hop.assign(n, std::vector<std::size_t>(n, RoutingTable::kUnreachable));
+  table.dist.assign(n, std::vector<double>(n, DijkstraWorkspace::Infinity()));
+  DijkstraWorkspace workspace;
+  for (std::size_t s = 0; s < n; ++s) {
+    workspace.Run(graph, s, weight);
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!workspace.Reached(d)) continue;
+      table.dist[s][d] = workspace.DistanceTo(d);
+      if (d == s) {
+        table.next_hop[s][d] = s;
+      } else {
+        table.next_hop[s][d] = workspace.PathTo(d)[1];
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<std::vector<LfaEntry>> ComputeLfas(const RiskGraph& graph,
+                                               const RoutingTable& table) {
+  const std::size_t n = graph.node_count();
+  if (table.dist.size() != n) {
+    throw InvalidArgument("ComputeLfas: table does not match graph");
+  }
+  std::vector<std::vector<LfaEntry>> lfas(n, std::vector<LfaEntry>(n));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      LfaEntry& entry = lfas[s][d];
+      entry.primary_next_hop = table.next_hop[s][d];
+      if (d == s || entry.primary_next_hop == RoutingTable::kUnreachable) {
+        continue;
+      }
+      for (const RiskEdge& edge : graph.OutEdges(s)) {
+        const std::size_t neighbor = edge.to;
+        if (neighbor == entry.primary_next_hop) continue;
+        // RFC 5286 basic loop-free condition.
+        if (table.dist[neighbor][d] <
+            table.dist[neighbor][s] + table.dist[s][d]) {
+          entry.alternates.push_back(neighbor);
+        }
+      }
+    }
+  }
+  return lfas;
+}
+
+double LfaCoverage(const std::vector<std::vector<LfaEntry>>& lfas) {
+  std::size_t routable = 0;
+  std::size_t protected_pairs = 0;
+  for (std::size_t s = 0; s < lfas.size(); ++s) {
+    for (std::size_t d = 0; d < lfas[s].size(); ++d) {
+      if (d == s) continue;
+      const LfaEntry& entry = lfas[s][d];
+      if (entry.primary_next_hop == RoutingTable::kUnreachable) continue;
+      ++routable;
+      if (!entry.alternates.empty()) ++protected_pairs;
+    }
+  }
+  if (routable == 0) return 0.0;
+  return static_cast<double>(protected_pairs) / static_cast<double>(routable);
+}
+
+std::optional<Path> LinkBypass(const RiskGraph& graph, std::size_t u,
+                               std::size_t v, const EdgeWeightFn& weight) {
+  if (!graph.HasEdge(u, v)) {
+    throw InvalidArgument("LinkBypass: protected link does not exist");
+  }
+  const auto masked = [&](std::size_t from, const RiskEdge& edge) {
+    if ((from == u && edge.to == v) || (from == v && edge.to == u)) {
+      return DijkstraWorkspace::Infinity();
+    }
+    return weight(from, edge);
+  };
+  DijkstraWorkspace workspace;
+  workspace.Run(graph, u, masked, v);
+  if (!workspace.Reached(v)) return std::nullopt;
+  return workspace.PathTo(v);
+}
+
+std::optional<Path> NodeBypass(const RiskGraph& graph, std::size_t u,
+                               std::size_t dst, std::size_t protect,
+                               const EdgeWeightFn& weight) {
+  if (protect == u || protect == dst) {
+    throw InvalidArgument("NodeBypass: cannot protect an endpoint");
+  }
+  const auto masked = [&](std::size_t from, const RiskEdge& edge) {
+    if (edge.to == protect) return DijkstraWorkspace::Infinity();
+    return weight(from, edge);
+  };
+  DijkstraWorkspace workspace;
+  workspace.Run(graph, u, masked, dst);
+  if (!workspace.Reached(dst)) return std::nullopt;
+  return workspace.PathTo(dst);
+}
+
+}  // namespace riskroute::core

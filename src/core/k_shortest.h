@@ -1,0 +1,33 @@
+// Yen's k-shortest loopless paths over a RiskGraph.
+//
+// Substrate for the multi-objective extension the paper sketches in
+// Section 6.4 ("the RiskRoute framework could easily be expanded to
+// include multiple objective functions that would balance risk and
+// SLA-related issues such as latency"): enumerating the k best paths under
+// one weight exposes the candidate set over which other objectives are
+// traded off, and is also the standard building block for MPLS explicit
+// backup paths (Section 3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/risk_graph.h"
+#include "core/shortest_path.h"
+
+namespace riskroute::core {
+
+/// One enumerated path with its weight under the enumeration objective.
+struct WeightedPath {
+  Path path;
+  double weight = 0.0;
+};
+
+/// Yen's algorithm: up to `k` loopless paths from `source` to `target` in
+/// ascending weight order (fewer if the graph admits fewer). `weight` must
+/// be non-negative. Throws InvalidArgument on bad nodes or k == 0.
+[[nodiscard]] std::vector<WeightedPath> KShortestPaths(
+    const RiskGraph& graph, std::size_t source, std::size_t target,
+    std::size_t k, const EdgeWeightFn& weight);
+
+}  // namespace riskroute::core

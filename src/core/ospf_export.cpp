@@ -1,0 +1,90 @@
+#include "core/ospf_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace riskroute::core {
+namespace {
+
+double EffectiveAlpha(const RiskGraph& graph, const OspfExportOptions& options) {
+  if (options.alpha > 0.0) return options.alpha;
+  if (graph.node_count() == 0) return 0.0;
+  // Mean alpha of a uniformly random pair is 2 * mean(c_i) = 2/N when the
+  // fractions are normalized.
+  double mean_fraction = 0.0;
+  for (const RiskNode& node : graph.nodes()) {
+    mean_fraction += node.impact_fraction;
+  }
+  mean_fraction /= static_cast<double>(graph.node_count());
+  return 2.0 * mean_fraction;
+}
+
+double LinkCompositeWeight(const RiskGraph& graph,
+                           const OspfExportOptions& options, double alpha,
+                           std::size_t a, std::size_t b, double miles) {
+  const auto score = [&](std::size_t v) {
+    const RiskNode& node = graph.node(v);
+    return options.params.lambda_historical * node.historical_risk +
+           options.params.lambda_forecast * node.forecast_risk;
+  };
+  return miles + alpha * (score(a) + score(b)) / 2.0;
+}
+
+}  // namespace
+
+std::vector<OspfLinkCost> ComputeOspfCosts(const RiskGraph& graph,
+                                           const OspfExportOptions& options) {
+  const double alpha = EffectiveAlpha(graph, options);
+  std::vector<OspfLinkCost> costs;
+  for (std::size_t a = 0; a < graph.node_count(); ++a) {
+    for (const RiskEdge& edge : graph.OutEdges(a)) {
+      if (edge.to < a) continue;  // one entry per undirected link
+      costs.push_back(OspfLinkCost{
+          a, edge.to,
+          LinkCompositeWeight(graph, options, alpha, a, edge.to, edge.miles),
+          1});
+    }
+  }
+  if (costs.empty()) return costs;
+  double max_weight = 0.0;
+  for (const OspfLinkCost& c : costs) {
+    max_weight = std::max(max_weight, c.composite_weight);
+  }
+  if (max_weight <= 0.0) max_weight = 1.0;
+  for (OspfLinkCost& c : costs) {
+    const double scaled = c.composite_weight / max_weight * 65535.0;
+    c.cost = static_cast<std::uint16_t>(
+        std::clamp(std::lround(scaled), 1L, 65535L));
+  }
+  return costs;
+}
+
+std::string RenderOspfConfig(const RiskGraph& graph,
+                             const std::vector<OspfLinkCost>& costs) {
+  std::ostringstream out;
+  out << "! RiskRoute composite OSPF costs (miles + risk; see Section 3.1)\n";
+  for (const OspfLinkCost& c : costs) {
+    out << "link \"" << graph.node(c.a).name << "\" \"" << graph.node(c.b).name
+        << "\" cost " << c.cost << '\n';
+  }
+  return out.str();
+}
+
+EdgeWeightFn CompositeWeight(const RiskGraph& graph,
+                             const OspfExportOptions& options) {
+  const double alpha = EffectiveAlpha(graph, options);
+  const RiskParams params = options.params;
+  return [&graph, alpha, params](std::size_t from, const RiskEdge& edge) {
+    const auto score = [&](std::size_t v) {
+      const RiskNode& node = graph.node(v);
+      return params.lambda_historical * node.historical_risk +
+             params.lambda_forecast * node.forecast_risk;
+    };
+    return edge.miles + alpha * (score(from) + score(edge.to)) / 2.0;
+  };
+}
+
+}  // namespace riskroute::core

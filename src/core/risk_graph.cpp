@@ -1,0 +1,100 @@
+#include "core/risk_graph.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::core {
+
+std::size_t RiskGraph::AddNode(RiskNode node) {
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void RiskGraph::AddEdge(std::size_t a, std::size_t b, double miles) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw InvalidArgument(util::Format("edge (%zu, %zu) out of range", a, b));
+  }
+  if (a == b) throw InvalidArgument("self-edges are not allowed");
+  if (miles < 0.0) throw InvalidArgument("edge mileage must be non-negative");
+  if (HasEdge(a, b)) return;
+  adjacency_[a].push_back(RiskEdge{b, miles});
+  adjacency_[b].push_back(RiskEdge{a, miles});
+}
+
+void RiskGraph::AddEdgeByDistance(std::size_t a, std::size_t b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw InvalidArgument(util::Format("edge (%zu, %zu) out of range", a, b));
+  }
+  AddEdge(a, b,
+          geo::GreatCircleMiles(nodes_[a].location, nodes_[b].location));
+}
+
+void RiskGraph::RemoveEdge(std::size_t a, std::size_t b) {
+  if (!HasEdge(a, b)) {
+    throw InvalidArgument(util::Format("edge (%zu, %zu) not present", a, b));
+  }
+  std::erase_if(adjacency_[a], [&](const RiskEdge& e) { return e.to == b; });
+  std::erase_if(adjacency_[b], [&](const RiskEdge& e) { return e.to == a; });
+}
+
+bool RiskGraph::HasEdge(std::size_t a, std::size_t b) const {
+  if (a >= adjacency_.size()) return false;
+  return std::any_of(adjacency_[a].begin(), adjacency_[a].end(),
+                     [&](const RiskEdge& e) { return e.to == b; });
+}
+
+const RiskNode& RiskGraph::node(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw InvalidArgument(util::Format("node index %zu out of range", i));
+  }
+  return nodes_[i];
+}
+
+const std::vector<RiskEdge>& RiskGraph::OutEdges(std::size_t i) const {
+  if (i >= adjacency_.size()) {
+    throw InvalidArgument(util::Format("node index %zu out of range", i));
+  }
+  return adjacency_[i];
+}
+
+std::size_t RiskGraph::directed_edge_count() const {
+  std::size_t total = 0;
+  for (const auto& edges : adjacency_) total += edges.size();
+  return total;
+}
+
+void RiskGraph::SetForecastRisks(const std::vector<double>& risks) {
+  if (risks.size() != nodes_.size()) {
+    throw InvalidArgument(util::Format(
+        "SetForecastRisks: %zu risks for %zu nodes", risks.size(),
+        nodes_.size()));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].forecast_risk = risks[i];
+  }
+}
+
+void RiskGraph::ClearForecastRisks() {
+  for (RiskNode& node : nodes_) node.forecast_risk = 0.0;
+}
+
+RiskGraph RiskGraph::FromNetwork(const topology::Network& network,
+                                 const population::ImpactModel& impact,
+                                 const hazard::HistoricalRiskField& hazard_field) {
+  RiskGraph graph;
+  for (std::size_t i = 0; i < network.pop_count(); ++i) {
+    const topology::Pop& pop = network.pop(i);
+    graph.AddNode(RiskNode{pop.name, pop.location, impact.fraction(i),
+                           hazard_field.RiskAt(pop.location), 0.0});
+  }
+  for (const topology::Link& link : network.links()) {
+    graph.AddEdgeByDistance(link.a, link.b);
+  }
+  return graph;
+}
+
+}  // namespace riskroute::core

@@ -1,0 +1,87 @@
+// The risk graph: the structure RiskRoute optimizes over
+// (paper Section 6.4 — "constructing a graph structure where the nodes are
+// PoPs and the link weights consist of the bit-risk miles between
+// infrastructure locations").
+//
+// Nodes carry the per-PoP quantities of Equation 1 — the impact fraction
+// c_i (Section 5.1), historical risk o_h (Section 5.2) and forecast risk
+// o_f (Section 5.3) — and edges carry line-of-sight mileage. The graph is
+// cheap to copy and supports edge insertion/removal so the provisioning
+// analysis can evaluate candidate links in place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "hazard/risk_field.h"
+#include "population/assignment.h"
+#include "topology/network.h"
+
+namespace riskroute::core {
+
+/// Per-PoP attributes used by the metric.
+struct RiskNode {
+  std::string name;
+  geo::GeoPoint location;
+  double impact_fraction = 0.0;  // c_i
+  double historical_risk = 0.0;  // o_h(i)
+  double forecast_risk = 0.0;    // o_f(i)
+};
+
+/// Outgoing edge entry in the adjacency list.
+struct RiskEdge {
+  std::size_t to = 0;
+  double miles = 0.0;
+};
+
+/// Weighted undirected graph over PoPs.
+class RiskGraph {
+ public:
+  RiskGraph() = default;
+
+  /// Adds a node; returns its index.
+  std::size_t AddNode(RiskNode node);
+
+  /// Adds an undirected edge with explicit mileage. Duplicate edges are
+  /// ignored; self-edges and bad indices throw.
+  void AddEdge(std::size_t a, std::size_t b, double miles);
+
+  /// Adds an undirected edge with great-circle mileage between the nodes.
+  void AddEdgeByDistance(std::size_t a, std::size_t b);
+
+  /// Removes an undirected edge (both directions); throws if absent.
+  void RemoveEdge(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool HasEdge(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const RiskNode& node(std::size_t i) const;
+  [[nodiscard]] const std::vector<RiskNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<RiskEdge>& OutEdges(std::size_t i) const;
+
+  /// Total directed edge entries (2x undirected edge count).
+  [[nodiscard]] std::size_t directed_edge_count() const;
+
+  /// Replaces every node's forecast risk (used per advisory tick in the
+  /// disaster case studies). Must match node_count().
+  void SetForecastRisks(const std::vector<double>& risks);
+
+  /// Clears all forecast risk (no active advisory).
+  void ClearForecastRisks();
+
+  /// Builds the graph for one network: impact fractions from the census
+  /// assignment, historical risks from the hazard field. Forecast risks
+  /// start at zero.
+  [[nodiscard]] static RiskGraph FromNetwork(
+      const topology::Network& network,
+      const population::ImpactModel& impact,
+      const hazard::HistoricalRiskField& hazard_field);
+
+ private:
+  std::vector<RiskNode> nodes_;
+  std::vector<std::vector<RiskEdge>> adjacency_;
+};
+
+}  // namespace riskroute::core

@@ -1,0 +1,15 @@
+// Tuning parameters of the bit-risk-mile metric (paper Equation 1).
+#pragma once
+
+namespace riskroute::core {
+
+/// lambda_h scales historical outage risk and lambda_f forecasted outage
+/// risk in the bit-risk-mile sum; larger values buy more risk-averse
+/// (and geographically longer) routes. Section 7 of the paper uses
+/// lambda_h = 1e5 (also 1e4/1e6 in sweeps) and lambda_f = 1e3.
+struct RiskParams {
+  double lambda_historical = 1e5;
+  double lambda_forecast = 1e3;
+};
+
+}  // namespace riskroute::core

@@ -1,0 +1,244 @@
+#include "core/riskroute.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::core {
+namespace {
+
+/// Per-source accumulation shared by the ratio computations.
+struct SourceSums {
+  double risk_ratio_sum = 0.0;      // sum of r(p_rr)/r(p_short)
+  double distance_ratio_sum = 0.0;  // sum of d(p_rr)/d(p_short)
+  std::size_t pairs = 0;
+};
+
+/// Edge weight for a fixed alpha: miles + alpha * score(v).
+struct BitRiskWeight {
+  const RiskGraph* graph;
+  RiskParams params;
+  double alpha;
+
+  double operator()(std::size_t, const RiskEdge& edge) const {
+    const RiskNode& to = graph->node(edge.to);
+    return edge.miles + alpha * (params.lambda_historical * to.historical_risk +
+                                 params.lambda_forecast * to.forecast_risk);
+  }
+};
+
+/// Processes every target for one source; used by both ComputeRatios and
+/// AggregateMinBitRisk-style sweeps.
+SourceSums RatioSumsForSource(const RiskGraph& graph, const RiskParams& params,
+                              std::size_t source,
+                              const std::vector<std::size_t>& targets,
+                              DijkstraWorkspace& distance_ws,
+                              DijkstraWorkspace& risk_ws) {
+  SourceSums sums;
+  const RiskRouter router(graph, params);
+  // One pure-distance Dijkstra covers every target's shortest path.
+  distance_ws.Run(graph, source, DistanceWeight);
+  for (const std::size_t target : targets) {
+    if (target == source || !distance_ws.Reached(target)) continue;
+    const Path shortest = distance_ws.PathTo(target);
+    const double shortest_miles = distance_ws.DistanceTo(target);
+    const double shortest_bit_risk = router.PathBitRiskMiles(shortest);
+    if (shortest_bit_risk <= 0.0 || shortest_miles <= 0.0) continue;
+
+    const double alpha = router.Alpha(source, target);
+    risk_ws.Run(graph, source, BitRiskWeight{&graph, params, alpha}, target);
+    if (!risk_ws.Reached(target)) continue;
+    const double rr_bit_risk = risk_ws.DistanceTo(target);
+    const double rr_miles = router.PathMiles(risk_ws.PathTo(target));
+
+    sums.risk_ratio_sum += rr_bit_risk / shortest_bit_risk;
+    sums.distance_ratio_sum += rr_miles / shortest_miles;
+    sums.pairs += 1;
+  }
+  return sums;
+}
+
+}  // namespace
+
+RiskRouter::RiskRouter(const RiskGraph& graph, const RiskParams& params)
+    : graph_(graph), params_(params) {
+  if (params.lambda_historical < 0.0 || params.lambda_forecast < 0.0) {
+    throw InvalidArgument("RiskParams: lambdas must be non-negative");
+  }
+}
+
+double RiskRouter::NodeScore(std::size_t v) const {
+  const RiskNode& node = graph_.node(v);
+  return params_.lambda_historical * node.historical_risk +
+         params_.lambda_forecast * node.forecast_risk;
+}
+
+double RiskRouter::Alpha(std::size_t i, std::size_t j) const {
+  return graph_.node(i).impact_fraction + graph_.node(j).impact_fraction;
+}
+
+double RiskRouter::PathBitRiskMiles(const Path& path) const {
+  if (path.empty()) throw InvalidArgument("PathBitRiskMiles: empty path");
+  const double alpha = Alpha(path.front(), path.back());
+  double total = 0.0;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const std::size_t u = path[k - 1];
+    const std::size_t v = path[k];
+    bool found = false;
+    for (const RiskEdge& edge : graph_.OutEdges(u)) {
+      if (edge.to == v) {
+        total += edge.miles + alpha * NodeScore(v);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw InvalidArgument(
+          util::Format("PathBitRiskMiles: missing edge (%zu, %zu)", u, v));
+    }
+  }
+  return total;
+}
+
+double RiskRouter::PathMiles(const Path& path) const {
+  if (path.empty()) throw InvalidArgument("PathMiles: empty path");
+  double total = 0.0;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const std::size_t u = path[k - 1];
+    const std::size_t v = path[k];
+    bool found = false;
+    for (const RiskEdge& edge : graph_.OutEdges(u)) {
+      if (edge.to == v) {
+        total += edge.miles;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw InvalidArgument(util::Format("PathMiles: missing edge (%zu, %zu)", u, v));
+    }
+  }
+  return total;
+}
+
+std::optional<RouteResult> RiskRouter::MinRiskRoute(std::size_t i,
+                                                    std::size_t j) const {
+  DijkstraWorkspace workspace;
+  workspace.Run(graph_, i, BitRiskWeight{&graph_, params_, Alpha(i, j)}, j);
+  if (!workspace.Reached(j)) return std::nullopt;
+  RouteResult result;
+  result.path = workspace.PathTo(j);
+  result.bit_risk_miles = workspace.DistanceTo(j);
+  result.bit_miles = PathMiles(result.path);
+  return result;
+}
+
+std::optional<RouteResult> RiskRouter::ShortestRoute(std::size_t i,
+                                                     std::size_t j) const {
+  DijkstraWorkspace workspace;
+  workspace.Run(graph_, i, DistanceWeight, j);
+  if (!workspace.Reached(j)) return std::nullopt;
+  RouteResult result;
+  result.path = workspace.PathTo(j);
+  result.bit_miles = workspace.DistanceTo(j);
+  result.bit_risk_miles = PathBitRiskMiles(result.path);
+  return result;
+}
+
+RatioReport ComputeRatios(const RiskGraph& graph, const RiskParams& params,
+                          const std::vector<std::size_t>& sources,
+                          const std::vector<std::size_t>& targets,
+                          util::ThreadPool* pool) {
+  std::vector<SourceSums> per_source(sources.size());
+  const auto body = [&](std::size_t s) {
+    DijkstraWorkspace distance_ws;
+    DijkstraWorkspace risk_ws;
+    per_source[s] = RatioSumsForSource(graph, params, sources[s], targets,
+                                       distance_ws, risk_ws);
+  };
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, sources.size(), body);
+  } else {
+    for (std::size_t s = 0; s < sources.size(); ++s) body(s);
+  }
+
+  RatioReport report;
+  double risk_sum = 0.0;
+  double distance_sum = 0.0;
+  for (const SourceSums& sums : per_source) {
+    risk_sum += sums.risk_ratio_sum;
+    distance_sum += sums.distance_ratio_sum;
+    report.pair_count += sums.pairs;
+  }
+  if (report.pair_count > 0) {
+    const auto n = static_cast<double>(report.pair_count);
+    report.risk_reduction_ratio = 1.0 - risk_sum / n;
+    report.distance_increase_ratio = distance_sum / n - 1.0;
+  }
+  return report;
+}
+
+RatioReport ComputeIntradomainRatios(const RiskGraph& graph,
+                                     const RiskParams& params,
+                                     util::ThreadPool* pool) {
+  std::vector<std::size_t> everyone(graph.node_count());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  return ComputeRatios(graph, params, everyone, everyone, pool);
+}
+
+double SumMinBitRisk(const RiskGraph& graph, const RiskParams& params,
+                     const std::vector<std::size_t>& sources,
+                     const std::vector<std::size_t>& targets,
+                     util::ThreadPool* pool) {
+  std::vector<double> per_source(sources.size(), 0.0);
+  const auto body = [&](std::size_t s) {
+    DijkstraWorkspace workspace;
+    const std::size_t i = sources[s];
+    double sum = 0.0;
+    for (const std::size_t j : targets) {
+      if (j == i) continue;
+      const double alpha =
+          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
+      workspace.Run(graph, i, BitRiskWeight{&graph, params, alpha}, j);
+      if (workspace.Reached(j)) sum += workspace.DistanceTo(j);
+    }
+    per_source[s] = sum;
+  };
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, sources.size(), body);
+  } else {
+    for (std::size_t s = 0; s < sources.size(); ++s) body(s);
+  }
+  double total = 0.0;
+  for (const double v : per_source) total += v;
+  return total;
+}
+
+double AggregateMinBitRisk(const RiskGraph& graph, const RiskParams& params,
+                           util::ThreadPool* pool) {
+  const std::size_t n = graph.node_count();
+  std::vector<double> per_source(n, 0.0);
+  const auto body = [&](std::size_t i) {
+    DijkstraWorkspace workspace;
+    double sum = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double alpha =
+          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
+      workspace.Run(graph, i, BitRiskWeight{&graph, params, alpha}, j);
+      if (workspace.Reached(j)) sum += workspace.DistanceTo(j);
+    }
+    per_source[i] = sum;
+  };
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+  double total = 0.0;
+  for (const double v : per_source) total += v;
+  return total;
+}
+
+}  // namespace riskroute::core

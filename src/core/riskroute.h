@@ -1,0 +1,116 @@
+// RiskRoute: minimum bit-risk-mile routing (paper Sections 5, 6.1, 7).
+//
+// The bit-risk miles of a path p = {p_1..p_K} between PoPs i and j is
+//
+//   r_ij(p) = sum_{x=2..K} [ d(p_{x-1}, p_x)
+//                            + alpha_ij (lambda_h o_h(p_x)
+//                                        + lambda_f o_f(p_x)) ]     (Eq 1)
+//
+// and RiskRoute picks  p_rr = argmin_p r_ij(p)  over all network paths
+// (Eq 3), which is a shortest-path problem with edge weight
+// miles(u,v) + alpha_ij * score(v). The evaluation compares RiskRoute
+// against geographic shortest paths via the risk-reduction ratio (Eq 5)
+// and distance-increase ratio (Eq 6).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/shortest_path.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::core {
+
+/// A routed pair: the chosen path plus its metrics.
+struct RouteResult {
+  Path path;
+  double bit_risk_miles = 0.0;  // Eq 1 value of the path
+  double bit_miles = 0.0;       // plain mileage of the path
+};
+
+/// Aggregated Eq 5 / Eq 6 ratios over a pair population.
+struct RatioReport {
+  /// Eq 5: 1 - mean_{pairs} r(p_rr)/r(p_shortest). Positive = RiskRoute
+  /// reduces bit-risk miles versus shortest-path routing.
+  double risk_reduction_ratio = 0.0;
+  /// Eq 6: mean_{pairs} d(p_rr)/d(p_shortest) - 1. Positive = RiskRoute
+  /// pays extra mileage.
+  double distance_increase_ratio = 0.0;
+  std::size_t pair_count = 0;
+};
+
+/// Stateless-by-construction router over a risk graph. The graph is held
+/// by reference; node scores are read live, so callers may mutate forecast
+/// risks or edges between calls.
+class RiskRouter {
+ public:
+  RiskRouter(const RiskGraph& graph, const RiskParams& params);
+
+  /// lambda_h * o_h(v) + lambda_f * o_f(v): the impact-unscaled node risk.
+  [[nodiscard]] double NodeScore(std::size_t v) const;
+
+  /// alpha_ij = c_i + c_j.
+  [[nodiscard]] double Alpha(std::size_t i, std::size_t j) const;
+
+  /// Eq 1 evaluated on an explicit path; endpoints define alpha. Throws
+  /// InvalidArgument on an empty path or one that uses a missing edge.
+  [[nodiscard]] double PathBitRiskMiles(const Path& path) const;
+
+  /// Plain mileage of an explicit path.
+  [[nodiscard]] double PathMiles(const Path& path) const;
+
+  /// Eq 3: the minimum bit-risk-mile route; nullopt when disconnected.
+  [[nodiscard]] std::optional<RouteResult> MinRiskRoute(std::size_t i,
+                                                        std::size_t j) const;
+
+  /// Geographic shortest path between the same pair, with its Eq 1 value
+  /// (the baseline the paper compares against).
+  [[nodiscard]] std::optional<RouteResult> ShortestRoute(std::size_t i,
+                                                         std::size_t j) const;
+
+  [[nodiscard]] const RiskGraph& graph() const { return graph_; }
+  [[nodiscard]] const RiskParams& params() const { return params_; }
+
+ private:
+  const RiskGraph& graph_;
+  RiskParams params_;
+};
+
+/// Computes Eq 5 / Eq 6 ratios over ordered (source, target) pairs drawn
+/// from the given sets (source == target pairs are skipped; the paper's
+/// 1/N^2 normalization over the diagonal contributes nothing and is
+/// dropped). Pairs where either routing fails to connect are skipped.
+/// Supplying a thread pool parallelizes over sources.
+[[nodiscard]] RatioReport ComputeRatios(const RiskGraph& graph,
+                                        const RiskParams& params,
+                                        const std::vector<std::size_t>& sources,
+                                        const std::vector<std::size_t>& targets,
+                                        util::ThreadPool* pool = nullptr);
+
+/// All-pairs intradomain ratios (Eq 5/6 with every PoP as both source and
+/// target) — the Table 2 per-network computation.
+[[nodiscard]] RatioReport ComputeIntradomainRatios(const RiskGraph& graph,
+                                                   const RiskParams& params,
+                                                   util::ThreadPool* pool = nullptr);
+
+/// The Eq 4 objective: sum over unordered PoP pairs of the *minimum*
+/// bit-risk miles between them. Provisioning minimizes this.
+[[nodiscard]] double AggregateMinBitRisk(const RiskGraph& graph,
+                                         const RiskParams& params,
+                                         util::ThreadPool* pool = nullptr);
+
+/// Generalized Eq 4 objective over an explicit (source, target) pair
+/// population: sum of minimum bit-risk miles over ordered pairs with
+/// source != target. Used by the peering recommendation, whose objective
+/// is the interdomain lower bound from a network's PoPs to all regional
+/// PoPs (paper Section 6.3).
+[[nodiscard]] double SumMinBitRisk(const RiskGraph& graph,
+                                   const RiskParams& params,
+                                   const std::vector<std::size_t>& sources,
+                                   const std::vector<std::size_t>& targets,
+                                   util::ThreadPool* pool = nullptr);
+
+}  // namespace riskroute::core

@@ -1,0 +1,62 @@
+#include "core/shortest_path.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::core {
+
+void DijkstraWorkspace::Prepare(const RiskGraph& graph, std::size_t source,
+                                std::optional<std::size_t> target) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) {
+    throw InvalidArgument(util::Format("Dijkstra source %zu out of range", source));
+  }
+  if (target && *target >= n) {
+    throw InvalidArgument(util::Format("Dijkstra target %zu out of range", *target));
+  }
+  source_ = source;
+  dist_.assign(n, Infinity());
+  parent_.assign(n, n);  // n = "no parent"
+  settled_.assign(n, false);
+  dist_[source] = 0.0;
+}
+
+double DijkstraWorkspace::DistanceTo(std::size_t node) const {
+  if (node >= dist_.size()) {
+    throw InvalidArgument(util::Format("DistanceTo: node %zu out of range", node));
+  }
+  return dist_[node];
+}
+
+bool DijkstraWorkspace::Reached(std::size_t node) const {
+  return node < dist_.size() && dist_[node] < Infinity();
+}
+
+Path DijkstraWorkspace::PathTo(std::size_t node) const {
+  if (!Reached(node)) {
+    throw InvalidArgument(util::Format("PathTo: node %zu not reached", node));
+  }
+  Path path;
+  std::size_t cursor = node;
+  const std::size_t none = parent_.size();
+  while (cursor != source_) {
+    path.push_back(cursor);
+    cursor = parent_[cursor];
+    if (cursor == none) throw InternalError("broken parent chain in Dijkstra");
+  }
+  path.push_back(source_);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<Path> ShortestPath(const RiskGraph& graph, std::size_t source,
+                                 std::size_t target, const EdgeWeightFn& weight) {
+  DijkstraWorkspace workspace;
+  workspace.Run(graph, source, weight, target);
+  if (!workspace.Reached(target)) return std::nullopt;
+  return workspace.PathTo(target);
+}
+
+}  // namespace riskroute::core

@@ -1,0 +1,100 @@
+// Dijkstra shortest path over a RiskGraph with a pluggable edge-weight
+// function (paper Section 6.4: minimizing bit-risk miles reduces to a
+// shortest-path problem on the risk graph).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/risk_graph.h"
+
+namespace riskroute::core {
+
+/// A path as a node index sequence (front = source, back = destination).
+using Path = std::vector<std::size_t>;
+
+/// Type-erased edge weight; the templated Run avoids the indirection in
+/// hot loops, this alias is for convenience call sites.
+using EdgeWeightFn =
+    std::function<double(std::size_t from, const RiskEdge& edge)>;
+
+/// Reusable Dijkstra scratch space. One instance per thread; reuse across
+/// calls to avoid re-allocating the distance/parent arrays for each of the
+/// O(N^2) per-pair searches the ratio analyses run.
+class DijkstraWorkspace {
+ public:
+  /// Single-source shortest path; if `target` is set, stops as soon as the
+  /// target is settled. `weight(from, edge)` must be non-negative.
+  template <typename WeightFn>
+  void Run(const RiskGraph& graph, std::size_t source, WeightFn&& weight,
+           std::optional<std::size_t> target = std::nullopt);
+
+  [[nodiscard]] double DistanceTo(std::size_t node) const;
+  [[nodiscard]] bool Reached(std::size_t node) const;
+
+  /// Reconstructs source->node path from the last Run; throws if the node
+  /// was not reached.
+  [[nodiscard]] Path PathTo(std::size_t node) const;
+
+  [[nodiscard]] static constexpr double Infinity() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  struct QueueEntry {
+    double dist;
+    std::size_t node;
+    bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+  };
+
+  void Prepare(const RiskGraph& graph, std::size_t source,
+               std::optional<std::size_t> target);
+
+  std::vector<double> dist_;
+  std::vector<std::size_t> parent_;
+  std::vector<bool> settled_;
+  std::size_t source_ = 0;
+};
+
+template <typename WeightFn>
+void DijkstraWorkspace::Run(const RiskGraph& graph, std::size_t source,
+                            WeightFn&& weight,
+                            std::optional<std::size_t> target) {
+  Prepare(graph, source, target);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  queue.push(QueueEntry{0.0, source});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (settled_[top.node]) continue;
+    settled_[top.node] = true;
+    if (target && top.node == *target) return;
+    for (const RiskEdge& edge : graph.OutEdges(top.node)) {
+      if (settled_[edge.to]) continue;
+      const double candidate = dist_[top.node] + weight(top.node, edge);
+      if (candidate < dist_[edge.to]) {
+        dist_[edge.to] = candidate;
+        parent_[edge.to] = top.node;
+        queue.push(QueueEntry{candidate, edge.to});
+      }
+    }
+  }
+}
+
+/// Convenience single-shot shortest path; returns nullopt if unreachable.
+[[nodiscard]] std::optional<Path> ShortestPath(const RiskGraph& graph,
+                                               std::size_t source,
+                                               std::size_t target,
+                                               const EdgeWeightFn& weight);
+
+/// Pure-distance edge weight (bit-miles).
+[[nodiscard]] inline double DistanceWeight(std::size_t /*from*/,
+                                           const RiskEdge& edge) {
+  return edge.miles;
+}
+
+}  // namespace riskroute::core

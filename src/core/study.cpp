@@ -1,0 +1,71 @@
+#include "core/study.h"
+
+#include "hazard/synthesis.h"
+#include "topology/generator.h"
+#include "util/error.h"
+
+namespace riskroute::core {
+
+Study Study::Build(const StudyOptions& options) {
+  Study study;
+  study.corpus_ = topology::GeneratePaperCorpus(options.corpus_seed);
+  study.census_ = std::make_unique<population::CensusModel>(
+      population::CensusModel::Synthesize(options.census));
+
+  const std::vector<hazard::Catalog> catalogs =
+      hazard::SynthesizeAllCatalogs(options.hazard_seed);
+  const std::vector<double> bandwidths =
+      options.bandwidths.empty() ? hazard::PaperBandwidths()
+                                 : options.bandwidths;
+  study.hazard_field_ =
+      std::make_unique<hazard::HistoricalRiskField>(catalogs, bandwidths);
+  study.hazard_field_->CalibrateTo(study.AllPopLocations(),
+                                   options.calibration_target);
+
+  study.impacts_.reserve(study.corpus_.network_count());
+  for (std::size_t n = 0; n < study.corpus_.network_count(); ++n) {
+    study.impacts_.push_back(population::ImpactModel::Build(
+        study.corpus_.network(n), *study.census_));
+  }
+  return study;
+}
+
+const population::ImpactModel& Study::impact(std::size_t network) const {
+  if (network >= impacts_.size()) {
+    throw InvalidArgument("Study::impact: network index out of range");
+  }
+  return impacts_[network];
+}
+
+RiskGraph Study::BuildGraph(std::size_t network) const {
+  return RiskGraph::FromNetwork(corpus_.network(network), impact(network),
+                                *hazard_field_);
+}
+
+std::size_t Study::NetworkIndex(std::string_view name) const {
+  const auto index = corpus_.FindNetwork(name);
+  if (!index) {
+    throw InvalidArgument("Study: unknown network: " + std::string(name));
+  }
+  return *index;
+}
+
+RiskGraph Study::BuildGraphFor(std::string_view network_name) const {
+  return BuildGraph(NetworkIndex(network_name));
+}
+
+MergedGraph Study::BuildMerged(const MergeOptions& options) const {
+  return BuildMergedGraph(corpus_, impacts_, *hazard_field_, options);
+}
+
+std::vector<geo::GeoPoint> Study::AllPopLocations() const {
+  std::vector<geo::GeoPoint> locations;
+  for (const topology::Network& network : corpus_.networks()) {
+    for (const topology::Pop& pop : network.pops()) {
+      locations.push_back(pop.location);
+    }
+  }
+  return locations;
+}
+
+}  // namespace riskroute::core

@@ -1,0 +1,74 @@
+// Study: one-call assembly of the paper's full experimental context.
+//
+// Every experiment in the paper runs against the same substrate stack —
+// the 23-network corpus (Section 4.1), the census population model
+// (Section 4.2), the five hazard catalogs and their KDE risk field
+// (Sections 4.3/5.2), and the per-network impact models (Section 5.1).
+// Study builds all of it deterministically so benches, examples and tests
+// share identical, reproducible inputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/interdomain.h"
+#include "core/risk_graph.h"
+#include "hazard/risk_field.h"
+#include "population/census.h"
+#include "population/assignment.h"
+#include "topology/corpus.h"
+
+namespace riskroute::core {
+
+/// Knobs for the substrate assembly; the defaults are the repository's
+/// reference configuration (the one EXPERIMENTS.md records).
+struct StudyOptions {
+  std::uint64_t corpus_seed = 123;
+  std::uint64_t hazard_seed = 11;
+  population::CensusOptions census;
+  /// Per-catalog KDE bandwidths; empty = paper Table 1 values.
+  std::vector<double> bandwidths;
+  /// Mean aggregate PoP risk after calibration (see hazard::kDefaultMeanPopRisk).
+  double calibration_target = hazard::kDefaultMeanPopRisk;
+};
+
+/// Immutable bundle of all substrates plus convenience builders.
+class Study {
+ public:
+  /// Builds everything; takes a few seconds (216k census blocks, 176k
+  /// hazard events, 23 impact models).
+  [[nodiscard]] static Study Build(const StudyOptions& options = {});
+
+  [[nodiscard]] const topology::Corpus& corpus() const { return corpus_; }
+  [[nodiscard]] const population::CensusModel& census() const { return *census_; }
+  [[nodiscard]] const hazard::HistoricalRiskField& hazard_field() const {
+    return *hazard_field_;
+  }
+  [[nodiscard]] const population::ImpactModel& impact(std::size_t network) const;
+
+  /// Risk graph for one network (forecast risks zeroed).
+  [[nodiscard]] RiskGraph BuildGraph(std::size_t network) const;
+
+  /// Risk graph by network name; throws if unknown.
+  [[nodiscard]] RiskGraph BuildGraphFor(std::string_view network_name) const;
+
+  /// Network index by name; throws if unknown.
+  [[nodiscard]] std::size_t NetworkIndex(std::string_view name) const;
+
+  /// The corpus-wide merged interdomain graph.
+  [[nodiscard]] MergedGraph BuildMerged(const MergeOptions& options = {}) const;
+
+  /// All PoP locations in the corpus (the calibration reference set).
+  [[nodiscard]] std::vector<geo::GeoPoint> AllPopLocations() const;
+
+ private:
+  Study() = default;
+
+  topology::Corpus corpus_;
+  std::unique_ptr<population::CensusModel> census_;
+  std::unique_ptr<hazard::HistoricalRiskField> hazard_field_;
+  std::vector<population::ImpactModel> impacts_;
+};
+
+}  // namespace riskroute::core

@@ -1,0 +1,84 @@
+#include "forecast/advisory.h"
+
+#include <array>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::forecast {
+namespace {
+
+constexpr std::array<const char*, 12> kMonths = {
+    "JAN", "FEB", "MAR", "APR", "MAY", "JUN",
+    "JUL", "AUG", "SEP", "OCT", "NOV", "DEC"};
+constexpr std::array<const char*, 7> kWeekdays = {"SUN", "MON", "TUE", "WED",
+                                                  "THU", "FRI", "SAT"};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> days = {31, 28, 31, 30, 31, 30,
+                                               31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return days[static_cast<std::size_t>(month - 1)];
+}
+
+}  // namespace
+
+AdvisoryTime AdvisoryTime::PlusHours(int hours) const {
+  AdvisoryTime t = *this;
+  int total = t.hour + hours;
+  while (total >= 24) {
+    total -= 24;
+    ++t.day;
+    if (t.day > DaysInMonth(t.year, t.month)) {
+      t.day = 1;
+      ++t.month;
+      if (t.month > 12) {
+        t.month = 1;
+        ++t.year;
+      }
+    }
+  }
+  while (total < 0) {
+    total += 24;
+    --t.day;
+    if (t.day < 1) {
+      --t.month;
+      if (t.month < 1) {
+        t.month = 12;
+        --t.year;
+      }
+      t.day = DaysInMonth(t.year, t.month);
+    }
+  }
+  t.hour = total;
+  return t;
+}
+
+int AdvisoryTime::DayOfWeek() const {
+  // Sakamoto's algorithm.
+  static constexpr std::array<int, 12> offsets = {0, 3, 2, 5, 0, 3,
+                                                  5, 1, 4, 6, 2, 4};
+  int y = year;
+  if (month < 3) y -= 1;
+  return (y + y / 4 - y / 100 + y / 400 +
+          offsets[static_cast<std::size_t>(month - 1)] + day) % 7;
+}
+
+std::string AdvisoryTime::ToString() const {
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month) ||
+      hour < 0 || hour > 23) {
+    throw InvalidArgument("AdvisoryTime: invalid civil time");
+  }
+  const int hour12 = hour % 12 == 0 ? 12 : hour % 12;
+  const char* ampm = hour < 12 ? "AM" : "PM";
+  return util::Format("%d00 %s %s %s %s %d %d", hour12, ampm,
+                      timezone.c_str(),
+                      kWeekdays[static_cast<std::size_t>(DayOfWeek())],
+                      kMonths[static_cast<std::size_t>(month - 1)], day, year);
+}
+
+}  // namespace riskroute::forecast

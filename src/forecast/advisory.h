@@ -1,0 +1,58 @@
+// Hurricane advisory model (paper Section 4.4).
+//
+// Each National Hurricane Center public advisory carries a timestamp, the
+// storm's current centre, and the radii of tropical-storm-force and
+// hurricane-force winds. The paper parses these from the advisory text;
+// this struct is the parsed form, and writer.h / parser.h convert to and
+// from the NHC text format.
+#pragma once
+
+#include <string>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::forecast {
+
+/// Civil timestamp in the storm's local timezone, as advisories print it
+/// ("1100 AM EDT FRI AUG 26 2011").
+struct AdvisoryTime {
+  int year = 2000;
+  int month = 1;   // 1-12
+  int day = 1;     // 1-31
+  int hour = 0;    // 0-23
+  std::string timezone = "EDT";
+
+  /// Advances by whole hours, rolling days/months/years correctly
+  /// (Gregorian, leap years included).
+  [[nodiscard]] AdvisoryTime PlusHours(int hours) const;
+
+  /// "1100 PM EDT MON OCT 29 2012" (NHC style).
+  [[nodiscard]] std::string ToString() const;
+
+  /// Day of week, 0 = Sunday.
+  [[nodiscard]] int DayOfWeek() const;
+
+  [[nodiscard]] bool operator==(const AdvisoryTime&) const = default;
+};
+
+/// One parsed public advisory.
+struct Advisory {
+  std::string storm_name;  // upper case, e.g. "IRENE"
+  int number = 1;          // advisory number
+  AdvisoryTime time;
+  geo::GeoPoint center;
+  double max_wind_mph = 0.0;
+  /// Radius of hurricane-force winds in statute miles; 0 when the storm
+  /// has no hurricane-force wind field (tropical-storm stage).
+  double hurricane_wind_radius_miles = 0.0;
+  /// Radius of tropical-storm-force winds in statute miles.
+  double tropical_wind_radius_miles = 0.0;
+  /// Storm motion: compass direction label + speed.
+  std::string motion_direction = "NORTH";
+  double motion_mph = 0.0;
+
+  /// True when max winds reach hurricane strength (>= 74 mph).
+  [[nodiscard]] bool IsHurricane() const { return max_wind_mph >= 74.0; }
+};
+
+}  // namespace riskroute::forecast

@@ -1,0 +1,91 @@
+#include "forecast/forecast_risk.h"
+
+#include "geo/distance.h"
+#include "util/error.h"
+
+namespace riskroute::forecast {
+
+WindZone ZoneAt(const Advisory& advisory, const geo::GeoPoint& p) {
+  const double miles = geo::GreatCircleMiles(advisory.center, p);
+  if (advisory.hurricane_wind_radius_miles > 0.0 &&
+      miles <= advisory.hurricane_wind_radius_miles) {
+    return WindZone::kHurricane;
+  }
+  if (advisory.tropical_wind_radius_miles > 0.0 &&
+      miles <= advisory.tropical_wind_radius_miles) {
+    return WindZone::kTropical;
+  }
+  return WindZone::kNone;
+}
+
+ForecastRiskField::ForecastRiskField(const Advisory& advisory,
+                                     const ForecastRiskParams& params)
+    : advisory_(advisory), params_(params) {
+  if (params.rho_hurricane < params.rho_tropical) {
+    throw InvalidArgument(
+        "ForecastRiskParams: rho_hurricane must be >= rho_tropical "
+        "(paper Section 5.3)");
+  }
+}
+
+double ForecastRiskField::RiskAt(const geo::GeoPoint& p) const {
+  switch (ZoneAt(advisory_, p)) {
+    case WindZone::kHurricane:
+      return params_.rho_hurricane;
+    case WindZone::kTropical:
+      return params_.rho_tropical;
+    case WindZone::kNone:
+      return 0.0;
+  }
+  throw InternalError("unknown WindZone");
+}
+
+std::vector<double> ForecastRiskField::PopRisks(
+    const topology::Network& network) const {
+  std::vector<double> risks;
+  risks.reserve(network.pop_count());
+  for (const topology::Pop& pop : network.pops()) {
+    risks.push_back(RiskAt(pop.location));
+  }
+  return risks;
+}
+
+StormScope::StormScope(const std::vector<Advisory>& advisories)
+    : advisories_(advisories) {}
+
+void StormScope::Add(const Advisory& advisory) {
+  advisories_.push_back(advisory);
+}
+
+WindZone StormScope::MaxZoneAt(const geo::GeoPoint& p) const {
+  WindZone best = WindZone::kNone;
+  for (const Advisory& advisory : advisories_) {
+    const WindZone zone = ZoneAt(advisory, p);
+    if (zone == WindZone::kHurricane) return WindZone::kHurricane;
+    if (zone == WindZone::kTropical) best = WindZone::kTropical;
+  }
+  return best;
+}
+
+std::size_t StormScope::CountPopsInZone(const topology::Network& network,
+                                        WindZone zone) const {
+  if (zone == WindZone::kNone) return network.pop_count();
+  std::size_t count = 0;
+  for (const topology::Pop& pop : network.pops()) {
+    const WindZone max_zone = MaxZoneAt(pop.location);
+    if (max_zone == WindZone::kHurricane ||
+        (zone == WindZone::kTropical && max_zone == WindZone::kTropical)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double StormScope::FractionPopsInZone(const topology::Network& network,
+                                      WindZone zone) const {
+  if (network.pop_count() == 0) return 0.0;
+  return static_cast<double>(CountPopsInZone(network, zone)) /
+         static_cast<double>(network.pop_count());
+}
+
+}  // namespace riskroute::forecast

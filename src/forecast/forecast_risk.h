@@ -1,0 +1,77 @@
+// Forecasted (immediate) outage risk o_f (paper Section 5.3).
+//
+// Given the current advisory, a location under hurricane-force winds
+// carries forecast risk rho_h, a location under tropical-storm-force winds
+// rho_t, and anywhere else zero; the paper uses rho_t = 50 and rho_h = 100
+// with the probability ordering rho_h > rho_t.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forecast/advisory.h"
+#include "topology/network.h"
+
+namespace riskroute::forecast {
+
+/// Wind-zone risk levels (paper Section 5.3 values).
+struct ForecastRiskParams {
+  double rho_tropical = 50.0;
+  double rho_hurricane = 100.0;
+};
+
+/// Wind zone of a location under one advisory.
+enum class WindZone { kNone, kTropical, kHurricane };
+
+/// Zone of `p` for a single advisory snapshot.
+[[nodiscard]] WindZone ZoneAt(const Advisory& advisory, const geo::GeoPoint& p);
+
+/// Point-in-time forecast risk field derived from one advisory.
+class ForecastRiskField {
+ public:
+  ForecastRiskField(const Advisory& advisory,
+                    const ForecastRiskParams& params = {});
+
+  /// o_f at a location: rho_h / rho_t / 0 by wind zone.
+  [[nodiscard]] double RiskAt(const geo::GeoPoint& p) const;
+
+  /// o_f for every PoP of a network.
+  [[nodiscard]] std::vector<double> PopRisks(
+      const topology::Network& network) const;
+
+  [[nodiscard]] const Advisory& advisory() const { return advisory_; }
+  [[nodiscard]] const ForecastRiskParams& params() const { return params_; }
+
+ private:
+  Advisory advisory_;
+  ForecastRiskParams params_;
+};
+
+/// Accumulated geographic scope of a whole storm (paper Figures 5/6): the
+/// union over all advisories of each wind zone's disc. Used for the
+/// "PoPs in the path of the storm" counts of Section 7.3.
+class StormScope {
+ public:
+  StormScope() = default;
+  explicit StormScope(const std::vector<Advisory>& advisories);
+
+  void Add(const Advisory& advisory);
+
+  /// Strongest zone the location ever experienced during the storm.
+  [[nodiscard]] WindZone MaxZoneAt(const geo::GeoPoint& p) const;
+
+  /// Count of network PoPs whose MaxZone is at least `zone`.
+  [[nodiscard]] std::size_t CountPopsInZone(const topology::Network& network,
+                                            WindZone zone) const;
+
+  /// Fraction of network PoPs whose MaxZone is at least `zone`.
+  [[nodiscard]] double FractionPopsInZone(const topology::Network& network,
+                                          WindZone zone) const;
+
+  [[nodiscard]] std::size_t advisory_count() const { return advisories_.size(); }
+
+ private:
+  std::vector<Advisory> advisories_;
+};
+
+}  // namespace riskroute::forecast

@@ -1,0 +1,24 @@
+// Natural-language parsing of NHC public advisory text (paper Section 4.4).
+//
+// The paper extracts, from each advisory's prose, the storm centre and the
+// radii of tropical-storm-force and hurricane-force winds ("...THE CENTER
+// OF HURRICANE IRENE WAS LOCATED NEAR LATITUDE 35.2 NORTH...LONGITUDE 76.4
+// WEST... HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO 90 MILES...").
+// This parser tokenizes the ellipsis-delimited bulletin text and recovers
+// the full Advisory struct. It is deliberately lenient about layout (real
+// advisories vary) but strict about the fields the risk model needs:
+// missing centre coordinates or wind radii raise ParseError.
+#pragma once
+
+#include <string_view>
+
+#include "forecast/advisory.h"
+
+namespace riskroute::forecast {
+
+/// Parses one bulletin. Throws riskroute::ParseError when a required field
+/// (storm name, centre latitude/longitude, tropical wind radius) is absent
+/// or malformed.
+[[nodiscard]] Advisory ParseAdvisory(std::string_view text);
+
+}  // namespace riskroute::forecast

@@ -1,0 +1,95 @@
+#include "forecast/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "util/error.h"
+
+namespace riskroute::forecast {
+namespace {
+
+/// Compass label -> bearing degrees (16-point NHC names).
+double BearingFromCompass(const std::string& name) {
+  static const std::pair<const char*, double> kPoints[] = {
+      {"NORTH", 0},           {"NORTH-NORTHEAST", 22.5},
+      {"NORTHEAST", 45},      {"EAST-NORTHEAST", 67.5},
+      {"EAST", 90},           {"EAST-SOUTHEAST", 112.5},
+      {"SOUTHEAST", 135},     {"SOUTH-SOUTHEAST", 157.5},
+      {"SOUTH", 180},         {"SOUTH-SOUTHWEST", 202.5},
+      {"SOUTHWEST", 225},     {"WEST-SOUTHWEST", 247.5},
+      {"WEST", 270},          {"WEST-NORTHWEST", 292.5},
+      {"NORTHWEST", 315},     {"NORTH-NORTHWEST", 337.5}};
+  for (const auto& [label, bearing] : kPoints) {
+    if (name == label) return bearing;
+  }
+  return 0.0;  // unknown label: treat as stationary-northward
+}
+
+}  // namespace
+
+Advisory ProjectAdvisory(const Advisory& advisory, double lead_hours,
+                         const ProjectionOptions& options) {
+  if (lead_hours < 0.0) {
+    throw InvalidArgument("ProjectAdvisory: negative lead time");
+  }
+  if (lead_hours == 0.0) return advisory;
+  Advisory projected = advisory;
+  // Displacement with optional decay: integral of v * decay^t dt.
+  double displacement_miles;
+  if (options.motion_decay_per_hour >= 1.0 - 1e-12) {
+    displacement_miles = advisory.motion_mph * lead_hours;
+  } else {
+    const double k = std::log(options.motion_decay_per_hour);
+    displacement_miles =
+        advisory.motion_mph * (std::exp(k * lead_hours) - 1.0) / k;
+  }
+  projected.center =
+      geo::Destination(advisory.center,
+                       BearingFromCompass(advisory.motion_direction),
+                       displacement_miles);
+  const double growth = options.uncertainty_miles_per_hour * lead_hours;
+  if (projected.hurricane_wind_radius_miles > 0.0) {
+    projected.hurricane_wind_radius_miles += growth;
+  }
+  projected.tropical_wind_radius_miles += growth;
+  projected.time = advisory.time.PlusHours(
+      static_cast<int>(std::lround(lead_hours)));
+  return projected;
+}
+
+ConeRiskField::ConeRiskField(const Advisory& advisory,
+                             std::vector<double> lead_hours,
+                             const ForecastRiskParams& params,
+                             const ProjectionOptions& options)
+    : params_(params) {
+  if (lead_hours.empty()) {
+    throw InvalidArgument("ConeRiskField: need at least one horizon");
+  }
+  if (params.rho_hurricane < params.rho_tropical) {
+    throw InvalidArgument("ConeRiskField: rho_hurricane < rho_tropical");
+  }
+  std::sort(lead_hours.begin(), lead_hours.end());
+  projections_.reserve(lead_hours.size());
+  for (const double lead : lead_hours) {
+    projections_.push_back(ProjectAdvisory(advisory, lead, options));
+  }
+}
+
+double ConeRiskField::RiskAt(const geo::GeoPoint& p) const {
+  double best = 0.0;
+  for (const Advisory& projection : projections_) {
+    switch (ZoneAt(projection, p)) {
+      case WindZone::kHurricane:
+        return params_.rho_hurricane;  // cannot be beaten
+      case WindZone::kTropical:
+        best = std::max(best, params_.rho_tropical);
+        break;
+      case WindZone::kNone:
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace riskroute::forecast

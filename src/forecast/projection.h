@@ -1,0 +1,58 @@
+// Storm-motion projection: forward-looking forecast risk.
+//
+// Each NHC advisory reports the storm's current motion ("IRENE IS MOVING
+// TOWARD THE NORTH-NORTHEAST NEAR 15 MPH"). The paper's o_f uses the
+// current wind field only; projecting the centre along the reported
+// motion gives the genuinely *forecast* component of "immediately
+// forecasted outage threats" (Section 1) — where the storm will be when a
+// reroute takes effect. Track-forecast uncertainty is modeled the way NHC
+// draws its cone: the wind radii grow with lead time at a fixed error
+// rate (~11.5 mi/h corresponds to the classic 2-day, ~550-mile cone).
+#pragma once
+
+#include <vector>
+
+#include "forecast/advisory.h"
+#include "forecast/forecast_risk.h"
+
+namespace riskroute::forecast {
+
+/// Projection knobs.
+struct ProjectionOptions {
+  /// Added to both wind radii per hour of lead time (track uncertainty).
+  double uncertainty_miles_per_hour = 11.5;
+  /// Motion decay: real storms rarely hold a straight line; the projected
+  /// displacement is scaled by decay^hours (1.0 = pure dead reckoning).
+  double motion_decay_per_hour = 1.0;
+};
+
+/// Dead-reckons the advisory `lead_hours` ahead along its reported motion,
+/// inflating the wind radii by the uncertainty growth. lead_hours == 0
+/// returns the advisory unchanged. Throws on negative lead.
+[[nodiscard]] Advisory ProjectAdvisory(const Advisory& advisory,
+                                       double lead_hours,
+                                       const ProjectionOptions& options = {});
+
+/// Forward-looking risk field: the maximum zone risk over projections at
+/// each horizon in `lead_hours` (typically {0, 12, 24}). A PoP that the
+/// storm has not reached yet but will plausibly cross picks up forecast
+/// risk now — enabling the preemptive reroutes the paper motivates.
+class ConeRiskField {
+ public:
+  ConeRiskField(const Advisory& advisory, std::vector<double> lead_hours,
+                const ForecastRiskParams& params = {},
+                const ProjectionOptions& options = {});
+
+  /// Max over all projected horizons of the zone risk at `p`.
+  [[nodiscard]] double RiskAt(const geo::GeoPoint& p) const;
+
+  [[nodiscard]] const std::vector<Advisory>& projections() const {
+    return projections_;
+  }
+
+ private:
+  std::vector<Advisory> projections_;
+  ForecastRiskParams params_;
+};
+
+}  // namespace riskroute::forecast

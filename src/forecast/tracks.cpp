@@ -1,0 +1,196 @@
+#include "forecast/tracks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "forecast/writer.h"
+#include "geo/distance.h"
+#include "util/error.h"
+
+namespace riskroute::forecast {
+namespace {
+
+/// 16-point compass name for a bearing, NHC spelling.
+std::string CompassName(double bearing_deg) {
+  static const char* kNames[16] = {
+      "NORTH",           "NORTH-NORTHEAST", "NORTHEAST", "EAST-NORTHEAST",
+      "EAST",            "EAST-SOUTHEAST",  "SOUTHEAST", "SOUTH-SOUTHEAST",
+      "SOUTH",           "SOUTH-SOUTHWEST", "SOUTHWEST", "WEST-SOUTHWEST",
+      "WEST",            "WEST-NORTHWEST",  "NORTHWEST", "NORTH-NORTHWEST"};
+  const int sector =
+      static_cast<int>(std::fmod(bearing_deg + 11.25, 360.0) / 22.5);
+  return kNames[sector % 16];
+}
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace
+
+double StormTrack::DurationHours() const {
+  if (waypoints.empty()) return 0.0;
+  return waypoints.back().hours_from_start;
+}
+
+TrackPoint StormTrack::At(double hours) const {
+  if (waypoints.empty()) throw InvalidArgument("StormTrack: no waypoints");
+  if (hours <= waypoints.front().hours_from_start) return waypoints.front();
+  if (hours >= waypoints.back().hours_from_start) return waypoints.back();
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const TrackPoint& lo = waypoints[i - 1];
+    const TrackPoint& hi = waypoints[i];
+    if (hours <= hi.hours_from_start) {
+      const double span = hi.hours_from_start - lo.hours_from_start;
+      const double t = span > 0 ? (hours - lo.hours_from_start) / span : 0.0;
+      TrackPoint p;
+      p.hours_from_start = hours;
+      p.latitude = Lerp(lo.latitude, hi.latitude, t);
+      p.longitude = Lerp(lo.longitude, hi.longitude, t);
+      p.max_wind_mph = Lerp(lo.max_wind_mph, hi.max_wind_mph, t);
+      p.hurricane_wind_radius_miles = Lerp(lo.hurricane_wind_radius_miles,
+                                           hi.hurricane_wind_radius_miles, t);
+      p.tropical_wind_radius_miles = Lerp(lo.tropical_wind_radius_miles,
+                                          hi.tropical_wind_radius_miles, t);
+      return p;
+    }
+  }
+  return waypoints.back();
+}
+
+const StormTrack& KatrinaTrack() {
+  // First advisory 5 PM EDT Tue Aug 23 2005; last 10 AM CDT Tue Aug 30
+  // (11 AM EDT) -- 162 hours, 61 advisories (paper footnote 4).
+  static const StormTrack track = {
+      "KATRINA",
+      AdvisoryTime{2005, 8, 23, 17, "EDT"},
+      61,
+      {
+          {0, 23.2, -75.6, 35, 0, 45},     // forms over the Bahamas
+          {12, 24.0, -76.4, 40, 0, 60},
+          {24, 25.2, -77.2, 50, 0, 85},
+          {36, 25.9, -78.4, 65, 0, 105},
+          {44, 25.9, -79.6, 75, 15, 115},
+          {49, 25.9, -80.3, 80, 20, 120},  // south Florida landfall
+          {58, 25.2, -81.5, 75, 20, 130},
+          {68, 24.8, -83.0, 95, 30, 150},  // into the Gulf, intensifying
+          {80, 24.9, -84.7, 110, 40, 175},
+          {92, 25.4, -86.2, 125, 55, 185},
+          {104, 26.0, -87.5, 145, 80, 205},
+          {116, 26.9, -88.6, 160, 105, 230},  // category 5 peak
+          {126, 28.0, -89.4, 155, 105, 230},
+          {134, 29.3, -89.6, 125, 105, 230},  // Louisiana landfall
+          {146, 31.5, -89.4, 75, 30, 175},    // inland Mississippi
+          {154, 33.8, -88.9, 45, 0, 120},
+          {162, 36.5, -88.0, 30, 0, 80},      // weakening over Tennessee
+      }};
+  return track;
+}
+
+const StormTrack& IreneTrack() {
+  // 7 PM EDT Sat Aug 20 2011 to 11 PM EDT Sun Aug 28 -- 196 hours,
+  // 70 advisories.
+  static const StormTrack track = {
+      "IRENE",
+      AdvisoryTime{2011, 8, 20, 19, "EDT"},
+      70,
+      {
+          {0, 15.0, -59.0, 35, 0, 45},     // east of the Lesser Antilles
+          {24, 17.0, -63.5, 50, 0, 70},
+          {48, 19.0, -68.5, 80, 25, 150},  // Hispaniola
+          {64, 21.0, -71.5, 100, 40, 180},
+          {80, 22.8, -74.0, 115, 60, 220}, // Bahamas peak
+          {96, 24.5, -75.9, 110, 70, 240},
+          {112, 26.5, -77.2, 105, 75, 255},
+          {128, 29.0, -77.6, 100, 80, 260},
+          {144, 31.8, -77.6, 95, 85, 260},
+          {157, 34.7, -76.6, 85, 90, 260},  // Outer Banks landfall
+          {168, 36.5, -75.9, 80, 85, 290},
+          {178, 39.4, -74.4, 75, 70, 290},  // New Jersey landfall
+          {182, 40.6, -74.0, 65, 40, 320},  // over New York City
+          {190, 42.6, -73.0, 50, 0, 320},
+          {196, 44.5, -72.0, 40, 0, 280},   // New England dissipation
+      }};
+  return track;
+}
+
+const StormTrack& SandyTrack() {
+  // 11 AM EDT Mon Oct 22 2012 to 11 PM EDT Mon Oct 29 -- 180 hours,
+  // 60 advisories. Note the enormous tropical-storm wind field.
+  static const StormTrack track = {
+      "SANDY",
+      AdvisoryTime{2012, 10, 22, 11, "EDT"},
+      60,
+      {
+          {0, 13.5, -78.0, 35, 0, 50},     // southern Caribbean
+          {24, 14.5, -77.8, 45, 0, 80},
+          {48, 16.8, -77.2, 70, 0, 125},
+          {56, 18.0, -76.8, 85, 25, 140},  // Jamaica landfall
+          {66, 20.0, -76.0, 105, 35, 175}, // Cuba landfall
+          {80, 23.0, -76.0, 90, 45, 230},  // Bahamas
+          {96, 25.8, -77.1, 75, 50, 275},
+          {112, 28.0, -77.0, 70, 0, 315},
+          {128, 30.5, -76.0, 70, 0, 380},  // paralleling the southeast coast
+          // Sandy's hurricane-force wind field was exceptionally large —
+          // NHC advisories reported hurricane-force winds out to ~175
+          // miles as it approached the mid-Atlantic coast.
+          {144, 33.5, -74.0, 75, 100, 450},
+          {156, 36.0, -72.0, 80, 140, 485}, // wind field at maximum extent
+          {168, 38.2, -71.9, 85, 175, 485},
+          {174, 38.8, -73.2, 90, 175, 485}, // westward turn toward the coast
+          {178, 39.4, -74.4, 80, 170, 485}, // New Jersey landfall
+          {180, 39.8, -75.4, 70, 140, 450},
+      }};
+  return track;
+}
+
+std::vector<const StormTrack*> AllTracks() {
+  return {&IreneTrack(), &KatrinaTrack(), &SandyTrack()};
+}
+
+std::vector<Advisory> GenerateAdvisories(const StormTrack& track) {
+  if (track.advisory_count < 2) {
+    throw InvalidArgument("StormTrack: need at least two advisories");
+  }
+  if (track.waypoints.size() < 2) {
+    throw InvalidArgument("StormTrack: need at least two waypoints");
+  }
+  std::vector<Advisory> advisories;
+  advisories.reserve(track.advisory_count);
+  const double duration = track.DurationHours();
+  const double step =
+      duration / static_cast<double>(track.advisory_count - 1);
+  for (std::size_t k = 0; k < track.advisory_count; ++k) {
+    const double hours = step * static_cast<double>(k);
+    const TrackPoint now = track.At(hours);
+    // Motion from the position change over the next few hours.
+    const TrackPoint next = track.At(std::min(duration, hours + 6.0));
+    const geo::GeoPoint here(now.latitude, now.longitude);
+    const geo::GeoPoint there(next.latitude, next.longitude);
+    const double moved = geo::GreatCircleMiles(here, there);
+    Advisory advisory;
+    advisory.storm_name = track.name;
+    advisory.number = static_cast<int>(k) + 1;
+    advisory.time = track.start.PlusHours(static_cast<int>(std::lround(hours)));
+    advisory.center = here;
+    advisory.max_wind_mph = now.max_wind_mph;
+    advisory.hurricane_wind_radius_miles = now.hurricane_wind_radius_miles;
+    advisory.tropical_wind_radius_miles = now.tropical_wind_radius_miles;
+    advisory.motion_mph = moved / 6.0;
+    advisory.motion_direction =
+        moved > 1.0 ? CompassName(geo::InitialBearingDeg(here, there))
+                    : "NORTH";
+    advisories.push_back(std::move(advisory));
+  }
+  return advisories;
+}
+
+std::vector<std::string> GenerateAdvisoryTexts(const StormTrack& track) {
+  std::vector<std::string> texts;
+  const std::vector<Advisory> advisories = GenerateAdvisories(track);
+  texts.reserve(advisories.size());
+  for (const Advisory& advisory : advisories) {
+    texts.push_back(RenderAdvisory(advisory));
+  }
+  return texts;
+}
+
+}  // namespace riskroute::forecast

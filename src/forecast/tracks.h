@@ -1,0 +1,60 @@
+// Embedded storm tracks for the paper's three case studies
+// (Section 4.4 / 7.3): Hurricanes Katrina (2005), Irene (2011) and
+// Sandy (2012).
+//
+// The NOAA advisory archives are not available offline, so each storm is
+// represented by waypoints along its (public-record) track — position,
+// intensity and wind radii versus time — from which the library
+// materializes the paper's advisory counts (Katrina 61, Irene 70,
+// Sandy 60) as genuine NHC-format bulletin text covering the same time
+// windows the paper uses (its footnote 4). The case-study pipeline then
+// *parses* that text, exercising the same NLP path as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "forecast/advisory.h"
+
+namespace riskroute::forecast {
+
+/// One track waypoint.
+struct TrackPoint {
+  double hours_from_start = 0.0;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double max_wind_mph = 0.0;
+  double hurricane_wind_radius_miles = 0.0;  // 0 = no hurricane-force field
+  double tropical_wind_radius_miles = 0.0;
+};
+
+/// A storm's full track plus advisory-series metadata.
+struct StormTrack {
+  std::string name;           // "KATRINA"
+  AdvisoryTime start;         // first advisory time (paper footnote 4)
+  std::size_t advisory_count; // paper's advisory count for this storm
+  std::vector<TrackPoint> waypoints;  // ascending hours_from_start
+
+  /// Track duration in hours (last waypoint offset).
+  [[nodiscard]] double DurationHours() const;
+
+  /// Storm state at an arbitrary offset (linear interpolation between
+  /// waypoints; clamped at the ends).
+  [[nodiscard]] TrackPoint At(double hours) const;
+};
+
+/// The three embedded case-study storms.
+[[nodiscard]] const StormTrack& KatrinaTrack();
+[[nodiscard]] const StormTrack& IreneTrack();
+[[nodiscard]] const StormTrack& SandyTrack();
+[[nodiscard]] std::vector<const StormTrack*> AllTracks();
+
+/// Materializes the storm's advisory series: `track.advisory_count`
+/// advisories evenly spaced over the track duration, numbered from 1.
+[[nodiscard]] std::vector<Advisory> GenerateAdvisories(const StormTrack& track);
+
+/// Same series rendered as NHC bulletin text (one string per advisory).
+[[nodiscard]] std::vector<std::string> GenerateAdvisoryTexts(
+    const StormTrack& track);
+
+}  // namespace riskroute::forecast

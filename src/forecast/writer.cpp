@@ -1,0 +1,61 @@
+#include "forecast/writer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "geo/distance.h"
+#include "util/strings.h"
+
+namespace riskroute::forecast {
+namespace {
+
+/// NHC reports radii in both statute miles and kilometres.
+std::string MilesAndKm(double miles) {
+  const double km = miles / geo::kMilesPerKm;
+  return util::Format("%.0f MILES...%.0f KM", miles, km);
+}
+
+}  // namespace
+
+std::string RenderAdvisory(const Advisory& advisory) {
+  const char* status = advisory.IsHurricane() ? "HURRICANE" : "TROPICAL STORM";
+  std::ostringstream out;
+  out << "BULLETIN\n";
+  out << status << ' ' << advisory.storm_name << " ADVISORY NUMBER  "
+      << advisory.number << '\n';
+  out << "NWS NATIONAL HURRICANE CENTER MIAMI FL\n";
+  out << advisory.time.ToString() << "\n\n";
+
+  const double lat = advisory.center.latitude();
+  const double lon = advisory.center.longitude();
+  out << "...THE CENTER OF " << status << ' ' << advisory.storm_name
+      << " WAS LOCATED NEAR LATITUDE "
+      << util::Format("%.1f", std::fabs(lat))
+      << (lat >= 0 ? " NORTH" : " SOUTH") << "...LONGITUDE "
+      << util::Format("%.1f", std::fabs(lon))
+      << (lon >= 0 ? " EAST" : " WEST") << ".\n";
+
+  out << advisory.storm_name << " IS MOVING TOWARD THE "
+      << advisory.motion_direction << " NEAR "
+      << util::Format("%.0f", advisory.motion_mph) << " MPH.\n";
+
+  out << "MAXIMUM SUSTAINED WINDS ARE NEAR "
+      << util::Format("%.0f", advisory.max_wind_mph) << " MPH..."
+      << util::Format("%.0f", advisory.max_wind_mph * 1.609) << " KM/H.\n";
+
+  if (advisory.hurricane_wind_radius_miles > 0.0) {
+    out << "HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO "
+        << MilesAndKm(advisory.hurricane_wind_radius_miles)
+        << "...FROM THE CENTER...AND TROPICAL-STORM-FORCE WINDS EXTEND "
+           "OUTWARD UP TO "
+        << MilesAndKm(advisory.tropical_wind_radius_miles) << "...\n";
+  } else {
+    out << "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO "
+        << MilesAndKm(advisory.tropical_wind_radius_miles)
+        << "...FROM THE CENTER...\n";
+  }
+  out << "$$\n";
+  return out.str();
+}
+
+}  // namespace riskroute::forecast

@@ -1,0 +1,16 @@
+// Renders an Advisory as National-Hurricane-Center-style public advisory
+// text — the same format the paper's natural-language parsing consumes
+// (Section 4.4). Used by the track library to materialize the synthetic
+// advisory corpus and by tests to exercise parser round-trips.
+#pragma once
+
+#include <string>
+
+#include "forecast/advisory.h"
+
+namespace riskroute::forecast {
+
+/// Full advisory bulletin text (upper-case, "..."-delimited NHC style).
+[[nodiscard]] std::string RenderAdvisory(const Advisory& advisory);
+
+}  // namespace riskroute::forecast

@@ -1,0 +1,55 @@
+#include "geo/bounding_box.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::geo {
+
+BoundingBox::BoundingBox(double min_lat, double min_lon, double max_lat,
+                         double max_lon)
+    : min_lat_(min_lat), min_lon_(min_lon), max_lat_(max_lat), max_lon_(max_lon) {
+  if (!IsValidLatLon(min_lat, min_lon) || !IsValidLatLon(max_lat, max_lon) ||
+      min_lat > max_lat || min_lon > max_lon) {
+    throw InvalidArgument(util::Format(
+        "invalid bounding box [%.4f, %.4f] x [%.4f, %.4f]", min_lat, max_lat,
+        min_lon, max_lon));
+  }
+}
+
+bool BoundingBox::Contains(const GeoPoint& p) const {
+  return p.latitude() >= min_lat_ && p.latitude() <= max_lat_ &&
+         p.longitude() >= min_lon_ && p.longitude() <= max_lon_;
+}
+
+BoundingBox BoundingBox::ExpandedToInclude(const GeoPoint& p) const {
+  return BoundingBox(std::min(min_lat_, p.latitude()),
+                     std::min(min_lon_, p.longitude()),
+                     std::max(max_lat_, p.latitude()),
+                     std::max(max_lon_, p.longitude()));
+}
+
+BoundingBox BoundingBox::Padded(double margin_deg) const {
+  return BoundingBox(std::max(-90.0, min_lat_ - margin_deg),
+                     std::max(-180.0, min_lon_ - margin_deg),
+                     std::min(90.0, max_lat_ + margin_deg),
+                     std::min(180.0, max_lon_ + margin_deg));
+}
+
+GeoPoint BoundingBox::Center() const {
+  return GeoPoint((min_lat_ + max_lat_) / 2.0, (min_lon_ + max_lon_) / 2.0);
+}
+
+double BoundingBox::DiagonalMiles() const {
+  return GreatCircleMiles(GeoPoint(min_lat_, min_lon_),
+                          GeoPoint(max_lat_, max_lon_));
+}
+
+const BoundingBox& ConusBounds() {
+  static const BoundingBox bounds(24.3, -125.0, 49.5, -66.5);
+  return bounds;
+}
+
+}  // namespace riskroute::geo

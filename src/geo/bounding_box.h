@@ -1,0 +1,69 @@
+// Axis-aligned latitude/longitude boxes.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+
+#include "geo/geo_point.h"
+#include "util/error.h"
+
+namespace riskroute::geo {
+
+/// Closed lat/lon rectangle. Does not handle antimeridian wrapping; all
+/// geography in this library lives in the continental United States.
+class BoundingBox {
+ public:
+  /// Throws InvalidArgument unless min <= max on both axes and all four
+  /// bounds are valid coordinates.
+  BoundingBox(double min_lat, double min_lon, double max_lat, double max_lon);
+
+  [[nodiscard]] double min_lat() const { return min_lat_; }
+  [[nodiscard]] double min_lon() const { return min_lon_; }
+  [[nodiscard]] double max_lat() const { return max_lat_; }
+  [[nodiscard]] double max_lon() const { return max_lon_; }
+
+  [[nodiscard]] bool Contains(const GeoPoint& p) const;
+
+  /// Smallest box containing this box and `p`.
+  [[nodiscard]] BoundingBox ExpandedToInclude(const GeoPoint& p) const;
+
+  /// Box grown by `margin_deg` degrees on every side (clamped to valid
+  /// coordinate ranges).
+  [[nodiscard]] BoundingBox Padded(double margin_deg) const;
+
+  [[nodiscard]] GeoPoint Center() const;
+
+  /// Diagonal extent in miles; used as the "geographic footprint" scale.
+  [[nodiscard]] double DiagonalMiles() const;
+
+  /// Tightest box around a non-empty set of points; throws on empty input.
+  template <typename Range>
+  [[nodiscard]] static BoundingBox Around(const Range& points);
+
+ private:
+  double min_lat_, min_lon_, max_lat_, max_lon_;
+};
+
+/// Bounding box of the continental United States (with a small margin);
+/// the domain of every synthetic data set in this reproduction.
+[[nodiscard]] const BoundingBox& ConusBounds();
+
+template <typename Range>
+BoundingBox BoundingBox::Around(const Range& points) {
+  auto it = std::begin(points);
+  auto end = std::end(points);
+  if (it == end) {
+    throw riskroute::InvalidArgument("BoundingBox::Around: empty point set");
+  }
+  double min_lat = it->latitude(), max_lat = it->latitude();
+  double min_lon = it->longitude(), max_lon = it->longitude();
+  for (++it; it != end; ++it) {
+    min_lat = std::min(min_lat, it->latitude());
+    max_lat = std::max(max_lat, it->latitude());
+    min_lon = std::min(min_lon, it->longitude());
+    max_lon = std::max(max_lon, it->longitude());
+  }
+  return BoundingBox(min_lat, min_lon, max_lat, max_lon);
+}
+
+}  // namespace riskroute::geo

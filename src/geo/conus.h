@@ -1,0 +1,29 @@
+// Coarse continental-United-States land test.
+//
+// The hazard and census synthesizers draw points from regional
+// distributions and must reject draws that land in the ocean, the Gulf of
+// Mexico, Canada or Mexico — otherwise the kernel density surfaces (paper
+// Fig 4) would smear probability mass over water. A ~40-vertex polygon
+// traced around the CONUS border is plenty at the 10s-of-miles resolution
+// the paper's analysis operates at.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::geo {
+
+/// Vertices of the coarse CONUS boundary polygon (counter-clockwise).
+[[nodiscard]] std::span<const GeoPoint> ConusPolygon();
+
+/// Even-odd point-in-polygon test against ConusPolygon().
+[[nodiscard]] bool InConus(const GeoPoint& p);
+
+/// Generic even-odd point-in-polygon test (treats lat/lon as planar, which
+/// is adequate for a polygon that never nears the poles or antimeridian).
+[[nodiscard]] bool PointInPolygon(const GeoPoint& p,
+                                  std::span<const GeoPoint> polygon);
+
+}  // namespace riskroute::geo

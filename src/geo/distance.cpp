@@ -1,0 +1,70 @@
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace riskroute::geo {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double DegToRad(double deg) { return deg * kPi / 180.0; }
+double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+double GreatCircleMiles(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = DegToRad(a.latitude());
+  const double lat2 = DegToRad(b.latitude());
+  const double dlat = lat2 - lat1;
+  const double dlon = DegToRad(b.longitude() - a.longitude());
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  const double c = 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+  return kEarthRadiusMiles * c;
+}
+
+double ApproxMiles(const GeoPoint& a, const GeoPoint& b) {
+  const double mean_lat = DegToRad((a.latitude() + b.latitude()) / 2.0);
+  const double dx = DegToRad(b.longitude() - a.longitude()) * std::cos(mean_lat);
+  const double dy = DegToRad(b.latitude() - a.latitude());
+  return kEarthRadiusMiles * std::sqrt(dx * dx + dy * dy);
+}
+
+double InitialBearingDeg(const GeoPoint& from, const GeoPoint& to) {
+  const double lat1 = DegToRad(from.latitude());
+  const double lat2 = DegToRad(to.latitude());
+  const double dlon = DegToRad(to.longitude() - from.longitude());
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  const double bearing = RadToDeg(std::atan2(y, x));
+  return std::fmod(bearing + 360.0, 360.0);
+}
+
+GeoPoint Destination(const GeoPoint& origin, double bearing_deg, double miles) {
+  const double delta = miles / kEarthRadiusMiles;
+  const double theta = DegToRad(bearing_deg);
+  const double lat1 = DegToRad(origin.latitude());
+  const double lon1 = DegToRad(origin.longitude());
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                std::cos(lat1) * std::sin(delta) * std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  double lon_deg = RadToDeg(lon2);
+  // Normalize longitude into [-180, 180].
+  while (lon_deg > 180.0) lon_deg -= 360.0;
+  while (lon_deg < -180.0) lon_deg += 360.0;
+  return GeoPoint(std::clamp(RadToDeg(lat2), -90.0, 90.0), lon_deg);
+}
+
+GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double t) {
+  if (t <= 0.0) return a;
+  if (t >= 1.0) return b;
+  const double total = GreatCircleMiles(a, b);
+  if (total < 1e-9) return a;
+  const double bearing = InitialBearingDeg(a, b);
+  return Destination(a, bearing, total * t);
+}
+
+}  // namespace riskroute::geo

@@ -1,0 +1,39 @@
+// Great-circle geometry in statute miles.
+#pragma once
+
+#include "geo/geo_point.h"
+
+namespace riskroute::geo {
+
+/// Mean Earth radius in statute miles.
+inline constexpr double kEarthRadiusMiles = 3958.7613;
+
+/// Statute miles per kilometre (used by the advisory parser, which reads
+/// radii reported in both units).
+inline constexpr double kMilesPerKm = 0.621371;
+
+[[nodiscard]] double DegToRad(double deg);
+[[nodiscard]] double RadToDeg(double rad);
+
+/// Great-circle (haversine) distance between two points, statute miles.
+/// This is the paper's "air miles" / bit-miles distance.
+[[nodiscard]] double GreatCircleMiles(const GeoPoint& a, const GeoPoint& b);
+
+/// Fast equirectangular approximation; within ~0.5% of haversine at CONUS
+/// scales. Used inside the KDE inner loop where millions of pairwise
+/// distances are evaluated.
+[[nodiscard]] double ApproxMiles(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial bearing from `from` toward `to`, degrees clockwise from north
+/// in [0, 360).
+[[nodiscard]] double InitialBearingDeg(const GeoPoint& from, const GeoPoint& to);
+
+/// Point reached travelling `miles` from `origin` along `bearing_deg`.
+[[nodiscard]] GeoPoint Destination(const GeoPoint& origin, double bearing_deg,
+                                   double miles);
+
+/// Linear interpolation along the great circle: t=0 -> a, t=1 -> b.
+[[nodiscard]] GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b,
+                                   double t);
+
+}  // namespace riskroute::geo

@@ -1,0 +1,36 @@
+#include "geo/geo_point.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::geo {
+
+bool IsValidLatLon(double latitude_deg, double longitude_deg) {
+  return std::isfinite(latitude_deg) && std::isfinite(longitude_deg) &&
+         latitude_deg >= -90.0 && latitude_deg <= 90.0 &&
+         longitude_deg >= -180.0 && longitude_deg <= 180.0;
+}
+
+GeoPoint::GeoPoint(double latitude_deg, double longitude_deg)
+    : latitude_deg_(latitude_deg), longitude_deg_(longitude_deg) {
+  if (!IsValidLatLon(latitude_deg, longitude_deg)) {
+    throw InvalidArgument(util::Format(
+        "invalid coordinates (%.4f, %.4f)", latitude_deg, longitude_deg));
+  }
+}
+
+std::string GeoPoint::ToString() const {
+  const char ns = latitude_deg_ >= 0 ? 'N' : 'S';
+  const char ew = longitude_deg_ >= 0 ? 'E' : 'W';
+  return util::Format("%.4f%c %.4f%c", std::fabs(latitude_deg_), ns,
+                      std::fabs(longitude_deg_), ew);
+}
+
+std::ostream& operator<<(std::ostream& out, const GeoPoint& p) {
+  return out << p.ToString();
+}
+
+}  // namespace riskroute::geo

@@ -1,0 +1,43 @@
+// Geographic coordinates.
+//
+// All RiskRoute geography is expressed as WGS84-style latitude/longitude in
+// decimal degrees; distances are statute ("air") miles to match the paper's
+// bit-miles definition ("the number of air miles ... carries Internet
+// traffic", Level 3 traffic exchange policy, Section 1 of the paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace riskroute::geo {
+
+/// A validated latitude/longitude pair in decimal degrees.
+/// Latitude in [-90, 90], longitude in [-180, 180].
+class GeoPoint {
+ public:
+  /// Default-constructs the (0, 0) point (Gulf of Guinea; harmless).
+  constexpr GeoPoint() = default;
+
+  /// Throws InvalidArgument if either coordinate is out of range or NaN.
+  GeoPoint(double latitude_deg, double longitude_deg);
+
+  [[nodiscard]] constexpr double latitude() const { return latitude_deg_; }
+  [[nodiscard]] constexpr double longitude() const { return longitude_deg_; }
+
+  [[nodiscard]] bool operator==(const GeoPoint& other) const = default;
+
+  /// "35.2000N 76.4000W" — the hemisphere-suffixed form NOAA advisories use.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  double latitude_deg_ = 0.0;
+  double longitude_deg_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& out, const GeoPoint& p);
+
+/// True iff both coordinates are finite and in range; the non-throwing
+/// counterpart of the validating constructor.
+[[nodiscard]] bool IsValidLatLon(double latitude_deg, double longitude_deg);
+
+}  // namespace riskroute::geo

@@ -1,0 +1,77 @@
+#include "hazard/catalog_io.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::hazard {
+
+void WriteCatalogsCsv(const std::vector<Catalog>& catalogs,
+                      std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.Write("type", "latitude", "longitude", "year", "month");
+  for (const Catalog& catalog : catalogs) {
+    const std::string type(ToString(catalog.type()));
+    for (const Event& event : catalog.events()) {
+      csv.Write(type, util::Format("%.6f", event.location.latitude()),
+                util::Format("%.6f", event.location.longitude()), event.year,
+                event.month);
+    }
+  }
+}
+
+std::string CatalogsToCsv(const std::vector<Catalog>& catalogs) {
+  std::ostringstream os;
+  WriteCatalogsCsv(catalogs, os);
+  return os.str();
+}
+
+std::vector<Catalog> ReadCatalogsCsv(std::istream& in) {
+  const std::vector<util::CsvRow> rows = util::ReadCsv(in);
+  if (rows.empty()) throw ParseError("catalog csv: empty input");
+  const util::CsvRow expected_header = {"type", "latitude", "longitude",
+                                        "year", "month"};
+  if (rows.front() != expected_header) {
+    throw ParseError("catalog csv: unexpected header");
+  }
+  // Group events by type, preserving first-appearance order.
+  std::vector<HazardType> order;
+  std::map<HazardType, std::vector<Event>> grouped;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const util::CsvRow& row = rows[r];
+    if (row.size() != 5) {
+      throw ParseError(util::Format("catalog csv row %zu: expected 5 fields",
+                                    r + 1));
+    }
+    const auto type = ParseHazardType(row[0]);
+    const auto lat = util::ParseDouble(row[1]);
+    const auto lon = util::ParseDouble(row[2]);
+    const auto year = util::ParseInt(row[3]);
+    const auto month = util::ParseInt(row[4]);
+    if (!type || !lat || !lon || !year || !month || *month < 1 ||
+        *month > 12 || !geo::IsValidLatLon(*lat, *lon)) {
+      throw ParseError(util::Format("catalog csv row %zu: malformed values",
+                                    r + 1));
+    }
+    if (!grouped.contains(*type)) order.push_back(*type);
+    grouped[*type].push_back(Event{geo::GeoPoint(*lat, *lon),
+                                   static_cast<int>(*year),
+                                   static_cast<int>(*month)});
+  }
+  std::vector<Catalog> catalogs;
+  catalogs.reserve(order.size());
+  for (const HazardType type : order) {
+    catalogs.emplace_back(type, std::move(grouped[type]));
+  }
+  return catalogs;
+}
+
+std::vector<Catalog> CatalogsFromCsv(const std::string& text) {
+  std::istringstream is(text);
+  return ReadCatalogsCsv(is);
+}
+
+}  // namespace riskroute::hazard

@@ -1,0 +1,31 @@
+// CSV persistence for hazard catalogs.
+//
+// Lets users export the synthetic catalogs for inspection/plotting and —
+// more importantly — load their own event archives (FEMA/NOAA extracts
+// are naturally tabular) into the framework. Format:
+//
+//   type,latitude,longitude,year,month
+//   FEMA Hurricane,29.9500,-90.0700,2005,8
+//
+// One file may mix types; ReadCatalogs splits them back out.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hazard/catalog.h"
+
+namespace riskroute::hazard {
+
+/// Writes catalogs as CSV with a header row.
+void WriteCatalogsCsv(const std::vector<Catalog>& catalogs, std::ostream& out);
+[[nodiscard]] std::string CatalogsToCsv(const std::vector<Catalog>& catalogs);
+
+/// Parses the CSV format above (header required). Rows are grouped by
+/// type, in order of first appearance. Throws ParseError on malformed
+/// rows, unknown types, or invalid coordinates/months.
+[[nodiscard]] std::vector<Catalog> ReadCatalogsCsv(std::istream& in);
+[[nodiscard]] std::vector<Catalog> CatalogsFromCsv(const std::string& text);
+
+}  // namespace riskroute::hazard

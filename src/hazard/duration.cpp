@@ -1,0 +1,41 @@
+#include "hazard/duration.h"
+
+#include "util/error.h"
+
+namespace riskroute::hazard {
+
+double ExpectedOutageHours(HazardType type) {
+  switch (type) {
+    case HazardType::kFemaHurricane:
+      return 96.0;  // multi-day grid and flooding outages
+    case HazardType::kFemaTornado:
+      return 8.0;   // narrow damage track, fast repair
+    case HazardType::kFemaStorm:
+      return 16.0;  // widespread but overnight-scale
+    case HazardType::kNoaaEarthquake:
+      return 48.0;  // structural damage, day-scale restoration
+    case HazardType::kNoaaWind:
+      return 4.0;   // localized, crew-hours to fix
+  }
+  throw InternalError("unknown HazardType");
+}
+
+std::vector<double> DowntimeWeights(const HistoricalRiskField& field) {
+  std::vector<double> weights;
+  weights.reserve(field.model_count());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < field.model_count(); ++m) {
+    weights.push_back(ExpectedOutageHours(field.model_type(m)));
+    sum += weights.back();
+  }
+  if (sum <= 0.0) throw InternalError("DowntimeWeights: zero total");
+  const double mean = sum / static_cast<double>(weights.size());
+  for (double& w : weights) w /= mean;
+  return weights;
+}
+
+void ApplyDowntimeWeighting(HistoricalRiskField& field) {
+  field.SetTypeWeights(DowntimeWeights(field));
+}
+
+}  // namespace riskroute::hazard

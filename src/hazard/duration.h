@@ -1,0 +1,37 @@
+// Outage-duration weighting.
+//
+// The paper notes operators could refine risk using "known ability to
+// recover from outage (i.e., outage duration information)" (Section 5).
+// A tornado and a hurricane may be equally likely at a PoP, but the
+// hurricane's outage lasts days, not hours — so the expected *downtime*
+// they contribute differs by an order of magnitude. This module provides
+// per-hazard expected outage durations and turns a HistoricalRiskField
+// into a downtime-weighted one via the per-type weight hook.
+#pragma once
+
+#include <vector>
+
+#include "hazard/catalog.h"
+#include "hazard/risk_field.h"
+
+namespace riskroute::hazard {
+
+/// Expected outage duration a hazard of this type inflicts on affected
+/// infrastructure, in hours. Rough operational figures: hurricanes cause
+/// multi-day outages (flooding, grid loss — Katrina's lasted weeks),
+/// earthquakes days, severe storms most of a day, tornado/wind damage is
+/// locally severe but repaired within hours.
+[[nodiscard]] double ExpectedOutageHours(HazardType type);
+
+/// Duration weights for a field's models, normalized so the mean weight
+/// is 1 (keeping the field's calibration meaningful): w_t proportional to
+/// ExpectedOutageHours(type_t).
+[[nodiscard]] std::vector<double> DowntimeWeights(
+    const HistoricalRiskField& field);
+
+/// Applies DowntimeWeights to the field in place: afterwards RiskAt
+/// returns expected-downtime-scaled risk. Idempotent only if the field's
+/// weights were uniform before.
+void ApplyDowntimeWeighting(HistoricalRiskField& field);
+
+}  // namespace riskroute::hazard

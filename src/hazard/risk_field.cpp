@@ -1,0 +1,119 @@
+#include "hazard/risk_field.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::hazard {
+
+std::vector<double> PaperBandwidths() {
+  // Table 1 of the paper, in AllHazardTypes() order.
+  return {71.56, 59.48, 24.38, 298.82, 3.59};
+}
+
+HistoricalRiskField::HistoricalRiskField(
+    const std::vector<Catalog>& catalogs,
+    const std::vector<double>& bandwidth_miles) {
+  if (catalogs.empty()) {
+    throw InvalidArgument("HistoricalRiskField: no catalogs");
+  }
+  if (catalogs.size() != bandwidth_miles.size()) {
+    throw InvalidArgument(util::Format(
+        "HistoricalRiskField: %zu catalogs but %zu bandwidths",
+        catalogs.size(), bandwidth_miles.size()));
+  }
+  models_.reserve(catalogs.size());
+  for (std::size_t i = 0; i < catalogs.size(); ++i) {
+    models_.push_back(TypedModel{
+        catalogs[i].type(),
+        stats::KernelDensity2D(catalogs[i].Locations(), bandwidth_miles[i])});
+  }
+  type_weights_.assign(models_.size(), 1.0);
+}
+
+void HistoricalRiskField::SetTypeWeights(const std::vector<double>& weights) {
+  if (weights.size() != models_.size()) {
+    throw InvalidArgument(util::Format(
+        "SetTypeWeights: %zu weights for %zu models", weights.size(),
+        models_.size()));
+  }
+  for (const double w : weights) {
+    if (w < 0.0) throw InvalidArgument("SetTypeWeights: negative weight");
+  }
+  type_weights_ = weights;
+}
+
+HistoricalRiskField HistoricalRiskField::TrainFromCatalogs(
+    const std::vector<Catalog>& catalogs,
+    const std::vector<double>& candidate_bandwidths,
+    const stats::CrossValidationOptions& cv_options) {
+  std::vector<double> bandwidths;
+  bandwidths.reserve(catalogs.size());
+  for (const Catalog& catalog : catalogs) {
+    const stats::BandwidthSelection selection = stats::SelectBandwidth(
+        catalog.Locations(), candidate_bandwidths, cv_options);
+    bandwidths.push_back(selection.best_bandwidth_miles);
+  }
+  return HistoricalRiskField(catalogs, bandwidths);
+}
+
+void HistoricalRiskField::CalibrateTo(
+    const std::vector<geo::GeoPoint>& reference, double target_mean) {
+  if (reference.empty()) {
+    throw InvalidArgument("CalibrateTo: empty reference set");
+  }
+  if (!(target_mean > 0.0)) {
+    throw InvalidArgument("CalibrateTo: target mean must be positive");
+  }
+  scale_ = 1.0;
+  double sum = 0.0;
+  for (const geo::GeoPoint& p : reference) sum += RiskAt(p);
+  const double mean = sum / static_cast<double>(reference.size());
+  if (mean <= 0.0) {
+    throw InvalidArgument("CalibrateTo: reference set has zero mean risk");
+  }
+  scale_ = target_mean / mean;
+}
+
+double HistoricalRiskField::RiskAt(const geo::GeoPoint& p) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    total += type_weights_[i] * models_[i].kde.Evaluate(p);
+  }
+  return scale_ * total;
+}
+
+double HistoricalRiskField::RiskAt(const geo::GeoPoint& p,
+                                   HazardType type) const {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].type == type) {
+      return scale_ * type_weights_[i] * models_[i].kde.Evaluate(p);
+    }
+  }
+  throw InvalidArgument("HistoricalRiskField: no model for hazard type");
+}
+
+std::vector<double> HistoricalRiskField::PopRisks(
+    const topology::Network& network) const {
+  std::vector<double> risks;
+  risks.reserve(network.pop_count());
+  for (const topology::Pop& pop : network.pops()) {
+    risks.push_back(RiskAt(pop.location));
+  }
+  return risks;
+}
+
+HazardType HistoricalRiskField::model_type(std::size_t i) const {
+  if (i >= models_.size()) {
+    throw InvalidArgument("HistoricalRiskField: model index out of range");
+  }
+  return models_[i].type;
+}
+
+const stats::KernelDensity2D& HistoricalRiskField::model(std::size_t i) const {
+  if (i >= models_.size()) {
+    throw InvalidArgument("HistoricalRiskField: model index out of range");
+  }
+  return models_[i].kde;
+}
+
+}  // namespace riskroute::hazard

@@ -1,0 +1,152 @@
+#include "hazard/seasonal.h"
+
+#include "util/error.h"
+
+namespace riskroute::hazard {
+namespace {
+
+constexpr std::size_t kMinEventsPerSlice = 8;
+
+int FirstMonth(Season season) {
+  switch (season) {
+    case Season::kWinter: return 12;
+    case Season::kSpring: return 3;
+    case Season::kSummer: return 6;
+    case Season::kFall: return 9;
+  }
+  throw InternalError("unknown Season");
+}
+
+int LastMonth(Season season) {
+  switch (season) {
+    case Season::kWinter: return 2;
+    case Season::kSpring: return 5;
+    case Season::kSummer: return 8;
+    case Season::kFall: return 11;
+  }
+  throw InternalError("unknown Season");
+}
+
+}  // namespace
+
+std::string_view ToString(Season season) {
+  switch (season) {
+    case Season::kWinter: return "winter";
+    case Season::kSpring: return "spring";
+    case Season::kSummer: return "summer";
+    case Season::kFall: return "fall";
+  }
+  throw InternalError("unknown Season");
+}
+
+Season SeasonOfMonth(int month) {
+  switch (month) {
+    case 12: case 1: case 2: return Season::kWinter;
+    case 3: case 4: case 5: return Season::kSpring;
+    case 6: case 7: case 8: return Season::kSummer;
+    case 9: case 10: case 11: return Season::kFall;
+    default:
+      throw InvalidArgument("SeasonOfMonth: month must be in 1..12");
+  }
+}
+
+const std::vector<Season>& AllSeasons() {
+  static const std::vector<Season> all = {Season::kWinter, Season::kSpring,
+                                          Season::kSummer, Season::kFall};
+  return all;
+}
+
+SeasonalRiskField::SeasonalRiskField(const std::vector<Catalog>& catalogs,
+                                     const std::vector<double>& bandwidth_miles) {
+  if (catalogs.empty()) {
+    throw InvalidArgument("SeasonalRiskField: no catalogs");
+  }
+  if (catalogs.size() != bandwidth_miles.size()) {
+    throw InvalidArgument("SeasonalRiskField: catalog/bandwidth mismatch");
+  }
+  for (std::size_t s = 0; s < AllSeasons().size(); ++s) {
+    const Season season = AllSeasons()[s];
+    SeasonSlice& slice = slices_[s];
+    for (std::size_t c = 0; c < catalogs.size(); ++c) {
+      const Catalog seasonal =
+          catalogs[c].size() > 0
+              ? catalogs[c].FilterMonths(FirstMonth(season), LastMonth(season))
+              : catalogs[c];
+      if (seasonal.size() < kMinEventsPerSlice) {
+        continue;  // too sparse to estimate; this type is out of season
+      }
+      // Season share: the fraction of the type's events in this season.
+      // The KDE integrates to 1, so weighting by 4 * share makes the
+      // season-average equal the annual event-frequency field.
+      const double share = static_cast<double>(seasonal.size()) /
+                           static_cast<double>(catalogs[c].size());
+      slice.weights.push_back(4.0 * share);
+      slice.models.push_back(std::make_unique<stats::KernelDensity2D>(
+          seasonal.Locations(), bandwidth_miles[c]));
+    }
+  }
+}
+
+double SeasonalRiskField::RiskAt(const geo::GeoPoint& p, Season season) const {
+  const SeasonSlice& slice = slices_[static_cast<std::size_t>(season)];
+  double total = 0.0;
+  for (std::size_t m = 0; m < slice.models.size(); ++m) {
+    total += slice.weights[m] * slice.models[m]->Evaluate(p);
+  }
+  return scale_ * total;
+}
+
+double SeasonalRiskField::RiskAt(const geo::GeoPoint& p, int month) const {
+  return RiskAt(p, SeasonOfMonth(month));
+}
+
+std::vector<double> SeasonalRiskField::PopRisks(
+    const topology::Network& network, Season season) const {
+  std::vector<double> risks;
+  risks.reserve(network.pop_count());
+  for (const topology::Pop& pop : network.pops()) {
+    risks.push_back(RiskAt(pop.location, season));
+  }
+  return risks;
+}
+
+void SeasonalRiskField::CalibrateTo(const std::vector<geo::GeoPoint>& reference,
+                                    double target_mean) {
+  if (reference.empty()) {
+    throw InvalidArgument("SeasonalRiskField::CalibrateTo: empty reference");
+  }
+  if (!(target_mean > 0.0)) {
+    throw InvalidArgument("SeasonalRiskField::CalibrateTo: bad target");
+  }
+  scale_ = 1.0;
+  double sum = 0.0;
+  for (const geo::GeoPoint& p : reference) {
+    for (const Season season : AllSeasons()) {
+      sum += RiskAt(p, season);
+    }
+  }
+  const double mean =
+      sum / (static_cast<double>(reference.size()) * AllSeasons().size());
+  if (mean <= 0.0) {
+    throw InvalidArgument("SeasonalRiskField::CalibrateTo: zero mean risk");
+  }
+  scale_ = target_mean / mean;
+}
+
+double SeasonalRiskField::SeasonalAmplification(
+    const std::vector<geo::GeoPoint>& reference, Season season) const {
+  if (reference.empty()) {
+    throw InvalidArgument("SeasonalAmplification: empty reference");
+  }
+  double season_sum = 0.0;
+  double annual_sum = 0.0;
+  for (const geo::GeoPoint& p : reference) {
+    season_sum += RiskAt(p, season);
+    for (const Season s : AllSeasons()) annual_sum += RiskAt(p, s);
+  }
+  const double annual_mean = annual_sum / AllSeasons().size();
+  if (annual_mean <= 0.0) return 0.0;
+  return season_sum / annual_mean;
+}
+
+}  // namespace riskroute::hazard

@@ -1,0 +1,80 @@
+// Seasonal historical risk (an extension the paper explicitly defers:
+// "while we acknowledge that many of the disaster events have strong
+// seasonal correlations (e.g., tornados, hurricanes), for simplicity,
+// here we only consider a single outage probability distribution for each
+// disaster event type" — Section 5.2).
+//
+// SeasonalRiskField trains one KDE per (hazard, season) from the
+// season-filtered catalogs and weights each by the share of the type's
+// events that fall in that season, so the average over the four seasons
+// equals the static annual field. Routing against the current month makes
+// Gulf-coast corridors expensive in September and cheap in February.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "hazard/catalog.h"
+#include "hazard/risk_field.h"
+#include "topology/network.h"
+
+namespace riskroute::hazard {
+
+/// Meteorological seasons.
+enum class Season { kWinter, kSpring, kSummer, kFall };
+
+[[nodiscard]] std::string_view ToString(Season season);
+
+/// Season of a calendar month (1-12): Dec-Feb winter, Mar-May spring,
+/// Jun-Aug summer, Sep-Nov fall. Throws on an invalid month.
+[[nodiscard]] Season SeasonOfMonth(int month);
+
+/// All four seasons, calendar order starting at winter.
+[[nodiscard]] const std::vector<Season>& AllSeasons();
+
+/// Per-season aggregate risk field.
+class SeasonalRiskField {
+ public:
+  /// Builds four per-season fields from the catalogs. Each (type, season)
+  /// KDE is weighted by 4 * (events in season) / (total events), so that
+  /// mean_over_seasons(RiskAt) == the static annual field's RiskAt (up to
+  /// the KDE's own season-conditioned shape). A (type, season) slice with
+  /// too few events (< 8) contributes zero for that season.
+  SeasonalRiskField(const std::vector<Catalog>& catalogs,
+                    const std::vector<double>& bandwidth_miles);
+
+  /// Risk at a location during a season.
+  [[nodiscard]] double RiskAt(const geo::GeoPoint& p, Season season) const;
+
+  /// Risk at a location during a calendar month.
+  [[nodiscard]] double RiskAt(const geo::GeoPoint& p, int month) const;
+
+  /// o_h for every PoP of a network, for one season.
+  [[nodiscard]] std::vector<double> PopRisks(const topology::Network& network,
+                                             Season season) const;
+
+  /// Rescales all four fields by one factor so the mean over `reference`
+  /// of the season-averaged risk equals `target_mean`.
+  void CalibrateTo(const std::vector<geo::GeoPoint>& reference,
+                   double target_mean = kDefaultMeanPopRisk);
+
+  /// Ratio of a season's mean risk (over `reference`) to the annual mean:
+  /// > 1 in the type's active season. Useful for reporting.
+  [[nodiscard]] double SeasonalAmplification(
+      const std::vector<geo::GeoPoint>& reference, Season season) const;
+
+ private:
+  struct SeasonSlice {
+    // One weighted KDE per hazard type that had enough events; the weight
+    // rescales the season-conditioned density to event-frequency terms.
+    std::vector<double> weights;
+    std::vector<std::unique_ptr<stats::KernelDensity2D>> models;
+  };
+  std::array<SeasonSlice, 4> slices_;
+  double scale_ = 1.0;
+};
+
+}  // namespace riskroute::hazard

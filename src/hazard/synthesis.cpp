@@ -1,0 +1,269 @@
+#include "hazard/synthesis.h"
+
+#include <array>
+#include <cmath>
+
+#include "geo/conus.h"
+#include "geo/distance.h"
+#include "topology/gazetteer.h"
+#include "util/error.h"
+
+namespace riskroute::hazard {
+namespace {
+
+/// Draws one point from a component (half-Gaussian radial profile),
+/// re-drawing until it lands inside the continental US. A component whose
+/// centre is barely onshore (coastal hurricanes) simply concentrates its
+/// kept draws on the landward side, which is exactly the behaviour of
+/// county-level FEMA declarations.
+geo::GeoPoint SampleComponent(const MixtureComponent& component,
+                              util::Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const double bearing = rng.Uniform(0.0, 360.0);
+    const double radius = std::fabs(rng.Gaussian(0.0, component.sigma_miles));
+    const geo::GeoPoint p =
+        geo::Destination(component.center, bearing, radius);
+    if (geo::InConus(p)) return p;
+  }
+  // A component hugging the coastline can exhaust its draws; fall back to
+  // its centre (county-level archives record such events onshore anyway).
+  return component.center;
+}
+
+std::vector<MixtureComponent> HurricaneMixture() {
+  // Gulf + Atlantic coastal band; weights fall northward along the
+  // Atlantic, matching landfall climatology.
+  return {
+      {{25.9, -97.4}, 0.5, 144},   // south Texas coast
+      {{27.9, -97.2}, 0.7, 144},   // Corpus Christi
+      {{29.5, -95.0}, 1.1, 162},   // Houston/Galveston
+      {{29.8, -93.3}, 0.9, 153},   // SW Louisiana
+      {{29.9, -90.2}, 1.3, 162},   // New Orleans
+      {{30.4, -88.6}, 1.1, 153},   // MS/AL coast
+      {{30.3, -86.5}, 0.9, 153},   // FL panhandle
+      {{27.9, -82.6}, 1.0, 162},   // Tampa
+      {{25.9, -80.5}, 1.3, 171},   // Miami / south FL
+      {{28.3, -80.7}, 0.8, 153},   // Cape Canaveral
+      {{30.4, -81.7}, 0.6, 153},   // Jacksonville
+      {{32.8, -79.9}, 0.7, 162},   // Charleston
+      {{34.2, -77.9}, 0.8, 171},   // Wilmington NC
+      {{35.3, -75.9}, 0.9, 180},  // Outer Banks
+      {{36.9, -76.2}, 0.5, 171},   // Hampton Roads
+      {{39.0, -74.9}, 0.4, 180},  // New Jersey shore
+      {{40.8, -72.9}, 0.3, 198},  // Long Island
+      {{41.6, -70.6}, 0.2, 198},  // New England coast
+  };
+}
+
+std::vector<MixtureComponent> TornadoMixture() {
+  // Tornado alley + Dixie alley.
+  return {
+      {{35.5, -97.5}, 1.5, 208},   // central Oklahoma
+      {{37.7, -97.3}, 1.3, 208},   // Kansas
+      {{32.9, -97.0}, 1.2, 224},   // north Texas
+      {{36.1, -95.9}, 1.0, 192},   // Tulsa
+      {{39.0, -94.6}, 0.9, 224},   // Kansas City / western MO
+      {{41.0, -96.5}, 0.8, 240},   // Nebraska
+      {{34.7, -92.3}, 0.9, 208},   // Arkansas
+      {{33.5, -86.8}, 1.0, 208},   // Alabama (Dixie alley)
+      {{32.3, -90.2}, 0.9, 192},   // Mississippi
+      {{35.1, -90.0}, 0.8, 192},   // Memphis corridor
+      {{39.8, -89.6}, 0.7, 240},   // Illinois
+      {{41.6, -93.6}, 0.7, 224},   // Iowa
+      {{38.0, -87.5}, 0.6, 208},   // lower Ohio valley
+      {{31.2, -85.4}, 0.5, 192},   // SE Alabama / FL panhandle
+  };
+}
+
+std::vector<MixtureComponent> StormMixture() {
+  // Severe-storm declarations blanket the plains, midwest and southeast
+  // with broad regional mass and lighter coverage toward both coasts.
+  return {
+      {{35.5, -97.5}, 1.2, 180},  // southern plains
+      {{38.5, -98.0}, 1.1, 190},  // central plains
+      {{41.5, -96.0}, 1.0, 190},  // northern plains
+      {{44.5, -93.5}, 0.8, 180},  // upper midwest
+      {{40.0, -89.0}, 1.1, 170},  // Illinois / Indiana
+      {{39.0, -84.5}, 0.9, 160},  // Ohio valley
+      {{35.5, -86.5}, 1.0, 160},  // Tennessee
+      {{33.0, -87.0}, 0.9, 150},  // deep south
+      {{32.5, -92.5}, 0.9, 150},  // Louisiana / Arkansas
+      {{31.0, -97.5}, 0.9, 170},  // Texas
+      {{34.0, -81.0}, 0.7, 150},  // Carolinas
+      {{38.5, -78.5}, 0.7, 140},  // Virginia / mid-Atlantic
+      {{41.5, -75.5}, 0.6, 140},  // Pennsylvania / New York
+      {{43.5, -71.5}, 0.4, 140},  // New England
+      {{46.5, -100.0}, 0.4, 200},  // Dakotas
+      {{39.5, -104.5}, 0.15, 120}, // Colorado front range
+  };
+}
+
+std::vector<MixtureComponent> EarthquakeMixture() {
+  // West-coast dominated, with the New Madrid seismic zone and scattered
+  // intermountain activity; the wide sigmas of the sparse interior
+  // components drive the large CV bandwidth the paper reports (298.8 mi).
+  return {
+      {{34.1, -118.2}, 1.6, 209},  // southern California
+      {{37.5, -121.9}, 1.4, 209},  // Bay Area
+      {{40.5, -124.0}, 0.7, 228},  // Cape Mendocino
+      {{47.5, -122.3}, 0.8, 266},  // Puget Sound
+      {{44.0, -121.0}, 0.3, 418},  // Oregon interior
+      {{39.5, -119.8}, 0.5, 380},  // Nevada
+      {{40.7, -112.0}, 0.4, 418},  // Wasatch front
+      {{44.5, -110.5}, 0.3, 456},  // Yellowstone
+      {{35.3, -90.0}, 0.5, 380},   // New Madrid
+      {{33.0, -115.5}, 0.6, 247},  // Imperial valley
+      {{36.7, -105.9}, 0.2, 494},  // Rio Grande rift
+      {{34.9, -106.5}, 0.2, 494},  // New Mexico scatter
+  };
+}
+
+/// Regional storm-proneness factor at a location: the (unnormalized)
+/// storm-mixture weight, used to modulate wind-report cluster placement.
+double StormProneness(const geo::GeoPoint& p) {
+  static const std::vector<MixtureComponent> storm = [] {
+    std::vector<MixtureComponent> combined = StormMixture();
+    // Convective wind damage also concentrates along the hurricane coasts.
+    for (MixtureComponent c : HurricaneMixture()) {
+      c.weight *= 0.8;
+      combined.push_back(c);
+    }
+    return combined;
+  }();
+  double total = 0.0;
+  for (const MixtureComponent& c : storm) {
+    const double d = geo::ApproxMiles(p, c.center);
+    total += c.weight * std::exp(-d * d / (2.0 * c.sigma_miles * c.sigma_miles));
+  }
+  return total;
+}
+
+/// Wind-damage cluster centres anchor near cities, weighted by population
+/// and by storm-proneness. NOAA wind-damage reports are filed by local
+/// spotters and stations, so the archive is strongly population-biased on
+/// top of its meteorological gradient — reproducing that bias is what
+/// gives PoPs (which also sit in cities) a systematic, regionally graded
+/// wind-risk signal rather than uncorrelated spikes.
+std::vector<MixtureComponent> WindClusterCenterMixture() {
+  std::vector<MixtureComponent> mixture;
+  for (const topology::City& city : topology::Cities()) {
+    const geo::GeoPoint site = city.location();
+    // Sub-linear population exponent: reporting density saturates in big
+    // metros, so the regional (meteorological) gradient dominates.
+    const double weight =
+        std::pow(city.population, 0.3) * (0.03 + StormProneness(site));
+    mixture.push_back(MixtureComponent{site, weight, 18.0});
+  }
+  return mixture;
+}
+
+}  // namespace
+
+std::array<double, 12> SeasonalProfile(HazardType type) {
+  //                    J    F    M    A    M    J    J    A    S    O    N    D
+  switch (type) {
+    case HazardType::kFemaHurricane:
+      return {0.1, 0.1, 0.1, 0.1, 0.3, 1.5, 2.5, 6.0, 7.0, 3.0, 0.8, 0.1};
+    case HazardType::kFemaTornado:
+      return {0.5, 0.8, 2.0, 4.5, 5.5, 3.5, 1.8, 1.2, 1.0, 1.0, 1.2, 0.6};
+    case HazardType::kFemaStorm:
+      return {1.0, 1.2, 2.0, 3.0, 3.5, 3.0, 2.5, 2.0, 1.5, 1.2, 1.0, 1.0};
+    case HazardType::kNoaaEarthquake:
+      return {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+    case HazardType::kNoaaWind:
+      return {0.8, 1.0, 1.8, 2.8, 3.5, 3.8, 3.2, 2.5, 1.5, 1.0, 0.9, 0.8};
+  }
+  throw InternalError("unknown HazardType");
+}
+
+std::vector<Event> SampleMixture(const std::vector<MixtureComponent>& mixture,
+                                 std::size_t count, util::Rng& rng) {
+  if (mixture.empty()) throw InvalidArgument("SampleMixture: empty mixture");
+  std::vector<double> weights;
+  weights.reserve(mixture.size());
+  for (const MixtureComponent& c : mixture) weights.push_back(c.weight);
+  std::vector<Event> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const MixtureComponent& component = mixture[rng.WeightedIndex(weights)];
+    events.push_back(Event{SampleComponent(component, rng),
+                           static_cast<int>(rng.UniformInt(1970, 2010)),
+                           static_cast<int>(rng.UniformInt(1, 12))});
+  }
+  return events;
+}
+
+namespace {
+
+/// Re-stamps event months according to the type's seasonal profile.
+void ApplySeasonalMonths(HazardType type, std::vector<Event>& events,
+                         util::Rng& rng) {
+  const std::array<double, 12> profile = SeasonalProfile(type);
+  const std::vector<double> weights(profile.begin(), profile.end());
+  for (Event& event : events) {
+    event.month = static_cast<int>(rng.WeightedIndex(weights)) + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<MixtureComponent> MixtureFor(HazardType type) {
+  switch (type) {
+    case HazardType::kFemaHurricane:
+      return HurricaneMixture();
+    case HazardType::kFemaTornado:
+      return TornadoMixture();
+    case HazardType::kFemaStorm:
+      return StormMixture();
+    case HazardType::kNoaaEarthquake:
+      return EarthquakeMixture();
+    case HazardType::kNoaaWind:
+      return WindClusterCenterMixture();
+  }
+  throw InternalError("unknown HazardType");
+}
+
+Catalog SynthesizeCatalog(HazardType type, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t count = PaperEventCount(type);
+
+  if (type != HazardType::kNoaaWind) {
+    std::vector<Event> events = SampleMixture(MixtureFor(type), count, rng);
+    ApplySeasonalMonths(type, events, rng);
+    return Catalog(type, std::move(events));
+  }
+
+  // Wind damage: two-level synthesis. Thousands of small clusters (each a
+  // convective event producing many point reports within a few miles)
+  // whose centres follow the coarse storm geography. The tight local
+  // scatter is what drives wind's very small CV bandwidth (Table 1: 3.59).
+  constexpr std::size_t kClusterCount = 6000;
+  constexpr double kClusterSigmaMiles = 7.0;
+  const std::vector<MixtureComponent> coarse = MixtureFor(type);
+  std::vector<MixtureComponent> clusters;
+  clusters.reserve(kClusterCount);
+  std::vector<double> coarse_weights;
+  for (const MixtureComponent& c : coarse) coarse_weights.push_back(c.weight);
+  for (std::size_t i = 0; i < kClusterCount; ++i) {
+    const MixtureComponent& base = coarse[rng.WeightedIndex(coarse_weights)];
+    clusters.push_back(MixtureComponent{SampleComponent(base, rng),
+                                        rng.Uniform(0.3, 1.7),
+                                        kClusterSigmaMiles});
+  }
+  std::vector<Event> events = SampleMixture(clusters, count, rng);
+  ApplySeasonalMonths(type, events, rng);
+  return Catalog(type, std::move(events));
+}
+
+std::vector<Catalog> SynthesizeAllCatalogs(std::uint64_t seed) {
+  util::Rng root(seed);
+  std::vector<Catalog> catalogs;
+  std::size_t stream = 1;
+  for (const HazardType type : AllHazardTypes()) {
+    util::Rng rng = root.Fork(stream++);
+    catalogs.push_back(SynthesizeCatalog(type, rng.engine()()));
+  }
+  return catalogs;
+}
+
+}  // namespace riskroute::hazard

@@ -1,0 +1,100 @@
+#include "population/assignment.h"
+
+#include <algorithm>
+
+#include "spatial/kd_tree.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::population {
+
+std::string StateOfPopName(std::string_view name) {
+  // PoP names look like "Houston, TX" or "Jackson, MS Metro 3": the state
+  // is the two-letter token following the last ", ".
+  const std::size_t comma = name.rfind(", ");
+  if (comma == std::string_view::npos || comma + 4 > name.size()) return {};
+  const std::string_view code = name.substr(comma + 2, 2);
+  const bool is_upper_alpha =
+      code.size() == 2 && code[0] >= 'A' && code[0] <= 'Z' &&
+      code[1] >= 'A' && code[1] <= 'Z';
+  if (!is_upper_alpha) return {};
+  // Either end-of-string or a following space ("... MS Metro 3").
+  if (comma + 4 < name.size() && name[comma + 4] != ' ') return {};
+  return std::string(code);
+}
+
+std::vector<std::string> NetworkStates(const topology::Network& network) {
+  std::vector<std::string> states;
+  for (const topology::Pop& pop : network.pops()) {
+    std::string state = StateOfPopName(pop.name);
+    if (!state.empty() &&
+        std::find(states.begin(), states.end(), state) == states.end()) {
+      states.push_back(std::move(state));
+    }
+  }
+  std::sort(states.begin(), states.end());
+  return states;
+}
+
+ImpactModel::ImpactModel(std::vector<double> served, double considered)
+    : served_(std::move(served)), considered_population_(considered) {
+  fractions_.resize(served_.size(), 0.0);
+  if (considered_population_ > 0.0) {
+    for (std::size_t i = 0; i < served_.size(); ++i) {
+      fractions_[i] = served_[i] / considered_population_;
+    }
+  }
+}
+
+ImpactModel ImpactModel::Build(const topology::Network& network,
+                               const CensusModel& census) {
+  if (network.pop_count() == 0) {
+    throw InvalidArgument("ImpactModel: network has no PoPs");
+  }
+  std::vector<geo::GeoPoint> sites;
+  sites.reserve(network.pop_count());
+  for (const topology::Pop& pop : network.pops()) sites.push_back(pop.location);
+  const spatial::KdTree index(sites);
+
+  // Paper Section 5.1: regional networks only consider population in their
+  // own states.
+  std::vector<std::string> states;
+  if (network.kind() == topology::NetworkKind::kRegional) {
+    states = NetworkStates(network);
+  }
+
+  std::vector<double> served(network.pop_count(), 0.0);
+  double considered = 0.0;
+  for (const CensusBlock& block : census.blocks()) {
+    if (!states.empty() &&
+        !std::binary_search(states.begin(), states.end(), block.state)) {
+      continue;
+    }
+    const auto nearest = index.Nearest(block.centroid);
+    served[nearest->index] += block.population;
+    considered += block.population;
+  }
+  return ImpactModel(std::move(served), considered);
+}
+
+double ImpactModel::fraction(std::size_t pop_index) const {
+  if (pop_index >= fractions_.size()) {
+    throw InvalidArgument(
+        util::Format("ImpactModel: PoP index %zu out of range", pop_index));
+  }
+  return fractions_[pop_index];
+}
+
+double ImpactModel::served_population(std::size_t pop_index) const {
+  if (pop_index >= served_.size()) {
+    throw InvalidArgument(
+        util::Format("ImpactModel: PoP index %zu out of range", pop_index));
+  }
+  return served_[pop_index];
+}
+
+double ImpactModel::Alpha(std::size_t i, std::size_t j) const {
+  return fraction(i) + fraction(j);
+}
+
+}  // namespace riskroute::population

@@ -1,0 +1,65 @@
+// Outage impact via nearest-neighbour population assignment
+// (paper Section 5.1).
+//
+// Every census block is assigned to the geographically nearest PoP of the
+// network under study; c_i is then the fraction of the considered
+// population served by PoP i, and the estimated impact of an outage
+// between PoPs i and j is alpha_ij = c_i + c_j. For geographically
+// constrained regional networks the paper confines the population to the
+// states where the network has infrastructure; we do the same, deriving
+// the state set from the network's PoP names.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "population/census.h"
+#include "topology/network.h"
+
+namespace riskroute::population {
+
+/// Extracts the USPS state code from a PoP name of the form
+/// "City, ST" or "City, ST Metro 3"; empty string if no state is present.
+[[nodiscard]] std::string StateOfPopName(std::string_view name);
+
+/// The distinct states a network has PoPs in (from PoP names).
+[[nodiscard]] std::vector<std::string> NetworkStates(
+    const topology::Network& network);
+
+/// Immutable per-network impact model.
+class ImpactModel {
+ public:
+  /// Assigns census blocks to the network's PoPs. Regional networks are
+  /// confined to their own states (the paper's rule); Tier-1 networks use
+  /// the full continental population.
+  [[nodiscard]] static ImpactModel Build(const topology::Network& network,
+                                         const CensusModel& census);
+
+  /// Fraction of considered population served by PoP i (sums to 1 over
+  /// all PoPs, up to blocks outside every state filter).
+  [[nodiscard]] double fraction(std::size_t pop_index) const;
+
+  /// Absolute population served by PoP i.
+  [[nodiscard]] double served_population(std::size_t pop_index) const;
+
+  /// alpha_ij = c_i + c_j, the paper's outage impact between two PoPs.
+  [[nodiscard]] double Alpha(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] const std::vector<double>& fractions() const {
+    return fractions_;
+  }
+  [[nodiscard]] double considered_population() const {
+    return considered_population_;
+  }
+
+ private:
+  ImpactModel(std::vector<double> served, double considered);
+
+  std::vector<double> served_;
+  std::vector<double> fractions_;
+  double considered_population_ = 0.0;
+};
+
+}  // namespace riskroute::population

@@ -1,0 +1,105 @@
+#include "population/census.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/bounding_box.h"
+#include "geo/conus.h"
+#include "geo/distance.h"
+#include "spatial/kd_tree.h"
+#include "topology/gazetteer.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace riskroute::population {
+namespace {
+
+using topology::City;
+
+/// Spatial spread of a city's blocks grows sub-linearly with population
+/// (big metros sprawl, small towns are compact).
+double CitySpreadMiles(double city_population) {
+  return 4.0 + std::sqrt(city_population) / 120.0;
+}
+
+}  // namespace
+
+CensusModel::CensusModel(std::vector<CensusBlock> blocks)
+    : blocks_(std::move(blocks)) {
+  if (blocks_.empty()) throw InvalidArgument("CensusModel: no blocks");
+  for (const CensusBlock& b : blocks_) total_population_ += b.population;
+}
+
+CensusModel CensusModel::Synthesize(const CensusOptions& options) {
+  if (options.block_count == 0) {
+    throw InvalidArgument("CensusModel: block_count must be positive");
+  }
+  util::Rng rng(options.seed);
+  const auto cities = topology::Cities();
+
+  std::vector<double> city_weights;
+  city_weights.reserve(cities.size());
+  std::vector<geo::GeoPoint> city_points;
+  city_points.reserve(cities.size());
+  for (const City& city : cities) {
+    city_weights.push_back(city.population);
+    city_points.push_back(city.location());
+  }
+  // Used to attach a state to rural blocks (nearest city's state).
+  const spatial::KdTree city_index(city_points);
+
+  std::vector<CensusBlock> blocks;
+  blocks.reserve(options.block_count);
+  const geo::BoundingBox& conus = geo::ConusBounds();
+
+  // Raw (unnormalized) block masses; scaled afterwards so the total
+  // matches the configured continental population.
+  double raw_total = 0.0;
+  while (blocks.size() < options.block_count) {
+    CensusBlock block;
+    if (rng.Chance(options.urban_fraction)) {
+      const std::size_t pick = rng.WeightedIndex(city_weights);
+      const City& city = cities[pick];
+      const double spread = CitySpreadMiles(city.population);
+      const double bearing = rng.Uniform(0.0, 360.0);
+      // Half-Gaussian radial profile around the city centre.
+      const double radius = std::fabs(rng.Gaussian(0.0, spread));
+      const geo::GeoPoint site =
+          geo::Destination(city.location(), bearing, radius);
+      if (!geo::InConus(site)) continue;  // re-draw coastal spillover
+      block.centroid = site;
+      block.state = std::string(city.state);
+      // Urban blocks carry a broad range of masses (apartment blocks to
+      // suburban tracts); lognormal-ish via exp(Gaussian).
+      block.population = std::exp(rng.Gaussian(5.2, 0.9));
+    } else {
+      const geo::GeoPoint site(rng.Uniform(conus.min_lat(), conus.max_lat()),
+                               rng.Uniform(conus.min_lon(), conus.max_lon()));
+      if (!geo::InConus(site)) continue;
+      block.centroid = site;
+      const auto nearest = city_index.Nearest(site);
+      block.state = std::string(cities[nearest->index].state);
+      block.population = std::exp(rng.Gaussian(3.6, 0.8));
+    }
+    raw_total += block.population;
+    blocks.push_back(std::move(block));
+  }
+
+  const double scale = options.total_population / raw_total;
+  for (CensusBlock& block : blocks) block.population *= scale;
+  return CensusModel(std::move(blocks));
+}
+
+double CensusModel::PopulationInStates(
+    const std::vector<std::string>& states) const {
+  if (states.empty()) return total_population_;
+  double total = 0.0;
+  for (const CensusBlock& block : blocks_) {
+    if (std::find(states.begin(), states.end(), block.state) != states.end()) {
+      total += block.population;
+    }
+  }
+  return total;
+}
+
+}  // namespace riskroute::population

@@ -1,0 +1,64 @@
+// Synthetic census-block population model.
+//
+// The paper uses US Census data at census-block resolution: 215,932
+// geographic partitions of the continental US, each with a population
+// count (Section 4.2). That data set is replaced here by a deterministic
+// synthesizer that reproduces its structure: blocks cluster around real
+// cities (mass proportional to metro population, spatial spread growing
+// with city size) over a sparse rural background, and the total population
+// matches the 2010 continental-US total. RiskRoute only consumes the
+// resulting density field through nearest-neighbour assignment, so
+// matching the density gradients is what matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::population {
+
+/// One census block: centroid, population mass, and USPS state code
+/// (inherited from the nearest gazetteer city; used for the paper's
+/// state-confined regional analysis).
+struct CensusBlock {
+  geo::GeoPoint centroid;
+  double population = 0.0;
+  std::string state;
+};
+
+/// Synthesis parameters.
+struct CensusOptions {
+  /// The paper's block count for the continental US.
+  std::size_t block_count = 215932;
+  /// 2010 continental-US population (approximate).
+  double total_population = 306e6;
+  /// Fraction of blocks attached to cities (rest are rural background).
+  double urban_fraction = 0.82;
+  std::uint64_t seed = 7;
+};
+
+/// Immutable synthetic census.
+class CensusModel {
+ public:
+  /// Builds the synthetic block set; deterministic in `options.seed`.
+  [[nodiscard]] static CensusModel Synthesize(const CensusOptions& options = {});
+
+  /// Wraps externally supplied blocks (e.g. real census data a user loads).
+  explicit CensusModel(std::vector<CensusBlock> blocks);
+
+  [[nodiscard]] const std::vector<CensusBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] double total_population() const { return total_population_; }
+
+  /// Total population in the given states (empty = everything).
+  [[nodiscard]] double PopulationInStates(
+      const std::vector<std::string>& states) const;
+
+ private:
+  std::vector<CensusBlock> blocks_;
+  double total_population_ = 0.0;
+};
+
+}  // namespace riskroute::population

@@ -1,0 +1,27 @@
+// CSV persistence for census blocks.
+//
+// Real census extracts are tabular; this reader lets users feed actual
+// block/tract centroids into the impact model instead of the synthetic
+// census. Format:
+//
+//   latitude,longitude,population,state
+//   29.950000,-90.070000,1523.5,LA
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "population/census.h"
+
+namespace riskroute::population {
+
+/// Writes the model's blocks as CSV with a header row.
+void WriteCensusCsv(const CensusModel& census, std::ostream& out);
+[[nodiscard]] std::string CensusToCsv(const CensusModel& census);
+
+/// Parses the CSV format above (header required). Throws ParseError on
+/// malformed rows, invalid coordinates, or non-positive populations.
+[[nodiscard]] CensusModel ReadCensusCsv(std::istream& in);
+[[nodiscard]] CensusModel CensusFromCsv(const std::string& text);
+
+}  // namespace riskroute::population

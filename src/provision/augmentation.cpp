@@ -1,0 +1,58 @@
+#include "provision/augmentation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/riskroute.h"
+#include "util/error.h"
+
+namespace riskroute::provision {
+
+AugmentationResult GreedyAugment(const core::RiskGraph& graph,
+                                 const core::RiskParams& params,
+                                 const AugmentationOptions& options,
+                                 util::ThreadPool* pool) {
+  if (options.links_to_add == 0) {
+    throw InvalidArgument("GreedyAugment: links_to_add must be positive");
+  }
+  core::RiskGraph working = graph;
+  AugmentationResult result;
+  result.original_objective = core::AggregateMinBitRisk(working, params, pool);
+
+  std::vector<CandidateLink> candidates =
+      EnumerateCandidateLinks(working, options.candidates, pool);
+
+  for (std::size_t step = 0; step < options.links_to_add; ++step) {
+    double best_objective = std::numeric_limits<double>::infinity();
+    std::size_t best_index = candidates.size();
+    // Evaluate Eq 4 exactly for every remaining candidate. The inner
+    // AggregateMinBitRisk is itself parallel over sources, so the sweep
+    // stays sequential here to avoid nested pools.
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const CandidateLink& link = candidates[c];
+      working.AddEdge(link.a, link.b, link.direct_miles);
+      const double objective = core::AggregateMinBitRisk(working, params, pool);
+      working.RemoveEdge(link.a, link.b);
+      if (objective < best_objective) {
+        best_objective = objective;
+        best_index = c;
+      }
+    }
+    const double previous = result.steps.empty()
+                                ? result.original_objective
+                                : result.steps.back().objective;
+    if (best_index == candidates.size() || best_objective >= previous) {
+      break;  // no candidate helps any more
+    }
+    const CandidateLink chosen = candidates[best_index];
+    working.AddEdge(chosen.a, chosen.b, chosen.direct_miles);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best_index));
+    result.steps.push_back(AugmentationStep{
+        chosen, best_objective,
+        best_objective / result.original_objective});
+  }
+  return result;
+}
+
+}  // namespace riskroute::provision

@@ -1,0 +1,48 @@
+// Greedy link augmentation (paper Section 6.3, Equation 4; Figures 9/10).
+//
+// The single best additional link is the candidate e in E_C minimizing the
+// aggregate minimum bit-risk miles over all PoP pairs (Eq 4); for k > 1
+// links the paper applies the same rule greedily against the network with
+// the previously chosen links already added.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "provision/candidate_links.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::provision {
+
+/// One greedy step's outcome.
+struct AugmentationStep {
+  CandidateLink link;
+  /// Eq 4 objective after adding this link (and all previous steps').
+  double objective = 0.0;
+  /// objective / original objective — the paper's Figure 10 y-axis
+  /// ("fraction of original bit-risk miles").
+  double fraction_of_original = 0.0;
+};
+
+/// Full greedy augmentation result.
+struct AugmentationResult {
+  double original_objective = 0.0;
+  std::vector<AugmentationStep> steps;  // in greedy order (best first)
+};
+
+/// Augmentation options.
+struct AugmentationOptions {
+  std::size_t links_to_add = 1;
+  CandidateOptions candidates;
+};
+
+/// Runs greedy augmentation. The graph is copied and mutated internally;
+/// the caller's graph is unchanged. Stops early if candidates run out or
+/// no candidate improves the objective.
+[[nodiscard]] AugmentationResult GreedyAugment(
+    const core::RiskGraph& graph, const core::RiskParams& params,
+    const AugmentationOptions& options, util::ThreadPool* pool = nullptr);
+
+}  // namespace riskroute::provision

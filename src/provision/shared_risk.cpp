@@ -1,0 +1,96 @@
+#include "provision/shared_risk.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+#include "sim/outage_sim.h"
+#include "util/error.h"
+
+namespace riskroute::provision {
+namespace {
+
+/// Fraction of `from`'s PoPs with a `to` PoP within `radius`.
+double Overlap(const topology::Network& from, const topology::Network& to,
+               double radius) {
+  if (from.pop_count() == 0) return 0.0;
+  std::size_t colocated = 0;
+  for (const topology::Pop& pop : from.pops()) {
+    const std::size_t nearest = to.NearestPop(pop.location);
+    if (geo::GreatCircleMiles(pop.location, to.pop(nearest).location) <=
+        radius) {
+      ++colocated;
+    }
+  }
+  return static_cast<double>(colocated) / static_cast<double>(from.pop_count());
+}
+
+bool EventHits(const topology::Network& network, const geo::GeoPoint& center,
+               double radius) {
+  for (const topology::Pop& pop : network.pops()) {
+    if (geo::GreatCircleMiles(pop.location, center) <= radius) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double SharedRiskReport::JointLift() const {
+  const double independent = outage_probability_a * outage_probability_b;
+  if (independent <= 0.0) return joint_outage_probability > 0.0 ? 1e9 : 1.0;
+  return joint_outage_probability / independent;
+}
+
+SharedRiskReport AnalyzeSharedRisk(const topology::Network& a,
+                                   const topology::Network& b,
+                                   const std::vector<hazard::Catalog>& catalogs,
+                                   const SharedRiskOptions& options) {
+  if (catalogs.empty()) {
+    throw InvalidArgument("AnalyzeSharedRisk: no catalogs");
+  }
+  if (options.trials == 0) {
+    throw InvalidArgument("AnalyzeSharedRisk: trials must be positive");
+  }
+
+  SharedRiskReport report;
+  report.trials = options.trials;
+  report.overlap_a_in_b = Overlap(a, b, options.colocation_radius_miles);
+  report.overlap_b_in_a = Overlap(b, a, options.colocation_radius_miles);
+
+  std::vector<double> weights;
+  weights.reserve(catalogs.size());
+  for (const hazard::Catalog& c : catalogs) {
+    weights.push_back(static_cast<double>(c.size()));
+  }
+
+  util::Rng rng(options.seed);
+  std::size_t hits_a = 0, hits_b = 0, hits_both = 0;
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    const hazard::Catalog& catalog = catalogs[rng.WeightedIndex(weights)];
+    const hazard::Event& event = catalog.events()[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(catalog.size()) - 1))];
+    const double radius =
+        options.damage_radius_miles > 0.0
+            ? options.damage_radius_miles
+            : sim::DefaultDamageRadiusMiles(catalog.type());
+    const bool in_a = EventHits(a, event.location, radius);
+    const bool in_b = EventHits(b, event.location, radius);
+    if (in_a) ++hits_a;
+    if (in_b) ++hits_b;
+    if (in_a && in_b) ++hits_both;
+  }
+
+  const auto trials = static_cast<double>(options.trials);
+  report.outage_probability_a = static_cast<double>(hits_a) / trials;
+  report.outage_probability_b = static_cast<double>(hits_b) / trials;
+  report.joint_outage_probability = static_cast<double>(hits_both) / trials;
+
+  // Phi correlation of the two Bernoulli indicators.
+  const double pa = report.outage_probability_a;
+  const double pb = report.outage_probability_b;
+  const double pab = report.joint_outage_probability;
+  const double denom = std::sqrt(pa * (1 - pa) * pb * (1 - pb));
+  report.outage_correlation = denom > 0.0 ? (pab - pa * pb) / denom : 0.0;
+  return report;
+}
+
+}  // namespace riskroute::provision

@@ -1,0 +1,58 @@
+#include "sim/traffic.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::sim {
+
+TrafficMatrix::TrafficMatrix(std::size_t n, std::vector<double> demand,
+                             double total)
+    : n_(n), demand_(std::move(demand)), total_(total) {}
+
+TrafficMatrix TrafficMatrix::Gravity(const core::RiskGraph& graph,
+                                     double total_volume) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) throw InvalidArgument("TrafficMatrix: empty graph");
+  if (!(total_volume > 0.0)) {
+    throw InvalidArgument("TrafficMatrix: total volume must be positive");
+  }
+  std::vector<double> demand(n * n, 0.0);
+  double raw_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Floor the fractions so PoPs serving (almost) nobody still carry
+      // some demand — real networks route management traffic everywhere.
+      const double ci = std::max(graph.node(i).impact_fraction, 1e-6);
+      const double cj = std::max(graph.node(j).impact_fraction, 1e-6);
+      demand[i * n + j] = ci * cj;
+      raw_total += demand[i * n + j];
+    }
+  }
+  if (raw_total <= 0.0) {
+    throw InvalidArgument("TrafficMatrix: degenerate impact fractions");
+  }
+  for (double& d : demand) d *= total_volume / raw_total;
+  return TrafficMatrix(n, std::move(demand), total_volume);
+}
+
+TrafficMatrix TrafficMatrix::Uniform(std::size_t n, double total_volume) {
+  if (n == 0) throw InvalidArgument("TrafficMatrix: empty matrix");
+  if (!(total_volume > 0.0)) {
+    throw InvalidArgument("TrafficMatrix: total volume must be positive");
+  }
+  const double pairs = static_cast<double>(n * n - n);
+  std::vector<double> demand(n * n, pairs > 0 ? total_volume / pairs : 0.0);
+  for (std::size_t i = 0; i < n; ++i) demand[i * n + i] = 0.0;
+  return TrafficMatrix(n, std::move(demand), total_volume);
+}
+
+double TrafficMatrix::demand(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) {
+    throw InvalidArgument(util::Format("TrafficMatrix: (%zu, %zu) out of range",
+                                       i, j));
+  }
+  return demand_[i * n_ + j];
+}
+
+}  // namespace riskroute::sim

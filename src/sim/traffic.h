@@ -1,0 +1,43 @@
+// Gravity-model traffic matrices.
+//
+// The outage simulator weighs each PoP pair's routing outcome by traffic
+// volume. Absent real traffic data (proprietary), demand follows the
+// standard gravity model: T(i, j) proportional to pop_i * pop_j — the same
+// population-proportionality assumption the paper uses for outage impact
+// (Section 4.2 cites population density correlating with Internet usage).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/risk_graph.h"
+
+namespace riskroute::sim {
+
+/// Dense symmetric demand matrix over a network's PoPs (row-major n x n,
+/// zero diagonal, normalized to a configurable total volume).
+class TrafficMatrix {
+ public:
+  /// Gravity demand from the graph's impact fractions:
+  /// T(i,j) ∝ c_i * c_j, scaled so the sum over ordered pairs equals
+  /// `total_volume`. Throws on an empty graph or non-positive volume.
+  [[nodiscard]] static TrafficMatrix Gravity(const core::RiskGraph& graph,
+                                             double total_volume = 1.0);
+
+  /// Uniform demand (every ordered pair equal).
+  [[nodiscard]] static TrafficMatrix Uniform(std::size_t n,
+                                             double total_volume = 1.0);
+
+  [[nodiscard]] double demand(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double total_volume() const { return total_; }
+
+ private:
+  TrafficMatrix(std::size_t n, std::vector<double> demand, double total);
+
+  std::size_t n_ = 0;
+  std::vector<double> demand_;
+  double total_ = 0.0;
+};
+
+}  // namespace riskroute::sim

@@ -1,0 +1,82 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "util/error.h"
+
+namespace riskroute::spatial {
+namespace {
+// Miles per degree of latitude (constant); longitude shrinks with cos(lat).
+constexpr double kMilesPerLatDeg = 69.055;
+}  // namespace
+
+GridIndex::GridIndex(const std::vector<geo::GeoPoint>& points,
+                     const geo::BoundingBox& bounds, double cell_miles)
+    : points_(points), bounds_(bounds) {
+  if (cell_miles <= 0.0) {
+    throw InvalidArgument("GridIndex cell size must be positive");
+  }
+  const double lat_span = bounds_.max_lat() - bounds_.min_lat();
+  const double lon_span = bounds_.max_lon() - bounds_.min_lon();
+  const double mid_lat = geo::DegToRad((bounds_.min_lat() + bounds_.max_lat()) / 2.0);
+  const double miles_per_lon_deg =
+      kMilesPerLatDeg * std::max(0.2, std::cos(mid_lat));
+  lat_step_ = cell_miles / kMilesPerLatDeg;
+  lon_step_ = cell_miles / miles_per_lon_deg;
+  rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(lat_span / lat_step_)));
+  cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(lon_span / lon_step_)));
+  cells_.resize(rows_ * cols_);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t r = RowOf(points_[i].latitude());
+    const std::size_t c = ColOf(points_[i].longitude());
+    cells_[r * cols_ + c].push_back(i);
+  }
+}
+
+std::size_t GridIndex::RowOf(double lat) const {
+  const double offset = (lat - bounds_.min_lat()) / lat_step_;
+  const auto row = static_cast<long long>(std::floor(offset));
+  return static_cast<std::size_t>(std::clamp<long long>(
+      row, 0, static_cast<long long>(rows_) - 1));
+}
+
+std::size_t GridIndex::ColOf(double lon) const {
+  const double offset = (lon - bounds_.min_lon()) / lon_step_;
+  const auto col = static_cast<long long>(std::floor(offset));
+  return static_cast<std::size_t>(std::clamp<long long>(
+      col, 0, static_cast<long long>(cols_) - 1));
+}
+
+void GridIndex::VisitNear(const geo::GeoPoint& center, double radius_miles,
+                          const std::function<void(std::size_t)>& visit) const {
+  if (radius_miles < 0.0) return;
+  const double lat_radius = radius_miles / kMilesPerLatDeg;
+  const double cos_lat =
+      std::max(0.2, std::cos(geo::DegToRad(center.latitude())));
+  const double lon_radius = radius_miles / (kMilesPerLatDeg * cos_lat);
+  const std::size_t r0 = RowOf(center.latitude() - lat_radius);
+  const std::size_t r1 = RowOf(center.latitude() + lat_radius);
+  const std::size_t c0 = ColOf(center.longitude() - lon_radius);
+  const std::size_t c1 = ColOf(center.longitude() + lon_radius);
+  for (std::size_t r = r0; r <= r1; ++r) {
+    for (std::size_t c = c0; c <= c1; ++c) {
+      for (const std::size_t i : cells_[r * cols_ + c]) visit(i);
+    }
+  }
+}
+
+std::vector<std::size_t> GridIndex::WithinRadius(const geo::GeoPoint& center,
+                                                 double radius_miles) const {
+  std::vector<std::size_t> out;
+  VisitNear(center, radius_miles, [&](std::size_t i) {
+    if (geo::GreatCircleMiles(center, points_[i]) <= radius_miles) {
+      out.push_back(i);
+    }
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace riskroute::spatial

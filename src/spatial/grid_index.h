@@ -1,0 +1,55 @@
+// Uniform latitude/longitude grid index.
+//
+// The Gaussian kernels in the hazard analysis are truncated at 5 sigma;
+// evaluating the density at a query point then only needs the events inside
+// a small window. Bucketing the (up to 143,847-event) catalogs into a
+// uniform grid turns each KDE evaluation from O(N) into O(events nearby).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/geo_point.h"
+
+namespace riskroute::spatial {
+
+/// Grid of point buckets over a bounding box. Points outside the box are
+/// clamped into the border cells, so no input is ever lost.
+class GridIndex {
+ public:
+  /// `cell_miles` sets the approximate cell edge length. Throws
+  /// InvalidArgument if non-positive.
+  GridIndex(const std::vector<geo::GeoPoint>& points,
+            const geo::BoundingBox& bounds, double cell_miles);
+
+  /// Invokes `visit(index)` for every indexed point whose cell intersects
+  /// the disc of `radius_miles` around `center`. Callers must still filter
+  /// by exact distance; this is a superset (cell-granular) query.
+  void VisitNear(const geo::GeoPoint& center, double radius_miles,
+                 const std::function<void(std::size_t)>& visit) const;
+
+  /// Exact-filtered version: indices of points within `radius_miles`.
+  [[nodiscard]] std::vector<std::size_t> WithinRadius(
+      const geo::GeoPoint& center, double radius_miles) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+ private:
+  [[nodiscard]] std::size_t RowOf(double lat) const;
+  [[nodiscard]] std::size_t ColOf(double lon) const;
+
+  std::vector<geo::GeoPoint> points_;
+  geo::BoundingBox bounds_;
+  double lat_step_ = 1.0;
+  double lon_step_ = 1.0;
+  std::size_t rows_ = 1;
+  std::size_t cols_ = 1;
+  // cells_[row * cols_ + col] lists indices of points in that cell.
+  std::vector<std::vector<std::size_t>> cells_;
+};
+
+}  // namespace riskroute::spatial

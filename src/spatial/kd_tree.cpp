@@ -1,0 +1,166 @@
+#include "spatial/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace riskroute::spatial {
+namespace {
+double Component(const double* v, int axis) { return v[axis]; }
+}  // namespace
+
+KdTree::Vec3 KdTree::Embed(const geo::GeoPoint& p) {
+  const double lat = geo::DegToRad(p.latitude());
+  const double lon = geo::DegToRad(p.longitude());
+  return Vec3{std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+              std::sin(lat)};
+}
+
+double KdTree::Chord2(const Vec3& a, const Vec3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+double KdTree::ChordToMiles(double chord) {
+  const double half = std::min(1.0, chord / 2.0);
+  return geo::kEarthRadiusMiles * 2.0 * std::asin(half);
+}
+
+double KdTree::MilesToChord(double miles) {
+  const double angle = miles / geo::kEarthRadiusMiles;
+  return 2.0 * std::sin(std::min(angle, 3.14159265358979323846) / 2.0);
+}
+
+KdTree::KdTree(const std::vector<geo::GeoPoint>& points) : points_(points) {
+  coords_.reserve(points_.size());
+  for (const auto& p : points_) coords_.push_back(Embed(p));
+  if (points_.empty()) return;
+  nodes_.reserve(points_.size());
+  std::vector<std::size_t> items(points_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  root_ = Build(items, 0, items.size(), 0);
+}
+
+std::int32_t KdTree::Build(std::vector<std::size_t>& items, std::size_t begin,
+                           std::size_t end, int depth) {
+  if (begin >= end) return -1;
+  const int axis = depth % 3;
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(items.begin() + static_cast<std::ptrdiff_t>(begin),
+                   items.begin() + static_cast<std::ptrdiff_t>(mid),
+                   items.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return Component(&coords_[a].x, axis) <
+                            Component(&coords_[b].x, axis);
+                   });
+  const std::int32_t node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{items[mid], axis, -1, -1});
+  const std::int32_t left = Build(items, begin, mid, depth + 1);
+  const std::int32_t right = Build(items, mid + 1, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void KdTree::NearestImpl(std::int32_t node, const Vec3& q, double& best_chord2,
+                         std::size_t& best_point, bool& found) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const double d2 = Chord2(coords_[n.point], q);
+  if (!found || d2 < best_chord2) {
+    best_chord2 = d2;
+    best_point = n.point;
+    found = true;
+  }
+  const double delta =
+      Component(&q.x, n.axis) - Component(&coords_[n.point].x, n.axis);
+  const std::int32_t near_child = delta < 0 ? n.left : n.right;
+  const std::int32_t far_child = delta < 0 ? n.right : n.left;
+  NearestImpl(near_child, q, best_chord2, best_point, found);
+  if (delta * delta < best_chord2) {
+    NearestImpl(far_child, q, best_chord2, best_point, found);
+  }
+}
+
+std::optional<Neighbor> KdTree::Nearest(const geo::GeoPoint& query) const {
+  if (points_.empty()) return std::nullopt;
+  const Vec3 q = Embed(query);
+  double best_chord2 = 0.0;
+  std::size_t best_point = 0;
+  bool found = false;
+  NearestImpl(root_, q, best_chord2, best_point, found);
+  return Neighbor{best_point, ChordToMiles(std::sqrt(best_chord2))};
+}
+
+void KdTree::KnnImpl(std::int32_t node, const Vec3& q, std::size_t k,
+                     std::priority_queue<HeapItem>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const double d2 = Chord2(coords_[n.point], q);
+  if (heap.size() < k) {
+    heap.push(HeapItem{d2, n.point});
+  } else if (d2 < heap.top().chord2) {
+    heap.pop();
+    heap.push(HeapItem{d2, n.point});
+  }
+  const double delta =
+      Component(&q.x, n.axis) - Component(&coords_[n.point].x, n.axis);
+  const std::int32_t near_child = delta < 0 ? n.left : n.right;
+  const std::int32_t far_child = delta < 0 ? n.right : n.left;
+  KnnImpl(near_child, q, k, heap);
+  if (heap.size() < k || delta * delta < heap.top().chord2) {
+    KnnImpl(far_child, q, k, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::KNearest(const geo::GeoPoint& query,
+                                       std::size_t k) const {
+  std::vector<Neighbor> out;
+  if (points_.empty() || k == 0) return out;
+  const Vec3 q = Embed(query);
+  std::priority_queue<HeapItem> heap;
+  KnnImpl(root_, q, k, heap);
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(Neighbor{heap.top().point,
+                           ChordToMiles(std::sqrt(heap.top().chord2))});
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void KdTree::RadiusImpl(std::int32_t node, const Vec3& q, double max_chord2,
+                        std::vector<Neighbor>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const double d2 = Chord2(coords_[n.point], q);
+  if (d2 <= max_chord2) {
+    out.push_back(Neighbor{n.point, ChordToMiles(std::sqrt(d2))});
+  }
+  const double delta =
+      Component(&q.x, n.axis) - Component(&coords_[n.point].x, n.axis);
+  const std::int32_t near_child = delta < 0 ? n.left : n.right;
+  const std::int32_t far_child = delta < 0 ? n.right : n.left;
+  RadiusImpl(near_child, q, max_chord2, out);
+  if (delta * delta <= max_chord2) {
+    RadiusImpl(far_child, q, max_chord2, out);
+  }
+}
+
+std::vector<Neighbor> KdTree::WithinRadius(const geo::GeoPoint& query,
+                                           double radius_miles) const {
+  std::vector<Neighbor> out;
+  if (points_.empty() || radius_miles < 0) return out;
+  const Vec3 q = Embed(query);
+  const double chord = MilesToChord(radius_miles);
+  RadiusImpl(root_, q, chord * chord, out);
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) { return a.miles < b.miles; });
+  return out;
+}
+
+}  // namespace riskroute::spatial

@@ -1,0 +1,109 @@
+#include "stats/bandwidth_cv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/kernel_density.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace riskroute::stats {
+namespace {
+
+/// Deterministically selects at most `cap` elements of `items` (uniformly,
+/// via a seeded shuffle of indices) preserving no particular order.
+std::vector<geo::GeoPoint> Subsample(const std::vector<geo::GeoPoint>& items,
+                                     std::size_t cap, std::uint64_t seed) {
+  if (items.size() <= cap) return items;
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<geo::GeoPoint> out;
+  out.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) out.push_back(items[order[i]]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> LogSpacedBandwidths(double lo, double hi,
+                                        std::size_t count) {
+  if (!(lo > 0.0) || !(hi > lo) || count < 2) {
+    throw InvalidArgument("LogSpacedBandwidths: need 0 < lo < hi, count >= 2");
+  }
+  std::vector<double> out(count);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    out[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  return out;
+}
+
+BandwidthSelection SelectBandwidth(const std::vector<geo::GeoPoint>& events,
+                                   const std::vector<double>& candidates,
+                                   const CrossValidationOptions& options) {
+  if (candidates.empty()) {
+    throw InvalidArgument("SelectBandwidth: no candidate bandwidths");
+  }
+  if (options.folds < 2 || events.size() < options.folds) {
+    throw InvalidArgument("SelectBandwidth: need at least `folds` events");
+  }
+
+  // Deterministic fold assignment.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(options.seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  // Pre-split folds once; reused for every candidate bandwidth so scores
+  // are comparable.
+  std::vector<std::vector<geo::GeoPoint>> train(options.folds);
+  std::vector<std::vector<geo::GeoPoint>> eval(options.folds);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t fold = rank % options.folds;
+    for (std::size_t f = 0; f < options.folds; ++f) {
+      if (f == fold) {
+        eval[f].push_back(events[order[rank]]);
+      } else {
+        train[f].push_back(events[order[rank]]);
+      }
+    }
+  }
+  for (std::size_t f = 0; f < options.folds; ++f) {
+    train[f] = Subsample(train[f], options.max_train_events,
+                         options.seed ^ (0x77A1 + f));
+    eval[f] = Subsample(eval[f], options.max_eval_events,
+                        options.seed ^ (0xE7A1 + f));
+  }
+
+  BandwidthSelection selection;
+  selection.scores.reserve(candidates.size());
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const double bandwidth : candidates) {
+    double fold_sum = 0.0;
+    for (std::size_t f = 0; f < options.folds; ++f) {
+      const KernelDensity2D model(train[f], bandwidth);
+      double nll = 0.0;
+      for (const auto& y : eval[f]) {
+        const double density =
+            std::max(options.density_floor, model.Evaluate(y));
+        nll -= std::log(density);
+      }
+      fold_sum += nll / static_cast<double>(eval[f].size());
+    }
+    const double score = fold_sum / static_cast<double>(options.folds);
+    selection.scores.push_back(BandwidthScore{bandwidth, score});
+    if (score < best_score) {
+      best_score = score;
+      selection.best_bandwidth_miles = bandwidth;
+    }
+  }
+  return selection;
+}
+
+}  // namespace riskroute::stats

@@ -1,0 +1,64 @@
+// Kernel bandwidth selection by k-fold cross-validation with a
+// KL-divergence score (paper Section 5.2, Table 1).
+//
+// The paper selects each catalog's bandwidth by "5-way cross validation
+// (where the best bandwidth is found from 80% of the observed events to
+// fit the remaining 20%)" with KL divergence as the distance metric.
+// KL(empirical || model) over a held-out fold equals the average negative
+// log model density plus the (bandwidth-independent) entropy of the
+// empirical distribution, so minimizing the average negative log-likelihood
+// of held-out events minimizes the KL divergence. That is what we score.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::stats {
+
+/// One scored candidate bandwidth.
+struct BandwidthScore {
+  double bandwidth_miles = 0.0;
+  /// Mean negative log held-out density across folds (lower is better);
+  /// equals KL(empirical || model) up to a bandwidth-independent constant.
+  double kl_score = 0.0;
+};
+
+/// Cross-validation configuration.
+struct CrossValidationOptions {
+  std::size_t folds = 5;  // the paper's 5-way CV
+  /// Deterministic shuffle seed for fold assignment.
+  std::uint64_t seed = 0x5eed0001;
+  /// Caps the events used to *fit* each fold's scoring model; the KDE of a
+  /// uniform subsample is an unbiased estimator of the full KDE, and the
+  /// cap bounds the cost of wide-bandwidth candidates on the 143,847-event
+  /// wind catalog. No cap is applied to the final production model.
+  std::size_t max_train_events = 20000;
+  /// Caps the held-out events scored per fold (subsampled deterministically).
+  std::size_t max_eval_events = 4000;
+  /// Floor applied to model densities before taking logs so that held-out
+  /// events beyond every kernel's truncation window yield a large-but-
+  /// finite penalty instead of an infinite one.
+  double density_floor = 1e-12;
+};
+
+/// Result of a bandwidth sweep.
+struct BandwidthSelection {
+  double best_bandwidth_miles = 0.0;
+  std::vector<BandwidthScore> scores;  // one per candidate, input order
+};
+
+/// Log-spaced candidate grid in [lo, hi]; count >= 2.
+[[nodiscard]] std::vector<double> LogSpacedBandwidths(double lo, double hi,
+                                                      std::size_t count);
+
+/// Runs k-fold CV over `candidates` and returns the scored sweep. Throws
+/// InvalidArgument if events.size() < folds or candidates is empty.
+[[nodiscard]] BandwidthSelection SelectBandwidth(
+    const std::vector<geo::GeoPoint>& events,
+    const std::vector<double>& candidates,
+    const CrossValidationOptions& options = {});
+
+}  // namespace riskroute::stats

@@ -1,0 +1,80 @@
+#include "stats/kernel_density.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+#include "util/error.h"
+
+namespace riskroute::stats {
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+constexpr double kTruncationSigmas = 5.0;
+}  // namespace
+
+KernelDensity2D::KernelDensity2D(std::vector<geo::GeoPoint> events,
+                                 double bandwidth_miles)
+    : events_(std::move(events)),
+      bandwidth_miles_(bandwidth_miles),
+      truncation_miles_(kTruncationSigmas * bandwidth_miles),
+      norm_(0.0) {
+  if (events_.empty()) {
+    throw InvalidArgument("KernelDensity2D: empty event set");
+  }
+  if (!(bandwidth_miles > 0.0)) {
+    throw InvalidArgument("KernelDensity2D: bandwidth must be positive");
+  }
+  norm_ = 1.0 / (static_cast<double>(events_.size()) * kTwoPi *
+                 bandwidth_miles_ * bandwidth_miles_);
+  // Cell size on the order of the truncation window keeps the visited-cell
+  // count small while the per-cell point lists stay proportional to local
+  // event density.
+  const geo::BoundingBox bounds =
+      geo::BoundingBox::Around(events_).Padded(0.5);
+  const double cell = std::max(2.0, truncation_miles_ / 2.0);
+  index_ = std::make_unique<spatial::GridIndex>(events_, bounds, cell);
+}
+
+double KernelDensity2D::Evaluate(const geo::GeoPoint& y) const {
+  const double inv_two_sigma2 =
+      1.0 / (2.0 * bandwidth_miles_ * bandwidth_miles_);
+  double sum = 0.0;
+  index_->VisitNear(y, truncation_miles_, [&](std::size_t i) {
+    const double d = geo::ApproxMiles(y, events_[i]);
+    if (d <= truncation_miles_) {
+      sum += std::exp(-d * d * inv_two_sigma2);
+    }
+  });
+  return norm_ * sum;
+}
+
+double KernelDensity2D::MeanDensity(
+    const std::vector<geo::GeoPoint>& ys) const {
+  if (ys.empty()) throw InvalidArgument("MeanDensity: empty query set");
+  double sum = 0.0;
+  for (const auto& y : ys) sum += Evaluate(y);
+  return sum / static_cast<double>(ys.size());
+}
+
+std::vector<double> KernelDensity2D::Raster(const geo::BoundingBox& bounds,
+                                            std::size_t rows,
+                                            std::size_t cols) const {
+  if (rows == 0 || cols == 0) {
+    throw InvalidArgument("Raster: rows and cols must be positive");
+  }
+  std::vector<double> grid(rows * cols, 0.0);
+  const double lat_step = (bounds.max_lat() - bounds.min_lat()) /
+                          static_cast<double>(rows);
+  const double lon_step = (bounds.max_lon() - bounds.min_lon()) /
+                          static_cast<double>(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double lat = bounds.min_lat() + (static_cast<double>(r) + 0.5) * lat_step;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double lon =
+          bounds.min_lon() + (static_cast<double>(c) + 0.5) * lon_step;
+      grid[r * cols + c] = Evaluate(geo::GeoPoint(lat, lon));
+    }
+  }
+  return grid;
+}
+
+}  // namespace riskroute::stats

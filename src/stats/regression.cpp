@@ -1,0 +1,72 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace riskroute::stats {
+namespace {
+
+struct Moments {
+  double mean_x = 0.0, mean_y = 0.0;
+  double ss_xx = 0.0, ss_yy = 0.0, ss_xy = 0.0;
+};
+
+Moments ComputeMoments(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw InvalidArgument("regression: mismatched sample sizes");
+  }
+  if (xs.size() < 2) {
+    throw InvalidArgument("regression: need at least two samples");
+  }
+  Moments m;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m.mean_x += xs[i];
+    m.mean_y += ys[i];
+  }
+  m.mean_x /= n;
+  m.mean_y /= n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - m.mean_x;
+    const double dy = ys[i] - m.mean_y;
+    m.ss_xx += dx * dx;
+    m.ss_yy += dy * dy;
+    m.ss_xy += dx * dy;
+  }
+  return m;
+}
+
+}  // namespace
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  const Moments m = ComputeMoments(xs, ys);
+  if (m.ss_xx <= 0.0) {
+    throw InvalidArgument("regression: constant predictor");
+  }
+  LinearFit fit;
+  fit.slope = m.ss_xy / m.ss_xx;
+  fit.intercept = m.mean_y - fit.slope * m.mean_x;
+  if (m.ss_yy <= 0.0) {
+    fit.r_squared = 1.0;  // constant response fitted exactly
+  } else {
+    fit.r_squared = (m.ss_xy * m.ss_xy) / (m.ss_xx * m.ss_yy);
+  }
+  return fit;
+}
+
+double RSquared(const std::vector<double>& xs, const std::vector<double>& ys) {
+  return FitLinear(xs, ys).r_squared;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const Moments m = ComputeMoments(xs, ys);
+  const double denom = std::sqrt(m.ss_xx * m.ss_yy);
+  if (denom <= 0.0) return 0.0;
+  return m.ss_xy / denom;
+}
+
+}  // namespace riskroute::stats

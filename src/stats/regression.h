@@ -1,0 +1,33 @@
+// Ordinary least squares in one variable, plus the coefficient of
+// determination (R^2) used in the paper's Table 3 to relate regional
+// network characteristics to RiskRoute's ratio results.
+#pragma once
+
+#include <vector>
+
+namespace riskroute::stats {
+
+/// y ~= slope * x + intercept, with goodness of fit.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double Predict(double x) const { return slope * x + intercept; }
+};
+
+/// Fits OLS y ~ x. Requires xs.size() == ys.size() >= 2 and non-constant
+/// xs; throws InvalidArgument otherwise. If ys is constant, r_squared is 1
+/// (the fit is exact).
+[[nodiscard]] LinearFit FitLinear(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// R^2 of the OLS fit between x and y (Table 3's statistic).
+[[nodiscard]] double RSquared(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+/// Pearson correlation coefficient; R^2 == r * r for simple OLS.
+[[nodiscard]] double PearsonCorrelation(const std::vector<double>& xs,
+                                        const std::vector<double>& ys);
+
+}  // namespace riskroute::stats

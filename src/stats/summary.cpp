@@ -1,0 +1,44 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace riskroute::stats {
+
+double Summary::stddev() const { return std::sqrt(variance); }
+
+Summary Summarize(const std::vector<double>& values) {
+  if (values.empty()) throw InvalidArgument("Summarize: empty sample");
+  Summary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.variance = ss / static_cast<double>(s.count - 1);
+  }
+  return s;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw InvalidArgument("Quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw InvalidArgument("Quantile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace riskroute::stats

@@ -1,0 +1,27 @@
+// Basic descriptive statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace riskroute::stats {
+
+/// Summary of a sample: count, mean, sample variance, extrema.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1) sample variance; 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double stddev() const;
+};
+
+/// Computes a Summary; throws InvalidArgument on an empty sample.
+[[nodiscard]] Summary Summarize(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]; throws on empty input or
+/// out-of-range q.
+[[nodiscard]] double Quantile(std::vector<double> values, double q);
+
+}  // namespace riskroute::stats

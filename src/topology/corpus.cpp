@@ -1,0 +1,81 @@
+#include "topology/corpus.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+
+std::size_t Corpus::AddNetwork(Network network) {
+  if (FindNetwork(network.name()).has_value()) {
+    throw InvalidArgument("duplicate network name: " + network.name());
+  }
+  networks_.push_back(std::move(network));
+  return networks_.size() - 1;
+}
+
+void Corpus::AddPeering(std::size_t a, std::size_t b) {
+  if (a >= networks_.size() || b >= networks_.size()) {
+    throw InvalidArgument(util::Format(
+        "peering (%zu, %zu) out of range for %zu networks", a, b,
+        networks_.size()));
+  }
+  if (a == b) throw InvalidArgument("self-peering is not allowed");
+  if (ArePeers(a, b)) return;
+  peerings_.push_back(Peering{std::min(a, b), std::max(a, b)});
+}
+
+const Network& Corpus::network(std::size_t i) const {
+  if (i >= networks_.size()) {
+    throw InvalidArgument(util::Format("network index %zu out of range", i));
+  }
+  return networks_[i];
+}
+
+Network& Corpus::mutable_network(std::size_t i) {
+  if (i >= networks_.size()) {
+    throw InvalidArgument(util::Format("network index %zu out of range", i));
+  }
+  return networks_[i];
+}
+
+std::optional<std::size_t> Corpus::FindNetwork(std::string_view name) const {
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    if (networks_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Corpus::ArePeers(std::size_t a, std::size_t b) const {
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  return std::any_of(peerings_.begin(), peerings_.end(),
+                     [&](const Peering& p) { return p.a == lo && p.b == hi; });
+}
+
+std::vector<std::size_t> Corpus::PeersOf(std::size_t i) const {
+  std::vector<std::size_t> out;
+  for (const Peering& p : peerings_) {
+    if (p.a == i) out.push_back(p.b);
+    if (p.b == i) out.push_back(p.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> Corpus::NetworksOfKind(NetworkKind kind) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    if (networks_[i].kind() == kind) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Corpus::TotalPops() const {
+  std::size_t total = 0;
+  for (const Network& n : networks_) total += n.pop_count();
+  return total;
+}
+
+}  // namespace riskroute::topology

@@ -1,0 +1,58 @@
+// The multi-network study corpus: 23 ISPs plus their AS-level peering
+// relationships (paper Section 4.1, Figure 2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "topology/network.h"
+
+namespace riskroute::topology {
+
+/// An AS-level peering relationship between two networks (indices into the
+/// corpus's network list). Undirected; stored with a < b.
+struct Peering {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// Owning collection of networks plus the AS peering graph.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Appends a network; returns its index. Names must be unique.
+  std::size_t AddNetwork(Network network);
+
+  /// Records an AS peering between distinct existing networks; duplicates
+  /// are ignored.
+  void AddPeering(std::size_t a, std::size_t b);
+
+  [[nodiscard]] std::size_t network_count() const { return networks_.size(); }
+  [[nodiscard]] const Network& network(std::size_t i) const;
+  [[nodiscard]] Network& mutable_network(std::size_t i);
+  [[nodiscard]] const std::vector<Network>& networks() const { return networks_; }
+  [[nodiscard]] const std::vector<Peering>& peerings() const { return peerings_; }
+
+  [[nodiscard]] std::optional<std::size_t> FindNetwork(std::string_view name) const;
+  [[nodiscard]] bool ArePeers(std::size_t a, std::size_t b) const;
+
+  /// Indices of peers of network `i`.
+  [[nodiscard]] std::vector<std::size_t> PeersOf(std::size_t i) const;
+
+  /// Indices of all networks of the given kind.
+  [[nodiscard]] std::vector<std::size_t> NetworksOfKind(NetworkKind kind) const;
+
+  /// Total PoPs across all networks.
+  [[nodiscard]] std::size_t TotalPops() const;
+
+ private:
+  std::vector<Network> networks_;
+  std::vector<Peering> peerings_;
+};
+
+}  // namespace riskroute::topology

@@ -1,0 +1,49 @@
+// Embedded gazetteer of continental-US cities.
+//
+// The paper builds on ground-truth PoP locations from the Internet Topology
+// Zoo / Internet Atlas. Those maps are not redistributable, so the corpus
+// generator places synthetic PoPs at real city locations drawn from this
+// embedded gazetteer (~400 cities: every major metro plus state-level
+// coverage for the regional ISPs' footprints). Coordinates are accurate to
+// a few miles and populations are approximate 2010 city populations — both
+// well within the tolerance of an analysis whose kernel bandwidths are
+// tens to hundreds of miles (paper Table 1).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::topology {
+
+/// One gazetteer entry.
+struct City {
+  std::string_view name;
+  std::string_view state;  // two-letter USPS code
+  double latitude;
+  double longitude;
+  double population;  // approximate city population
+
+  [[nodiscard]] geo::GeoPoint location() const {
+    return geo::GeoPoint(latitude, longitude);
+  }
+};
+
+/// All embedded cities (stable order; continental US only).
+[[nodiscard]] std::span<const City> Cities();
+
+/// Cities in any of `states` (two-letter codes). An empty list means all.
+[[nodiscard]] std::vector<const City*> CitiesInStates(
+    const std::vector<std::string>& states);
+
+/// Looks up a city by "Name, ST" (exact match); nullptr if absent.
+[[nodiscard]] const City* FindCity(std::string_view name,
+                                   std::string_view state);
+
+/// Total population over all embedded cities.
+[[nodiscard]] double TotalGazetteerPopulation();
+
+}  // namespace riskroute::topology

@@ -1,0 +1,424 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <tuple>
+
+#include "geo/distance.h"
+#include "topology/gazetteer.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+namespace {
+
+/// Chooses `count` PoP sites for a spec: required cities first, then a
+/// population-weighted sample without replacement from the allowed states,
+/// then synthesized satellite towns if the gazetteer runs dry.
+std::vector<Pop> ChoosePopSites(const NetworkSpec& spec, util::Rng& rng) {
+  std::vector<Pop> pops;
+  std::set<const City*> used;
+
+  for (const auto& [name, state] : spec.required_cities) {
+    const City* city = FindCity(name, state);
+    if (city == nullptr) {
+      throw InvalidArgument("required city not in gazetteer: " + name + ", " +
+                            state);
+    }
+    used.insert(city);
+    pops.push_back(Pop{name + ", " + state, city->location()});
+  }
+  if (pops.size() > spec.pop_count) {
+    throw InvalidArgument("more required cities than PoPs for " + spec.name);
+  }
+
+  std::vector<const City*> candidates = CitiesInStates(spec.states);
+  std::erase_if(candidates, [&](const City* c) { return used.contains(c); });
+
+  while (pops.size() < spec.pop_count && !candidates.empty()) {
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (const City* c : candidates) {
+      weights.push_back(std::pow(c->population, spec.population_bias));
+    }
+    const std::size_t pick = rng.WeightedIndex(weights);
+    const City* city = candidates[pick];
+    pops.push_back(Pop{std::string(city->name) + ", " + std::string(city->state),
+                       city->location()});
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  // Satellite synthesis: secondary towns 15-55 miles from a random chosen
+  // anchor, emulating the metro-area PoPs of geographically dense ISPs.
+  std::size_t satellite = 1;
+  while (pops.size() < spec.pop_count) {
+    const std::size_t anchor =
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(pops.size()) - 1));
+    const double bearing = rng.Uniform(0.0, 360.0);
+    const double miles = rng.Uniform(15.0, 55.0);
+    const geo::GeoPoint site =
+        geo::Destination(pops[anchor].location, bearing, miles);
+    pops.push_back(Pop{util::Format("%s Metro %zu", pops[anchor].name.c_str(),
+                                    satellite++),
+                       site});
+  }
+  return pops;
+}
+
+/// Prim's MST over great-circle distances; returns the selected edges.
+std::vector<Link> MinimumSpanningTree(const std::vector<Pop>& pops) {
+  const std::size_t n = pops.size();
+  std::vector<Link> edges;
+  if (n <= 1) return edges;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_cost(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_from(n, 0);
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v) {
+    best_cost[v] = geo::GreatCircleMiles(pops[0].location, pops[v].location);
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_cost[v] < pick_cost) {
+        pick_cost = best_cost[v];
+        pick = v;
+      }
+    }
+    in_tree[pick] = true;
+    edges.push_back(Link{best_from[pick], pick});
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        const double miles =
+            geo::GreatCircleMiles(pops[pick].location, pops[v].location);
+        if (miles < best_cost[v]) {
+          best_cost[v] = miles;
+          best_from[v] = pick;
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+/// Adds nearest-neighbour shortcut links until the average degree reaches
+/// the spec target. Candidates are each node's closest non-neighbours,
+/// picked with probability decaying in distance.
+void Densify(Network& network, const NetworkSpec& spec, util::Rng& rng) {
+  const std::size_t n = network.pop_count();
+  if (n < 3) return;
+  const auto target_links = static_cast<std::size_t>(
+      spec.degree_target * static_cast<double>(n) / 2.0);
+  constexpr std::size_t kNeighborRanks = 6;
+
+  struct Candidate {
+    std::size_t a, b;
+    double miles;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Collect this node's nearest kNeighborRanks non-linked nodes.
+    std::vector<Candidate> local;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || network.HasLink(i, j)) continue;
+      local.push_back(Candidate{std::min(i, j), std::max(i, j),
+                                geo::GreatCircleMiles(network.pop(i).location,
+                                                      network.pop(j).location)});
+    }
+    std::sort(local.begin(), local.end(),
+              [](const Candidate& x, const Candidate& y) { return x.miles < y.miles; });
+    if (local.size() > kNeighborRanks) local.resize(kNeighborRanks);
+    candidates.insert(candidates.end(), local.begin(), local.end());
+  }
+  // Deduplicate (i,j) pairs produced from both endpoints.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const Candidate& x, const Candidate& y) {
+                                 return x.a == y.a && x.b == y.b;
+                               }),
+                   candidates.end());
+
+  while (network.link_count() < target_links && !candidates.empty()) {
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      weights.push_back(1.0 / (1.0 + c.miles * c.miles / 1e4));
+    }
+    const std::size_t pick = rng.WeightedIndex(weights);
+    network.AddLink(candidates[pick].a, candidates[pick].b);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+}
+
+/// Adds a ring backbone over a network's hub PoPs: hubs are ordered by
+/// angle around their centroid and chained into a closed ring, with a few
+/// random chords. Carrier backbones — especially the compact national
+/// footprints of overseas Tier-1s and regional metro networks — are built
+/// as rings (e.g. a northern arc through Chicago/Denver and a southern arc
+/// through Atlanta/Dallas), and the two arcs are precisely what gives
+/// RiskRoute a genuinely divergent, risk-avoiding alternative: a tree plus
+/// local triangles has none.
+void AddRingBackbone(Network& network, std::size_t hub_count, util::Rng& rng) {
+  const std::size_t n = network.pop_count();
+  if (n < 3) return;
+  hub_count = std::min(std::max<std::size_t>(3, hub_count), n);
+  // Hubs = first PoPs (required / most-weighted cities come first).
+  std::vector<std::size_t> hubs(hub_count);
+  for (std::size_t i = 0; i < hub_count; ++i) hubs[i] = i;
+
+  double centroid_lat = 0.0;
+  double centroid_lon = 0.0;
+  for (const std::size_t h : hubs) {
+    centroid_lat += network.pop(h).location.latitude();
+    centroid_lon += network.pop(h).location.longitude();
+  }
+  centroid_lat /= static_cast<double>(hubs.size());
+  centroid_lon /= static_cast<double>(hubs.size());
+  const double cos_lat = std::cos(geo::DegToRad(centroid_lat));
+  std::sort(hubs.begin(), hubs.end(), [&](std::size_t a, std::size_t b) {
+    const auto angle = [&](std::size_t h) {
+      const geo::GeoPoint& p = network.pop(h).location;
+      return std::atan2(p.latitude() - centroid_lat,
+                        (p.longitude() - centroid_lon) * cos_lat);
+    };
+    return angle(a) < angle(b);
+  });
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    network.AddLink(hubs[i], hubs[(i + 1) % hubs.size()]);
+  }
+  // Random chords crossing the ring make moderate reroutes cheap.
+  const std::size_t chords = hubs.size() / 4;
+  for (std::size_t c = 0; c < chords; ++c) {
+    const auto i = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(hubs.size()) - 1));
+    const auto j = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(hubs.size()) - 1));
+    if (i != j) network.AddLink(hubs[i], hubs[j]);
+  }
+}
+
+}  // namespace
+
+Network GenerateNetwork(const NetworkSpec& spec, util::Rng& rng) {
+  if (spec.pop_count == 0) {
+    throw InvalidArgument("network spec needs at least one PoP: " + spec.name);
+  }
+  Network network(spec.name, spec.kind);
+  for (Pop& pop : ChoosePopSites(spec, rng)) {
+    network.AddPop(std::move(pop));
+  }
+  // Compact networks are pure rings plus chords (the classic carrier
+  // backbone); larger ones get feeder links (MST) under a hub ring.
+  // Tier-1s ring all their PoPs up to a larger size — national carriers
+  // with a few dozen PoPs are ring networks end to end.
+  const std::size_t n = network.pop_count();
+  const std::size_t full_ring_limit =
+      spec.kind == NetworkKind::kTier1 ? 40 : 16;
+  if (n <= full_ring_limit) {
+    AddRingBackbone(network, n, rng);
+  } else {
+    for (const Link& edge : MinimumSpanningTree(network.pops())) {
+      network.AddLink(edge.a, edge.b);
+    }
+    const std::size_t hub_count =
+        spec.kind == NetworkKind::kTier1
+            ? std::max<std::size_t>(8, n / 5)
+            : std::max<std::size_t>(6, n / 3);
+    AddRingBackbone(network, hub_count, rng);
+  }
+  Densify(network, spec, rng);
+  return network;
+}
+
+std::vector<NetworkSpec> PaperNetworkSpecs() {
+  using Kind = NetworkKind;
+  std::vector<NetworkSpec> specs;
+
+  // --- Tier-1 networks: 354 PoPs total (Table 2 PoP counts). ---
+  NetworkSpec level3{"Level3", Kind::kTier1, 233, {}, {}, 3.2, 0.55};
+  level3.required_cities = {{"Houston", "TX"},   {"Boston", "MA"},
+                            {"New York", "NY"},  {"Los Angeles", "CA"},
+                            {"Chicago", "IL"},   {"Denver", "CO"},
+                            {"Dallas", "TX"},    {"Atlanta", "GA"},
+                            {"Miami", "FL"},     {"Seattle", "WA"},
+                            {"San Francisco", "CA"}, {"Washington", "DC"},
+                            {"Kansas City", "MO"},   {"St. Louis", "MO"},
+                            {"Phoenix", "AZ"},   {"Minneapolis", "MN"}};
+  specs.push_back(std::move(level3));
+
+  NetworkSpec att{"ATT", Kind::kTier1, 25, {}, {}, 2.8, 0.65};
+  att.required_cities = {{"New York", "NY"}, {"Chicago", "IL"},
+                         {"Dallas", "TX"},   {"Los Angeles", "CA"},
+                         {"Atlanta", "GA"},  {"Washington", "DC"}};
+  specs.push_back(std::move(att));
+
+  NetworkSpec dt{"Deutsche", Kind::kTier1, 10, {}, {}, 2.6, 0.8};
+  dt.required_cities = {{"New York", "NY"}, {"Miami", "FL"},
+                        {"Chicago", "IL"},  {"Dallas", "TX"},
+                        {"Los Angeles", "CA"}};
+  specs.push_back(std::move(dt));
+
+  NetworkSpec ntt{"NTT", Kind::kTier1, 12, {}, {}, 2.6, 0.8};
+  ntt.required_cities = {{"Seattle", "WA"}, {"San Jose", "CA"},
+                         {"Dallas", "TX"},  {"New York", "NY"},
+                         {"Miami", "FL"},   {"New Orleans", "LA"}};
+  specs.push_back(std::move(ntt));
+
+  NetworkSpec sprint{"Sprint", Kind::kTier1, 24, {}, {}, 2.7, 0.65};
+  sprint.required_cities = {{"Kansas City", "MO"}, {"New York", "NY"},
+                            {"Washington", "DC"},  {"Atlanta", "GA"},
+                            {"Fort Worth", "TX"},  {"Oakland", "CA"}};
+  specs.push_back(std::move(sprint));
+
+  NetworkSpec tinet{"Tinet", Kind::kTier1, 35, {}, {}, 2.7, 0.6};
+  tinet.required_cities = {{"New York", "NY"}, {"Miami", "FL"},
+                           {"Chicago", "IL"},  {"San Jose", "CA"},
+                           {"Seattle", "WA"},  {"Denver", "CO"}};
+  specs.push_back(std::move(tinet));
+
+  NetworkSpec telia{"Teliasonera", Kind::kTier1, 15, {}, {}, 2.6, 0.75};
+  telia.required_cities = {{"New York", "NY"}, {"Chicago", "IL"},
+                           {"Dallas", "TX"},   {"San Jose", "CA"},
+                           {"Washington", "DC"}};
+  specs.push_back(std::move(telia));
+
+  // --- Regional networks: 455 PoPs total. Footprints follow the paper's
+  // case studies: Gulf-coast ISPs (Costreet, Telepak, USANetwork, Iris)
+  // sit in Katrina's scope, east-coast ISPs (ANS, Bandcon, Digex,
+  // Globalcenter, Gridnet, Hibernia, Goodnet) in Irene/Sandy's scope
+  // (Figure 13 legends). ---
+  NetworkSpec abilene{"Abilene", Kind::kRegional, 11, {}, {}, 2.2, 1.0};
+  abilene.required_cities = {
+      {"Seattle", "WA"},  {"Sunnyvale", "CA"},     {"Los Angeles", "CA"},
+      {"Denver", "CO"},   {"Kansas City", "MO"},   {"Houston", "TX"},
+      {"Chicago", "IL"},  {"Indianapolis", "IN"},  {"Atlanta", "GA"},
+      {"Washington", "DC"}, {"New York", "NY"}};
+  specs.push_back(std::move(abilene));
+
+  specs.push_back(NetworkSpec{"ANS", Kind::kRegional, 25,
+                              {"NY", "NJ", "PA", "CT", "MA", "MD", "DC", "VA"},
+                              {}, 2.4, 0.6});
+  specs.push_back(NetworkSpec{"Bandcon", Kind::kRegional, 20,
+                              {"NY", "NJ", "PA", "MD", "DE", "VA"},
+                              {}, 2.4, 0.6});
+  specs.push_back(NetworkSpec{"BritishTele", Kind::kRegional, 65, {},
+                              {}, 2.5, 0.7});
+  specs.push_back(NetworkSpec{"Digex", Kind::kRegional, 27,
+                              {"MD", "VA", "DC", "WV", "PA", "DE"},
+                              {}, 2.4, 0.5});
+  specs.push_back(NetworkSpec{"Epoch", Kind::kRegional, 28, {"TX"},
+                              {}, 2.4, 0.6});
+  specs.push_back(NetworkSpec{"Iris", Kind::kRegional, 22, {"TN", "MS", "AL"},
+                              {}, 2.3, 0.5});
+  specs.push_back(NetworkSpec{"Bluebird", Kind::kRegional, 24,
+                              {"MO", "IL", "IA", "KS"},
+                              {}, 2.3, 0.5});
+  specs.push_back(NetworkSpec{"Gridnet", Kind::kRegional, 30,
+                              {"NY", "CT", "MA", "RI", "NH", "NJ"},
+                              {}, 2.4, 0.5});
+
+  NetworkSpec globalcenter{"Globalcenter", Kind::kRegional, 8,
+                           {"NJ", "NY", "DE", "MD"}, {}, 2.3, 0.8};
+  // Deliberately coastal: the paper reports 87.5% of Globalcenter's PoPs
+  // (7 of 8) inside Hurricane Irene's path.
+  globalcenter.required_cities = {{"Atlantic City", "NJ"}, {"Toms River", "NJ"},
+                                  {"New York", "NY"},      {"Asbury Park", "NJ"},
+                                  {"Vineland", "NJ"},      {"Islip", "NY"},
+                                  {"Dover", "DE"},         {"Salisbury", "MD"}};
+  specs.push_back(std::move(globalcenter));
+
+  specs.push_back(NetworkSpec{"Goodnet", Kind::kRegional, 30,
+                              {"PA", "NJ", "NY", "OH"},
+                              {}, 2.4, 0.5});
+  specs.push_back(NetworkSpec{"Telepak", Kind::kRegional, 28,
+                              {"MS", "LA", "AL"},
+                              {}, 2.3, 0.4});
+  specs.push_back(NetworkSpec{"NTS", Kind::kRegional, 33, {"TX", "NM", "OK"},
+                              {}, 2.4, 0.5});
+  specs.push_back(NetworkSpec{"Hibernia", Kind::kRegional, 40,
+                              {"MA", "NH", "ME", "CT", "RI", "NY", "NJ"},
+                              {}, 2.4, 0.5});
+  specs.push_back(NetworkSpec{"Costreet", Kind::kRegional, 26, {"LA", "MS"},
+                              {}, 2.3, 0.5});
+  specs.push_back(NetworkSpec{"USANetwork", Kind::kRegional, 38,
+                              {"AL", "FL", "GA"},
+                              {}, 2.4, 0.5});
+  return specs;
+}
+
+std::vector<std::pair<std::string, std::string>> PaperPeerings() {
+  std::vector<std::pair<std::string, std::string>> peerings;
+  // Tier-1 full mesh (Figure 2 shows the Tier-1s densely interconnected).
+  const std::vector<std::string> tier1 = {"Level3", "ATT",   "Deutsche",
+                                          "NTT",    "Sprint", "Tinet",
+                                          "Teliasonera"};
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      peerings.emplace_back(tier1[i], tier1[j]);
+    }
+  }
+  // Regional -> Tier-1 transit/peering. Most regionals do not yet peer
+  // with ATT or Tinet, matching the paper's finding that those two are the
+  // dominant *recommended* new peers (Figure 11).
+  peerings.emplace_back("Abilene", "Level3");
+  peerings.emplace_back("Abilene", "Sprint");
+  peerings.emplace_back("ANS", "Level3");
+  peerings.emplace_back("ANS", "Sprint");
+  peerings.emplace_back("Bandcon", "Level3");
+  peerings.emplace_back("Bandcon", "NTT");
+  peerings.emplace_back("BritishTele", "Sprint");
+  peerings.emplace_back("BritishTele", "Teliasonera");
+  peerings.emplace_back("BritishTele", "Level3");
+  peerings.emplace_back("Digex", "Level3");
+  peerings.emplace_back("Digex", "Sprint");
+  peerings.emplace_back("Epoch", "Level3");
+  peerings.emplace_back("Epoch", "Sprint");
+  peerings.emplace_back("Iris", "Level3");
+  peerings.emplace_back("Iris", "Deutsche");
+  peerings.emplace_back("Bluebird", "Sprint");
+  peerings.emplace_back("Bluebird", "Level3");
+  peerings.emplace_back("Gridnet", "Level3");
+  peerings.emplace_back("Gridnet", "Teliasonera");
+  peerings.emplace_back("Globalcenter", "NTT");
+  peerings.emplace_back("Globalcenter", "Level3");
+  peerings.emplace_back("Goodnet", "Sprint");
+  peerings.emplace_back("Goodnet", "Deutsche");
+  peerings.emplace_back("Telepak", "Level3");
+  peerings.emplace_back("Telepak", "Sprint");
+  peerings.emplace_back("NTS", "Sprint");
+  peerings.emplace_back("NTS", "Level3");
+  peerings.emplace_back("Hibernia", "Teliasonera");
+  peerings.emplace_back("Hibernia", "Level3");
+  peerings.emplace_back("Costreet", "Level3");
+  peerings.emplace_back("Costreet", "Sprint");
+  peerings.emplace_back("USANetwork", "Level3");
+  peerings.emplace_back("USANetwork", "Deutsche");
+  return peerings;
+}
+
+Corpus GeneratePaperCorpus(std::uint64_t seed) {
+  util::Rng root(seed);
+  Corpus corpus;
+  const std::vector<NetworkSpec> specs = PaperNetworkSpecs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    util::Rng network_rng = root.Fork(i + 1);
+    corpus.AddNetwork(GenerateNetwork(specs[i], network_rng));
+  }
+  for (const auto& [a, b] : PaperPeerings()) {
+    const auto ia = corpus.FindNetwork(a);
+    const auto ib = corpus.FindNetwork(b);
+    if (!ia || !ib) {
+      throw InternalError("peering references unknown network: " + a + "/" + b);
+    }
+    corpus.AddPeering(*ia, *ib);
+  }
+  return corpus;
+}
+
+}  // namespace riskroute::topology

@@ -1,0 +1,124 @@
+#include "topology/geojson.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+namespace {
+
+void AppendCoordinate(std::ostringstream& out, const geo::GeoPoint& p) {
+  // GeoJSON order is [longitude, latitude].
+  out << '[' << util::Format("%.6f", p.longitude()) << ','
+      << util::Format("%.6f", p.latitude()) << ']';
+}
+
+void AppendPopFeature(std::ostringstream& out, const Network& network,
+                      std::size_t i, const PopScalarFn& risk) {
+  const Pop& pop = network.pop(i);
+  out << R"({"type":"Feature","geometry":{"type":"Point","coordinates":)";
+  AppendCoordinate(out, pop.location);
+  out << R"(},"properties":{"name":")" << JsonEscape(pop.name)
+      << R"(","network":")" << JsonEscape(network.name())
+      << R"(","kind":")" << ToString(network.kind()) << R"(","degree":)"
+      << network.Neighbors(i).size();
+  if (risk) {
+    out << R"(,"risk":)" << util::Format("%.6g", risk(i));
+  }
+  out << "}}";
+}
+
+void AppendLinkFeature(std::ostringstream& out, const Network& network,
+                       const Link& link) {
+  out << R"({"type":"Feature","geometry":{"type":"LineString","coordinates":[)";
+  AppendCoordinate(out, network.pop(link.a).location);
+  out << ',';
+  AppendCoordinate(out, network.pop(link.b).location);
+  out << R"(]},"properties":{"network":")" << JsonEscape(network.name())
+      << R"("}})";
+}
+
+void AppendNetworkFeatures(std::ostringstream& out, const Network& network,
+                           const PopScalarFn& risk, bool& first) {
+  for (std::size_t i = 0; i < network.pop_count(); ++i) {
+    if (!first) out << ',';
+    first = false;
+    AppendPopFeature(out, network, i, risk);
+  }
+  for (const Link& link : network.links()) {
+    if (!first) out << ',';
+    first = false;
+    AppendLinkFeature(out, network, link);
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::Format("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string NetworkToGeoJson(const Network& network, const PopScalarFn& risk) {
+  std::ostringstream out;
+  out << R"({"type":"FeatureCollection","features":[)";
+  bool first = true;
+  AppendNetworkFeatures(out, network, risk, first);
+  out << "]}";
+  return out.str();
+}
+
+std::string CorpusToGeoJson(const Corpus& corpus) {
+  std::ostringstream out;
+  out << R"({"type":"FeatureCollection","features":[)";
+  bool first = true;
+  for (const Network& network : corpus.networks()) {
+    AppendNetworkFeatures(out, network, nullptr, first);
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string PathToGeoJson(const Network& network,
+                          const std::vector<std::size_t>& path,
+                          const std::string& label) {
+  if (path.empty()) throw InvalidArgument("PathToGeoJson: empty path");
+  std::ostringstream out;
+  out << R"({"type":"Feature","geometry":{"type":"LineString","coordinates":[)";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out << ',';
+    AppendCoordinate(out, network.pop(path[i]).location);
+  }
+  out << R"(]},"properties":{"label":")" << JsonEscape(label)
+      << R"(","network":")" << JsonEscape(network.name()) << R"("}})";
+  return out.str();
+}
+
+}  // namespace riskroute::topology

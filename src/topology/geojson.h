@@ -1,0 +1,40 @@
+// GeoJSON export of networks, corpora and routes.
+//
+// Produces RFC 7946 FeatureCollections (PoPs as Point features, links and
+// routed paths as LineString features) so results drop straight into any
+// GIS viewer — the practical counterpart of the paper's map figures
+// (Figs 1, 7, 9, 11).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/corpus.h"
+#include "topology/network.h"
+
+namespace riskroute::topology {
+
+/// Optional per-PoP scalar (e.g. o_h risk) added as a "risk" property.
+using PopScalarFn = std::function<double(std::size_t pop_index)>;
+
+/// One network as a FeatureCollection: one Point per PoP (properties:
+/// name, network, degree, optional risk) and one LineString per link.
+[[nodiscard]] std::string NetworkToGeoJson(
+    const Network& network, const PopScalarFn& risk = nullptr);
+
+/// The whole corpus: every network's features, each tagged with its
+/// network name and kind; peerings are omitted (AS-level, not geographic).
+[[nodiscard]] std::string CorpusToGeoJson(const Corpus& corpus);
+
+/// A routed path over a network as a single LineString feature with a
+/// "label" property ("riskroute", "shortest", ...).
+[[nodiscard]] std::string PathToGeoJson(const Network& network,
+                                        const std::vector<std::size_t>& path,
+                                        const std::string& label);
+
+/// Escapes a string for embedding in a JSON document.
+[[nodiscard]] std::string JsonEscape(const std::string& text);
+
+}  // namespace riskroute::topology

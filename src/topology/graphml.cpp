@@ -1,0 +1,269 @@
+#include "topology/graphml.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+namespace {
+
+/// Minimal XML pull reader covering the GraphML subset: start/end tags
+/// with double- or single-quoted attributes, self-closing tags, text
+/// content, and skipped comments / processing instructions / CDATA.
+class XmlReader {
+ public:
+  struct StartTag {
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    bool self_closing = false;
+  };
+
+  explicit XmlReader(std::string_view text) : text_(text) {}
+
+  /// Advances to the next start tag; returns nullopt at end of input.
+  /// End tags and text content are tracked internally.
+  std::optional<StartTag> NextStartTag() {
+    while (pos_ < text_.size()) {
+      SkipUntil('<');
+      if (pos_ >= text_.size()) return std::nullopt;
+      if (Peek("<!--")) {
+        SkipPast("-->");
+        continue;
+      }
+      if (Peek("<?")) {
+        SkipPast("?>");
+        continue;
+      }
+      if (Peek("<![CDATA[")) {
+        SkipPast("]]>");
+        continue;
+      }
+      if (Peek("</")) {
+        SkipPast(">");
+        ++depth_closes_;
+        continue;
+      }
+      return ParseStartTag();
+    }
+    return std::nullopt;
+  }
+
+  /// Text content between the current position and the next '<'.
+  std::string ReadText() {
+    const std::size_t start = pos_;
+    const std::size_t lt = text_.find('<', start);
+    const std::size_t end = lt == std::string_view::npos ? text_.size() : lt;
+    return Unescape(util::Trim(text_.substr(start, end - start)));
+  }
+
+  /// Decodes the five predefined XML entities.
+  static std::string Unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const auto try_entity = [&](std::string_view entity, char ch) {
+        if (raw.substr(i, entity.size()) == entity) {
+          out.push_back(ch);
+          i += entity.size();
+          return true;
+        }
+        return false;
+      };
+      if (try_entity("&amp;", '&') || try_entity("&lt;", '<') ||
+          try_entity("&gt;", '>') || try_entity("&quot;", '"') ||
+          try_entity("&apos;", '\'')) {
+        continue;
+      }
+      out.push_back(raw[i++]);
+    }
+    return out;
+  }
+
+ private:
+  void SkipUntil(char c) {
+    const std::size_t found = text_.find(c, pos_);
+    pos_ = found == std::string_view::npos ? text_.size() : found;
+  }
+
+  void SkipPast(std::string_view marker) {
+    const std::size_t found = text_.find(marker, pos_);
+    if (found == std::string_view::npos) {
+      throw ParseError("graphml: unterminated construct near offset " +
+                       std::to_string(pos_));
+    }
+    pos_ = found + marker.size();
+  }
+
+  [[nodiscard]] bool Peek(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  StartTag ParseStartTag() {
+    ++pos_;  // consume '<'
+    StartTag tag;
+    while (pos_ < text_.size() && !IsSpace(text_[pos_]) &&
+           text_[pos_] != '>' && text_[pos_] != '/') {
+      tag.name.push_back(text_[pos_++]);
+    }
+    if (tag.name.empty()) throw ParseError("graphml: empty tag name");
+    while (pos_ < text_.size()) {
+      while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return tag;
+      }
+      if (text_[pos_] == '/') {
+        SkipPast(">");
+        tag.self_closing = true;
+        return tag;
+      }
+      // attribute name
+      std::string name;
+      while (pos_ < text_.size() && text_[pos_] != '=' &&
+             !IsSpace(text_[pos_])) {
+        name.push_back(text_[pos_++]);
+      }
+      while (pos_ < text_.size() && (IsSpace(text_[pos_]) || text_[pos_] == '=')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        throw ParseError("graphml: malformed attribute near offset " +
+                         std::to_string(pos_));
+      }
+      const char quote = text_[pos_++];
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        value.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        throw ParseError("graphml: unterminated attribute value");
+      }
+      ++pos_;  // closing quote
+      tag.attributes[name] = Unescape(value);
+    }
+    throw ParseError("graphml: unterminated start tag");
+  }
+
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_closes_ = 0;
+};
+
+struct RawNode {
+  std::string id;
+  std::map<std::string, std::string> data;  // key id -> value
+};
+
+}  // namespace
+
+Network ParseGraphml(std::string_view text, const GraphmlOptions& options) {
+  XmlReader reader(text);
+
+  std::map<std::string, std::string> node_key_names;  // key id -> attr.name
+  std::vector<RawNode> nodes;
+  std::vector<std::pair<std::string, std::string>> edges;
+
+  std::optional<RawNode> current_node;
+  std::string pending_data_key;
+
+  while (auto tag = reader.NextStartTag()) {
+    if (tag->name == "key") {
+      const auto domain = tag->attributes.find("for");
+      if (domain != tag->attributes.end() && domain->second != "node") continue;
+      const auto id = tag->attributes.find("id");
+      const auto name = tag->attributes.find("attr.name");
+      if (id != tag->attributes.end() && name != tag->attributes.end()) {
+        node_key_names[id->second] = name->second;
+      }
+    } else if (tag->name == "node") {
+      if (current_node) nodes.push_back(std::move(*current_node));
+      current_node = RawNode{};
+      const auto id = tag->attributes.find("id");
+      if (id == tag->attributes.end()) {
+        throw ParseError("graphml: <node> without id");
+      }
+      current_node->id = id->second;
+      if (tag->self_closing) {
+        nodes.push_back(std::move(*current_node));
+        current_node.reset();
+      }
+    } else if (tag->name == "edge") {
+      if (current_node) {
+        nodes.push_back(std::move(*current_node));
+        current_node.reset();
+      }
+      const auto source = tag->attributes.find("source");
+      const auto target = tag->attributes.find("target");
+      if (source == tag->attributes.end() || target == tag->attributes.end()) {
+        throw ParseError("graphml: <edge> without source/target");
+      }
+      edges.emplace_back(source->second, target->second);
+    } else if (tag->name == "data" && current_node) {
+      const auto key = tag->attributes.find("key");
+      if (key != tag->attributes.end() && !tag->self_closing) {
+        current_node->data[key->second] = reader.ReadText();
+      }
+    }
+  }
+  if (current_node) nodes.push_back(std::move(*current_node));
+
+  // Resolve which key ids carry latitude / longitude / label.
+  std::string lat_key, lon_key, label_key;
+  for (const auto& [id, name] : node_key_names) {
+    if (name == options.latitude_attr) lat_key = id;
+    if (name == options.longitude_attr) lon_key = id;
+    if (name == options.label_attr) label_key = id;
+  }
+  if (lat_key.empty() || lon_key.empty()) {
+    throw ParseError("graphml: no node keys named '" + options.latitude_attr +
+                     "'/'" + options.longitude_attr + "'");
+  }
+
+  Network network(options.network_name, options.kind);
+  std::map<std::string, std::size_t> index_of;  // graphml id -> pop index
+  for (const RawNode& raw : nodes) {
+    const auto lat_it = raw.data.find(lat_key);
+    const auto lon_it = raw.data.find(lon_key);
+    if (lat_it == raw.data.end() || lon_it == raw.data.end()) {
+      continue;  // hyper node / unplaced node: dropped
+    }
+    const auto lat = util::ParseDouble(lat_it->second);
+    const auto lon = util::ParseDouble(lon_it->second);
+    if (!lat || !lon || !geo::IsValidLatLon(*lat, *lon)) continue;
+    std::string name = raw.id;
+    if (!label_key.empty()) {
+      const auto label_it = raw.data.find(label_key);
+      if (label_it != raw.data.end() && !label_it->second.empty()) {
+        name = label_it->second;
+      }
+    }
+    index_of[raw.id] =
+        network.AddPop(Pop{std::move(name), geo::GeoPoint(*lat, *lon)});
+  }
+  if (network.pop_count() == 0) {
+    throw ParseError("graphml: no nodes with usable coordinates");
+  }
+  for (const auto& [source, target] : edges) {
+    const auto a = index_of.find(source);
+    const auto b = index_of.find(target);
+    if (a == index_of.end() || b == index_of.end() || a->second == b->second) {
+      continue;  // edge touches a dropped node or is a self-loop
+    }
+    network.AddLink(a->second, b->second);
+  }
+  return network;
+}
+
+}  // namespace riskroute::topology

@@ -1,0 +1,138 @@
+#include "topology/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/distance.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+
+std::string_view ToString(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kTier1:
+      return "tier1";
+    case NetworkKind::kRegional:
+      return "regional";
+  }
+  throw InternalError("unknown NetworkKind");
+}
+
+std::optional<NetworkKind> ParseNetworkKind(std::string_view s) {
+  if (s == "tier1") return NetworkKind::kTier1;
+  if (s == "regional") return NetworkKind::kRegional;
+  return std::nullopt;
+}
+
+Network::Network(std::string name, NetworkKind kind)
+    : name_(std::move(name)), kind_(kind) {
+  if (name_.empty()) throw InvalidArgument("Network requires a name");
+}
+
+std::size_t Network::AddPop(Pop pop) {
+  pops_.push_back(std::move(pop));
+  adjacency_.emplace_back();
+  return pops_.size() - 1;
+}
+
+void Network::AddLink(std::size_t a, std::size_t b) {
+  if (a >= pops_.size() || b >= pops_.size()) {
+    throw InvalidArgument(util::Format(
+        "link (%zu, %zu) out of range for %zu PoPs", a, b, pops_.size()));
+  }
+  if (a == b) throw InvalidArgument("self-links are not allowed");
+  if (HasLink(a, b)) return;
+  links_.push_back(Link{std::min(a, b), std::max(a, b)});
+  adjacency_[a].insert(
+      std::lower_bound(adjacency_[a].begin(), adjacency_[a].end(), b), b);
+  adjacency_[b].insert(
+      std::lower_bound(adjacency_[b].begin(), adjacency_[b].end(), a), a);
+}
+
+const Pop& Network::pop(std::size_t i) const {
+  if (i >= pops_.size()) {
+    throw InvalidArgument(util::Format("PoP index %zu out of range", i));
+  }
+  return pops_[i];
+}
+
+const std::vector<std::size_t>& Network::Neighbors(std::size_t i) const {
+  if (i >= adjacency_.size()) {
+    throw InvalidArgument(util::Format("PoP index %zu out of range", i));
+  }
+  return adjacency_[i];
+}
+
+bool Network::HasLink(std::size_t a, std::size_t b) const {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  return std::binary_search(adjacency_[a].begin(), adjacency_[a].end(), b);
+}
+
+std::optional<std::size_t> Network::FindPop(std::string_view name) const {
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    if (pops_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Network::NearestPop(const geo::GeoPoint& p) const {
+  if (pops_.empty()) throw InvalidArgument("NearestPop on empty network");
+  std::size_t best = 0;
+  double best_miles = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    const double miles = geo::GreatCircleMiles(p, pops_[i].location);
+    if (miles < best_miles) {
+      best_miles = miles;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool Network::IsConnected() const {
+  if (pops_.size() <= 1) return true;
+  std::vector<bool> seen(pops_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const std::size_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == pops_.size();
+}
+
+double Network::FootprintMiles() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pops_.size(); ++j) {
+      best = std::max(best,
+                      geo::GreatCircleMiles(pops_[i].location, pops_[j].location));
+    }
+  }
+  return best;
+}
+
+double Network::AverageDegree() const {
+  if (pops_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(links_.size()) /
+         static_cast<double>(pops_.size());
+}
+
+double Network::TotalLinkMiles() const {
+  double total = 0.0;
+  for (const Link& link : links_) {
+    total += geo::GreatCircleMiles(pops_[link.a].location, pops_[link.b].location);
+  }
+  return total;
+}
+
+}  // namespace riskroute::topology

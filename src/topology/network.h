@@ -1,0 +1,90 @@
+// Physical network infrastructure: PoPs and the links between them.
+//
+// Mirrors the paper's Section 4.1 model: a network is a set of
+// Points-of-Presence with geographic coordinates, connected by undirected
+// links placed line-of-sight (link length = great-circle miles between the
+// endpoints' cities).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace riskroute::topology {
+
+/// Tier of a network in the paper's corpus.
+enum class NetworkKind { kTier1, kRegional };
+
+[[nodiscard]] std::string_view ToString(NetworkKind kind);
+[[nodiscard]] std::optional<NetworkKind> ParseNetworkKind(std::string_view s);
+
+/// A Point-of-Presence: a named infrastructure location.
+struct Pop {
+  std::string name;      // "Houston, TX"
+  geo::GeoPoint location;
+};
+
+/// Undirected link between two PoPs (indices into the owning network).
+struct Link {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// A single ISP's physical infrastructure. PoP indices are stable handles.
+class Network {
+ public:
+  Network(std::string name, NetworkKind kind);
+
+  /// Appends a PoP; returns its index.
+  std::size_t AddPop(Pop pop);
+
+  /// Adds an undirected link between existing distinct PoPs; duplicate
+  /// links are ignored. Throws InvalidArgument on bad indices or a == b.
+  void AddLink(std::size_t a, std::size_t b);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NetworkKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t pop_count() const { return pops_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Pop& pop(std::size_t i) const;
+  [[nodiscard]] const std::vector<Pop>& pops() const { return pops_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Neighbours of PoP `i` (ascending index order).
+  [[nodiscard]] const std::vector<std::size_t>& Neighbors(std::size_t i) const;
+
+  [[nodiscard]] bool HasLink(std::size_t a, std::size_t b) const;
+
+  /// Index of the PoP whose name matches exactly, if any.
+  [[nodiscard]] std::optional<std::size_t> FindPop(std::string_view name) const;
+
+  /// Index of the PoP geographically closest to `p` (linear scan; network
+  /// PoP counts are at most a few hundred). Throws if the network is empty.
+  [[nodiscard]] std::size_t NearestPop(const geo::GeoPoint& p) const;
+
+  /// True when every PoP can reach every other over links.
+  [[nodiscard]] bool IsConnected() const;
+
+  /// Largest great-circle distance between any two PoPs — the paper's
+  /// "geographic footprint" characteristic (Table 3).
+  [[nodiscard]] double FootprintMiles() const;
+
+  /// Mean link degree over PoPs — the paper's "average outdegree".
+  [[nodiscard]] double AverageDegree() const;
+
+  /// Total line-of-sight mileage over all links.
+  [[nodiscard]] double TotalLinkMiles() const;
+
+ private:
+  std::string name_;
+  NetworkKind kind_;
+  std::vector<Pop> pops_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace riskroute::topology

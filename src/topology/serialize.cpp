@@ -1,0 +1,123 @@
+#include "topology/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::topology {
+namespace {
+
+[[noreturn]] void Fail(std::size_t line_no, const std::string& message) {
+  throw ParseError(util::Format("corpus line %zu: %s", line_no, message.c_str()));
+}
+
+}  // namespace
+
+void WriteCorpus(const Corpus& corpus, std::ostream& out) {
+  out << "corpus v1\n";
+  for (const Network& network : corpus.networks()) {
+    out << "network " << network.name() << ' ' << ToString(network.kind())
+        << '\n';
+    for (std::size_t i = 0; i < network.pop_count(); ++i) {
+      const Pop& pop = network.pop(i);
+      out << "pop " << i << ' '
+          << util::Format("%.6f %.6f ", pop.location.latitude(),
+                          pop.location.longitude())
+          << pop.name << '\n';
+    }
+    for (const Link& link : network.links()) {
+      out << "link " << link.a << ' ' << link.b << '\n';
+    }
+  }
+  for (const Peering& peering : corpus.peerings()) {
+    out << "peering " << corpus.network(peering.a).name() << ' '
+        << corpus.network(peering.b).name() << '\n';
+  }
+}
+
+std::string CorpusToString(const Corpus& corpus) {
+  std::ostringstream os;
+  WriteCorpus(corpus, os);
+  return os.str();
+}
+
+Corpus ReadCorpus(std::istream& in) {
+  Corpus corpus;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::optional<std::size_t> current;  // network being populated
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = util::SplitWhitespace(trimmed);
+    const std::string& keyword = tokens.front();
+
+    if (!saw_header) {
+      if (keyword != "corpus" || tokens.size() != 2 || tokens[1] != "v1") {
+        Fail(line_no, "expected header 'corpus v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (keyword == "network") {
+      if (tokens.size() != 3) Fail(line_no, "expected 'network <name> <kind>'");
+      const auto kind = ParseNetworkKind(tokens[2]);
+      if (!kind) Fail(line_no, "unknown network kind: " + tokens[2]);
+      current = corpus.AddNetwork(Network(tokens[1], *kind));
+    } else if (keyword == "pop") {
+      if (!current) Fail(line_no, "'pop' before any 'network'");
+      if (tokens.size() < 5) {
+        Fail(line_no, "expected 'pop <idx> <lat> <lon> <name>'");
+      }
+      const auto idx = util::ParseInt(tokens[1]);
+      const auto lat = util::ParseDouble(tokens[2]);
+      const auto lon = util::ParseDouble(tokens[3]);
+      if (!idx || !lat || !lon) Fail(line_no, "malformed pop fields");
+      Network& network = corpus.mutable_network(*current);
+      if (static_cast<std::size_t>(*idx) != network.pop_count()) {
+        Fail(line_no, util::Format("pop index %lld out of order (expected %zu)",
+                                   *idx, network.pop_count()));
+      }
+      // Reassemble the (possibly multi-word) PoP name.
+      std::vector<std::string> name_parts(tokens.begin() + 4, tokens.end());
+      network.AddPop(Pop{util::Join(name_parts, " "),
+                         geo::GeoPoint(*lat, *lon)});
+    } else if (keyword == "link") {
+      if (!current) Fail(line_no, "'link' before any 'network'");
+      if (tokens.size() != 3) Fail(line_no, "expected 'link <a> <b>'");
+      const auto a = util::ParseInt(tokens[1]);
+      const auto b = util::ParseInt(tokens[2]);
+      if (!a || !b || *a < 0 || *b < 0) Fail(line_no, "malformed link fields");
+      try {
+        corpus.mutable_network(*current).AddLink(static_cast<std::size_t>(*a),
+                                                 static_cast<std::size_t>(*b));
+      } catch (const InvalidArgument& e) {
+        Fail(line_no, e.what());
+      }
+    } else if (keyword == "peering") {
+      if (tokens.size() != 3) Fail(line_no, "expected 'peering <a> <b>'");
+      const auto a = corpus.FindNetwork(tokens[1]);
+      const auto b = corpus.FindNetwork(tokens[2]);
+      if (!a || !b) Fail(line_no, "peering references unknown network");
+      corpus.AddPeering(*a, *b);
+    } else {
+      Fail(line_no, "unknown keyword: " + keyword);
+    }
+  }
+  if (!saw_header) throw ParseError("corpus: missing 'corpus v1' header");
+  return corpus;
+}
+
+Corpus CorpusFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadCorpus(is);
+}
+
+}  // namespace riskroute::topology

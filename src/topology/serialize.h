@@ -1,0 +1,34 @@
+// Plain-text serialization of networks and corpora (".rrt" format).
+//
+// A human-editable, Topology-Zoo-inspired format so users can load their
+// own ground-truth maps instead of the synthetic corpus:
+//
+//   corpus v1
+//   network Level3 tier1
+//   pop 0 29.7600 -95.3700 Houston, TX
+//   pop 1 42.3600 -71.0600 Boston, MA
+//   link 0 1
+//   peering Level3 ATT
+//
+// Lines starting with '#' are comments. `pop` lines must precede the
+// `link` lines that reference them; `peering` lines may appear anywhere
+// after both networks are declared.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/corpus.h"
+
+namespace riskroute::topology {
+
+/// Serializes a corpus (networks, PoPs, links, peerings).
+void WriteCorpus(const Corpus& corpus, std::ostream& out);
+[[nodiscard]] std::string CorpusToString(const Corpus& corpus);
+
+/// Parses the format above. Throws ParseError with a line number on any
+/// malformed input.
+[[nodiscard]] Corpus ReadCorpus(std::istream& in);
+[[nodiscard]] Corpus CorpusFromString(const std::string& text);
+
+}  // namespace riskroute::topology

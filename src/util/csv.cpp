@@ -1,0 +1,80 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::util {
+
+CsvRow ParseCsvLine(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    throw ParseError("unterminated quoted CSV field in line: " + std::string(line));
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const CsvRow& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << EscapeCsvField(row[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::ToField(double v) { return Format("%.6g", v); }
+
+std::vector<CsvRow> ReadCsv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace riskroute::util

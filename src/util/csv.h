@@ -1,0 +1,58 @@
+// Minimal CSV reading/writing used by the bench harness to emit
+// figure/table data and by tests to round-trip generated data sets.
+//
+// Supports RFC-4180-style quoting ("..." with embedded commas and doubled
+// quotes). Does not support embedded newlines inside quoted fields; the
+// data this library emits never needs them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riskroute::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line into fields. Throws ParseError on an
+/// unterminated quoted field.
+[[nodiscard]] CsvRow ParseCsvLine(std::string_view line);
+
+/// Escapes a single field for CSV output (quotes it when needed).
+[[nodiscard]] std::string EscapeCsvField(std::string_view field);
+
+/// Streaming CSV writer. Write a header, then rows; fields are escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const CsvRow& row);
+
+  /// Convenience: writes a row of heterogeneous printable values.
+  template <typename... Ts>
+  void Write(const Ts&... fields) {
+    CsvRow row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(ToField(fields)), ...);
+    WriteRow(row);
+  }
+
+ private:
+  static std::string ToField(const std::string& s) { return s; }
+  static std::string ToField(const char* s) { return s; }
+  static std::string ToField(double v);
+  static std::string ToField(int v) { return std::to_string(v); }
+  static std::string ToField(long v) { return std::to_string(v); }
+  static std::string ToField(long long v) { return std::to_string(v); }
+  static std::string ToField(std::size_t v) { return std::to_string(v); }
+
+  std::ostream& out_;
+};
+
+/// Reads all rows from a CSV stream (no header handling; callers skip
+/// row 0 themselves when appropriate).
+[[nodiscard]] std::vector<CsvRow> ReadCsv(std::istream& in);
+
+}  // namespace riskroute::util

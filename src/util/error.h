@@ -1,0 +1,34 @@
+// Error types shared across the RiskRoute library.
+//
+// Library code throws these (all derived from std::runtime_error /
+// std::logic_error) on contract violations and malformed input. Per the
+// C++ Core Guidelines (E.2, E.14), exceptions are reserved for errors;
+// expected "not found" results use std::optional instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace riskroute {
+
+/// Malformed external input: a topology file, an advisory text, a CSV row.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad index, invalid
+/// coordinates, empty data set where at least one element is required).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in this library.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace riskroute

@@ -1,0 +1,8 @@
+// rng.h is header-only; this translation unit exists so the library always
+// has at least one object file per public header group and to catch ODR
+// issues early.
+#include "util/rng.h"
+
+namespace riskroute::util {
+static_assert(sizeof(Rng) > 0);
+}  // namespace riskroute::util

@@ -1,0 +1,40 @@
+// Small string utilities used by the parsers and formatters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riskroute::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on arbitrary whitespace runs, dropping empty tokens.
+[[nodiscard]] std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view Trim(std::string_view text);
+
+/// ASCII upper-casing (advisory texts are all-caps; we normalize inputs).
+[[nodiscard]] std::string ToUpper(std::string_view text);
+[[nodiscard]] std::string ToLower(std::string_view text);
+
+[[nodiscard]] bool StartsWith(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool Contains(std::string_view text, std::string_view needle);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Locale-independent numeric parsing. Returns nullopt on any trailing
+/// garbage or empty input (stricter than std::stod).
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view text);
+[[nodiscard]] std::optional<long long> ParseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string Format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace riskroute::util

@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw InvalidArgument("Table requires at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw InvalidArgument(Format("Table row arity %zu != header arity %zu",
+                                 row.size(), headers_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToCell(double v) { return Format("%.4f", v); }
+
+void Table::Render(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  Render(os);
+  return os.str();
+}
+
+}  // namespace riskroute::util

@@ -1,0 +1,49 @@
+// Console table renderer.
+//
+// The benchmark binaries print the reproduced paper tables/figures as
+// aligned plain-text tables before running their timing sections; this
+// keeps the "reproduction output" human-diffable against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace riskroute::util {
+
+/// Column-aligned text table. Collects rows, renders once.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: heterogeneous row (strings, ints, doubles).
+  template <typename... Ts>
+  void Add(const Ts&... fields) {
+    AddRow({ToCell(fields)...});
+  }
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  void Render(std::ostream& out) const;
+
+  [[nodiscard]] std::string ToString() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v);
+  static std::string ToCell(int v) { return std::to_string(v); }
+  static std::string ToCell(long v) { return std::to_string(v); }
+  static std::string ToCell(long long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned v) { return std::to_string(v); }
+  static std::string ToCell(std::size_t v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace riskroute::util

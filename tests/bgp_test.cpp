@@ -1,0 +1,211 @@
+// Tests for the BGP-lite substrate: relationship classification,
+// Gao-Rexford route selection/export, valley-freeness, add-paths
+// retention and disaster failover assessment.
+#include <gtest/gtest.h>
+
+#include "bgp/path_vector.h"
+#include "bgp/relationships.h"
+#include "bgp/restoration.h"
+#include "topology/generator.h"
+#include "util/error.h"
+
+namespace riskroute::bgp {
+namespace {
+
+using topology::Network;
+using topology::NetworkKind;
+
+/// Small corpus:
+///   T0 -- T1 (tier-1 peering mesh)
+///   R2 -> T0 (customer), R3 -> T1 (customer), R4 -> T0 and T1 (multihomed)
+///   R2 -- R3 (regional peering)
+topology::Corpus SmallCorpus() {
+  topology::Corpus corpus;
+  const auto add = [&](const char* name, NetworkKind kind) {
+    Network net(name, kind);
+    net.AddPop({"X, TX", geo::GeoPoint(30, -95)});
+    return corpus.AddNetwork(std::move(net));
+  };
+  add("T0", NetworkKind::kTier1);
+  add("T1", NetworkKind::kTier1);
+  add("R2", NetworkKind::kRegional);
+  add("R3", NetworkKind::kRegional);
+  add("R4", NetworkKind::kRegional);
+  corpus.AddPeering(0, 1);
+  corpus.AddPeering(0, 2);
+  corpus.AddPeering(1, 3);
+  corpus.AddPeering(2, 3);
+  corpus.AddPeering(0, 4);
+  corpus.AddPeering(1, 4);
+  return corpus;
+}
+
+TEST(Relationships, ClassifiesByTier) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  EXPECT_EQ(graph.RoleOf(0, 1), NeighborRole::kPeer);     // tier1-tier1
+  EXPECT_EQ(graph.RoleOf(0, 2), NeighborRole::kCustomer); // T0's customer R2
+  EXPECT_EQ(graph.RoleOf(2, 0), NeighborRole::kProvider); // R2's provider T0
+  EXPECT_EQ(graph.RoleOf(2, 3), NeighborRole::kPeer);     // regional peering
+  EXPECT_TRUE(graph.AreAdjacent(0, 4));
+  EXPECT_FALSE(graph.AreAdjacent(3, 4));
+  EXPECT_THROW((void)graph.RoleOf(3, 4), InvalidArgument);
+}
+
+TEST(PathVector, PreferenceOrder) {
+  const Route customer{{0, 9}, NeighborRole::kCustomer};
+  const Route peer{{0, 9}, NeighborRole::kPeer};
+  const Route provider{{0, 9}, NeighborRole::kProvider};
+  EXPECT_TRUE(RoutePreferred(customer, peer));
+  EXPECT_TRUE(RoutePreferred(peer, provider));
+  const Route short_peer{{0, 9}, NeighborRole::kPeer};
+  const Route long_customer{{0, 5, 6, 9}, NeighborRole::kCustomer};
+  EXPECT_TRUE(RoutePreferred(long_customer, short_peer));  // class dominates
+  const Route long_peer{{0, 5, 9}, NeighborRole::kPeer};
+  EXPECT_TRUE(RoutePreferred(short_peer, long_peer));  // then length
+}
+
+TEST(PathVector, EveryoneReachesEveryDestination) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  for (std::size_t dst = 0; dst < graph.as_count(); ++dst) {
+    const RoutingState state = RoutingState::Compute(graph, dst);
+    EXPECT_DOUBLE_EQ(state.Reachability(), 1.0) << "destination " << dst;
+  }
+}
+
+TEST(PathVector, PrefersCustomerRoutes) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  // T0 -> R3: T0 could go via peer T1 (customer route of T1) or via
+  // customer R2 (peer route of R2 -- not exported to a provider!). The
+  // only policy-compliant route is via T1.
+  const RoutingState state = RoutingState::Compute(graph, 3);
+  const RibEntry& rib = state.rib(0);
+  ASSERT_TRUE(rib.best.has_value());
+  EXPECT_EQ(rib.best->as_path, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(PathVector, ExportRulesBlockValleyPaths) {
+  // R2 learns a peer route to R3 directly. R2 must NOT export it to its
+  // provider T0 (no-valley rule), so T0's route to R3 goes through T1.
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  const RoutingState state = RoutingState::Compute(graph, 3);
+  for (std::size_t as = 0; as < graph.as_count(); ++as) {
+    if (as == 3) continue;
+    const RibEntry& rib = state.rib(as);
+    ASSERT_TRUE(rib.best.has_value()) << "AS " << as;
+    EXPECT_TRUE(IsValleyFree(graph, rib.best->as_path)) << "AS " << as;
+    for (const Route& alt : rib.alternates) {
+      EXPECT_TRUE(IsValleyFree(graph, alt.as_path));
+    }
+  }
+}
+
+TEST(PathVector, MultihomedAsHasAddPathsBackup) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  // R4 is multihomed to T0 and T1: toward R3 it must hold two distinct
+  // next-hop routes (via T1 direct customer chain, via T0->T1).
+  const RoutingState state = RoutingState::Compute(graph, 3);
+  const RibEntry& rib = state.rib(4);
+  ASSERT_GE(rib.alternates.size(), 2u);
+  EXPECT_NE(rib.alternates[0].next_hop(), rib.alternates[1].next_hop());
+}
+
+TEST(PathVector, SingleHomedAsHasNoBackup) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  // R2's only transit is T0 (its peer R3 cannot reach R4's providers...
+  // Actually toward R4, R2 has only the T0 next hop).
+  const RoutingState state = RoutingState::Compute(graph, 4);
+  const RibEntry& rib = state.rib(2);
+  ASSERT_TRUE(rib.best.has_value());
+  EXPECT_EQ(rib.alternates.size(), 1u);
+}
+
+TEST(PathVector, ValleyFreeChecker) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  EXPECT_TRUE(IsValleyFree(graph, {2, 0, 1, 3}));   // up, across, down
+  EXPECT_FALSE(IsValleyFree(graph, {0, 2, 3, 1}));  // down, across, up
+  EXPECT_TRUE(IsValleyFree(graph, {2, 3}));         // single peer step
+  EXPECT_TRUE(IsValleyFree(graph, {0}));            // trivial
+}
+
+TEST(PathVector, PaperCorpusFullyRoutedAndValleyFree) {
+  const topology::Corpus corpus = topology::GeneratePaperCorpus(123);
+  const auto graph = RelationshipGraph::FromCorpus(corpus);
+  for (const std::size_t dst : {0ul, 5ul, 12ul, 22ul}) {
+    const RoutingState state = RoutingState::Compute(graph, dst);
+    EXPECT_DOUBLE_EQ(state.Reachability(), 1.0);
+    for (std::size_t as = 0; as < graph.as_count(); ++as) {
+      if (as == dst) continue;
+      ASSERT_TRUE(state.rib(as).best.has_value());
+      EXPECT_TRUE(IsValleyFree(graph, state.rib(as).best->as_path));
+    }
+  }
+}
+
+TEST(Restoration, NoFailuresMeansAllPrimary) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  const std::vector<bool> none(graph.as_count(), false);
+  const RestorationSummary summary = AssessFailover(graph, none);
+  EXPECT_EQ(summary.pairs, summary.primary_ok);
+  EXPECT_DOUBLE_EQ(summary.PrimarySurvival(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.FinalReachability(), 1.0);
+}
+
+TEST(Restoration, SingleHomedCustomersBehindDeadTier1AreLost) {
+  // Strict Gao-Rexford export means R3 (single-homed to T1) becomes
+  // unreachable when T1 dies: its peer R2 may not re-export provider or
+  // peer routes. Losing T1 really does strand its sole customers.
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  std::vector<bool> failed(graph.as_count(), false);
+  failed[1] = true;  // T1 down
+  const RestorationSummary summary = AssessFailover(graph, failed);
+  EXPECT_LT(summary.PrimarySurvival(), 1.0);
+  EXPECT_GT(summary.lost, 0u);
+}
+
+TEST(Restoration, MultihomedDestinationRescuedByAddPaths) {
+  // Same corpus but R3 buys transit from BOTH tier-1s. Primaries prefer
+  // the lower-indexed tier-1 (T0), so killing T0 hits them — and the
+  // multihomed ASes' pre-installed T1 alternates take over, while the
+  // single-homed R2 strands for everything beyond its direct peer.
+  topology::Corpus corpus = SmallCorpus();
+  corpus.AddPeering(0, 3);  // R3 -> T0 as well
+  const auto graph = RelationshipGraph::FromCorpus(corpus);
+  std::vector<bool> failed(graph.as_count(), false);
+  failed[0] = true;  // T0 down
+  const RestorationSummary summary = AssessFailover(graph, failed);
+  EXPECT_LT(summary.PrimarySurvival(), 1.0);
+  EXPECT_GT(summary.add_paths, 0u);  // e.g. R4 -> R3 flips to the T1 path
+  EXPECT_GT(summary.lost, 0u);       // R2 beyond its direct peer
+  EXPECT_GT(summary.FinalReachability(), summary.PrimarySurvival());
+}
+
+TEST(Restoration, LossWhenSoleProviderFails) {
+  const auto graph = RelationshipGraph::FromCorpus(SmallCorpus());
+  std::vector<bool> failed(graph.as_count(), false);
+  failed[0] = true;  // T0 down: R2 loses its only provider
+  const RestorationSummary summary = AssessFailover(graph, failed);
+  // R2 can still reach R3 (direct peering) but nothing else -> losses.
+  EXPECT_GT(summary.lost, 0u);
+  EXPECT_LT(summary.FinalReachability(), 1.0);
+}
+
+TEST(Restoration, StormDerivedFailures) {
+  const topology::Corpus corpus = SmallCorpus();
+  // Build a scope whose hurricane zone covers the single shared city.
+  forecast::Advisory advisory;
+  advisory.storm_name = "X";
+  advisory.center = geo::GeoPoint(30, -95);
+  advisory.max_wind_mph = 100;
+  advisory.hurricane_wind_radius_miles = 50;
+  advisory.tropical_wind_radius_miles = 150;
+  const forecast::StormScope scope({advisory});
+  const std::vector<bool> failed = FailedAsesFromStorm(corpus, scope, 0.5);
+  // Every network's single PoP is inside the hurricane zone.
+  for (const bool f : failed) EXPECT_TRUE(f);
+  EXPECT_THROW((void)AssessFailover(RelationshipGraph::FromCorpus(corpus),
+                                    std::vector<bool>(2, false)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace riskroute::bgp

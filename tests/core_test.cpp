@@ -1,0 +1,328 @@
+// Unit and property tests for the core RiskRoute engine: the risk graph,
+// Dijkstra, the Equation 1 metric, Equation 3 optimization and the
+// Equation 5/6 ratio computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/riskroute.h"
+#include "core/shortest_path.h"
+#include "geo/distance.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::core {
+namespace {
+
+/// Builds the canonical test graph: a safe northern detour and a risky
+/// direct southern corridor between A (west) and D (east).
+///
+///        B(safe)
+///       /       \
+///  A --+---------+-- D
+///       \       /
+///        C(risky)
+RiskGraph DetourGraph() {
+  RiskGraph graph;
+  graph.AddNode(RiskNode{"A", geo::GeoPoint(35.0, -100.0), 0.3, 0.0, 0.0});
+  graph.AddNode(RiskNode{"B", geo::GeoPoint(39.0, -95.0), 0.2, 0.001, 0.0});
+  graph.AddNode(RiskNode{"C", geo::GeoPoint(32.0, -95.0), 0.2, 0.10, 0.0});
+  graph.AddNode(RiskNode{"D", geo::GeoPoint(35.0, -90.0), 0.3, 0.0, 0.0});
+  graph.AddEdgeByDistance(0, 1);
+  graph.AddEdgeByDistance(1, 3);
+  graph.AddEdgeByDistance(0, 2);
+  graph.AddEdgeByDistance(2, 3);
+  return graph;
+}
+
+TEST(RiskGraph, EdgeBookkeeping) {
+  RiskGraph graph = DetourGraph();
+  EXPECT_EQ(graph.node_count(), 4u);
+  EXPECT_EQ(graph.directed_edge_count(), 8u);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 3));
+  graph.AddEdge(0, 3, 500.0);
+  EXPECT_TRUE(graph.HasEdge(0, 3));
+  graph.RemoveEdge(0, 3);
+  EXPECT_FALSE(graph.HasEdge(0, 3));
+  EXPECT_THROW(graph.RemoveEdge(0, 3), InvalidArgument);
+}
+
+TEST(RiskGraph, Validation) {
+  RiskGraph graph = DetourGraph();
+  EXPECT_THROW(graph.AddEdge(0, 0, 10), InvalidArgument);
+  EXPECT_THROW(graph.AddEdge(0, 9, 10), InvalidArgument);
+  EXPECT_THROW(graph.AddEdge(0, 3, -1), InvalidArgument);
+  EXPECT_THROW((void)graph.node(9), InvalidArgument);
+  EXPECT_THROW((void)graph.OutEdges(9), InvalidArgument);
+  EXPECT_THROW(graph.SetForecastRisks({1.0}), InvalidArgument);
+}
+
+TEST(RiskGraph, DuplicateEdgesIgnored) {
+  RiskGraph graph = DetourGraph();
+  const std::size_t before = graph.directed_edge_count();
+  graph.AddEdge(0, 1, 999.0);
+  EXPECT_EQ(graph.directed_edge_count(), before);
+}
+
+TEST(RiskGraph, ForecastRiskLifecycle) {
+  RiskGraph graph = DetourGraph();
+  graph.SetForecastRisks({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(graph.node(2).forecast_risk, 3.0);
+  graph.ClearForecastRisks();
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(graph.node(i).forecast_risk, 0.0);
+  }
+}
+
+// ---------- Dijkstra ----------
+
+TEST(Dijkstra, FindsShortestDistancePath) {
+  const RiskGraph graph = DetourGraph();
+  const auto path = ShortestPath(graph, 0, 3, EdgeWeightFn(DistanceWeight));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 3u);
+  EXPECT_EQ(path->size(), 3u);  // one intermediate node
+}
+
+TEST(Dijkstra, UnreachableReturnsNullopt) {
+  RiskGraph graph;
+  graph.AddNode(RiskNode{"A", geo::GeoPoint(30, -90), 0.5, 0, 0});
+  graph.AddNode(RiskNode{"B", geo::GeoPoint(40, -100), 0.5, 0, 0});
+  EXPECT_FALSE(
+      ShortestPath(graph, 0, 1, EdgeWeightFn(DistanceWeight)).has_value());
+}
+
+TEST(Dijkstra, SourceEqualsTarget) {
+  const RiskGraph graph = DetourGraph();
+  DijkstraWorkspace ws;
+  ws.Run(graph, 2, DistanceWeight, 2);
+  EXPECT_TRUE(ws.Reached(2));
+  EXPECT_DOUBLE_EQ(ws.DistanceTo(2), 0.0);
+  EXPECT_EQ(ws.PathTo(2), Path{2});
+}
+
+TEST(Dijkstra, DistancesAreMonotoneAlongParents) {
+  const RiskGraph graph = DetourGraph();
+  DijkstraWorkspace ws;
+  ws.Run(graph, 0, DistanceWeight);
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    ASSERT_TRUE(ws.Reached(v));
+    const Path path = ws.PathTo(v);
+    double along = 0.0;
+    for (std::size_t k = 1; k < path.size(); ++k) {
+      for (const RiskEdge& e : graph.OutEdges(path[k - 1])) {
+        if (e.to == path[k]) along += e.miles;
+      }
+    }
+    EXPECT_NEAR(along, ws.DistanceTo(v), 1e-9);
+  }
+}
+
+TEST(Dijkstra, Validation) {
+  const RiskGraph graph = DetourGraph();
+  DijkstraWorkspace ws;
+  EXPECT_THROW(ws.Run(graph, 9, DistanceWeight), InvalidArgument);
+  ws.Run(graph, 0, DistanceWeight);
+  EXPECT_THROW((void)ws.DistanceTo(99), InvalidArgument);
+}
+
+// ---------- RiskRouter / Eq 1 ----------
+
+TEST(RiskRouter, PathBitRiskMilesMatchesEquationOne) {
+  const RiskGraph graph = DetourGraph();
+  const RiskParams params{1e4, 1e3};
+  const RiskRouter router(graph, params);
+  const Path path = {0, 2, 3};  // through the risky node C
+  const double alpha = 0.3 + 0.3;  // c_A + c_D
+  double expected = 0.0;
+  // hop A->C: d + alpha * lambda_h * oh(C)
+  expected += geo::GreatCircleMiles(graph.node(0).location,
+                                    graph.node(2).location) +
+              alpha * 1e4 * 0.10;
+  // hop C->D: d + alpha * lambda_h * oh(D)
+  expected += geo::GreatCircleMiles(graph.node(2).location,
+                                    graph.node(3).location) +
+              alpha * 1e4 * 0.0;
+  EXPECT_NEAR(router.PathBitRiskMiles(path), expected, 1e-9);
+}
+
+TEST(RiskRouter, ForecastRiskEntersTheMetric) {
+  RiskGraph graph = DetourGraph();
+  const RiskParams params{0.0, 1e3};  // forecast-only
+  graph.SetForecastRisks({0, 0, 50, 0});
+  const RiskRouter router(graph, params);
+  const Path path = {0, 2, 3};
+  const double alpha = 0.6;
+  const double miles = router.PathMiles(path);
+  EXPECT_NEAR(router.PathBitRiskMiles(path), miles + alpha * 1e3 * 50, 1e-9);
+}
+
+TEST(RiskRouter, RejectsNegativeLambdas) {
+  const RiskGraph graph = DetourGraph();
+  EXPECT_THROW(RiskRouter(graph, RiskParams{-1, 0}), InvalidArgument);
+}
+
+TEST(RiskRouter, PathValidation) {
+  const RiskGraph graph = DetourGraph();
+  const RiskRouter router(graph, RiskParams{});
+  EXPECT_THROW((void)router.PathBitRiskMiles({}), InvalidArgument);
+  EXPECT_THROW((void)router.PathBitRiskMiles({0, 3}), InvalidArgument);
+  EXPECT_THROW((void)router.PathMiles({0, 3}), InvalidArgument);
+}
+
+TEST(RiskRouter, AvoidsRiskWhenLambdaLarge) {
+  const RiskGraph graph = DetourGraph();
+  // Small lambda: geographic shortest (through C, the southern node, or B
+  // — whichever is shorter) wins; large lambda: the safe B detour wins.
+  const RiskRouter timid(graph, RiskParams{1e5, 0});
+  const auto route = timid.MinRiskRoute(0, 3);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->path, (Path{0, 1, 3}));  // through safe B
+
+  const RiskRouter neutral(graph, RiskParams{0, 0});
+  const auto direct = neutral.MinRiskRoute(0, 3);
+  ASSERT_TRUE(direct.has_value());
+  // With zero lambdas the min bit-risk route IS the shortest route.
+  const auto shortest = neutral.ShortestRoute(0, 3);
+  EXPECT_EQ(direct->path, shortest->path);
+}
+
+TEST(RiskRouter, MinRiskNeverExceedsShortestBitRisk) {
+  const RiskGraph graph = DetourGraph();
+  for (const double lambda : {0.0, 1e2, 1e4, 1e6}) {
+    const RiskRouter router(graph, RiskParams{lambda, 0});
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+      for (std::size_t j = 0; j < graph.node_count(); ++j) {
+        if (i == j) continue;
+        const auto rr = router.MinRiskRoute(i, j);
+        const auto sp = router.ShortestRoute(i, j);
+        ASSERT_TRUE(rr && sp);
+        EXPECT_LE(rr->bit_risk_miles, sp->bit_risk_miles + 1e-9);
+        EXPECT_GE(rr->bit_miles, sp->bit_miles - 1e-9);
+      }
+    }
+  }
+}
+
+// ---------- ratios ----------
+
+TEST(Ratios, ZeroLambdaGivesZeroRatios) {
+  const RiskGraph graph = DetourGraph();
+  const RatioReport report = ComputeIntradomainRatios(graph, RiskParams{0, 0});
+  EXPECT_NEAR(report.risk_reduction_ratio, 0.0, 1e-12);
+  EXPECT_NEAR(report.distance_increase_ratio, 0.0, 1e-12);
+  EXPECT_EQ(report.pair_count, 12u);  // 4*3 ordered pairs
+}
+
+TEST(Ratios, RatiosNonNegativeAndBounded) {
+  const RiskGraph graph = DetourGraph();
+  for (const double lambda : {1e2, 1e4, 1e6}) {
+    const RatioReport report =
+        ComputeIntradomainRatios(graph, RiskParams{lambda, 0});
+    EXPECT_GE(report.risk_reduction_ratio, -1e-12);
+    EXPECT_LT(report.risk_reduction_ratio, 1.0);
+    EXPECT_GE(report.distance_increase_ratio, -1e-12);
+  }
+}
+
+TEST(Ratios, MonotoneNondecreasingInLambdaOnDetourGraph) {
+  const RiskGraph graph = DetourGraph();
+  double previous_rr = -1.0;
+  for (const double lambda : {1e1, 1e2, 1e3, 1e4, 1e5, 1e6}) {
+    const RatioReport report =
+        ComputeIntradomainRatios(graph, RiskParams{lambda, 0});
+    EXPECT_GE(report.risk_reduction_ratio, previous_rr - 1e-9)
+        << "lambda " << lambda;
+    previous_rr = report.risk_reduction_ratio;
+  }
+}
+
+TEST(Ratios, ParallelMatchesSequential) {
+  const RiskGraph graph = DetourGraph();
+  util::ThreadPool pool(4);
+  const RiskParams params{1e4, 0};
+  const RatioReport seq = ComputeIntradomainRatios(graph, params, nullptr);
+  const RatioReport par = ComputeIntradomainRatios(graph, params, &pool);
+  EXPECT_DOUBLE_EQ(seq.risk_reduction_ratio, par.risk_reduction_ratio);
+  EXPECT_DOUBLE_EQ(seq.distance_increase_ratio, par.distance_increase_ratio);
+  EXPECT_EQ(seq.pair_count, par.pair_count);
+}
+
+TEST(Ratios, SourceTargetSubsets) {
+  const RiskGraph graph = DetourGraph();
+  const RatioReport report =
+      ComputeRatios(graph, RiskParams{1e4, 0}, {0}, {3});
+  EXPECT_EQ(report.pair_count, 1u);
+}
+
+TEST(Ratios, DisconnectedPairsSkipped) {
+  RiskGraph graph = DetourGraph();
+  graph.AddNode(RiskNode{"island", geo::GeoPoint(45, -70), 0.1, 0, 0});
+  const RatioReport report = ComputeIntradomainRatios(graph, RiskParams{1e4, 0});
+  EXPECT_EQ(report.pair_count, 12u);  // island contributes nothing
+}
+
+// ---------- aggregate objectives ----------
+
+TEST(Aggregate, SumMinBitRiskMatchesManualSum) {
+  const RiskGraph graph = DetourGraph();
+  const RiskParams params{1e4, 0};
+  const RiskRouter router(graph, params);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    for (std::size_t j = i + 1; j < graph.node_count(); ++j) {
+      expected += router.MinRiskRoute(i, j)->bit_risk_miles;
+    }
+  }
+  EXPECT_NEAR(AggregateMinBitRisk(graph, params), expected, 1e-9);
+}
+
+TEST(Aggregate, AddingAnEdgeNeverIncreasesObjective) {
+  RiskGraph graph = DetourGraph();
+  const RiskParams params{1e4, 0};
+  const double before = AggregateMinBitRisk(graph, params);
+  graph.AddEdgeByDistance(0, 3);
+  const double after = AggregateMinBitRisk(graph, params);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Aggregate, SumMinBitRiskOverSubsets) {
+  const RiskGraph graph = DetourGraph();
+  const RiskParams params{1e4, 0};
+  const RiskRouter router(graph, params);
+  const double got = SumMinBitRisk(graph, params, {0, 1}, {3});
+  const double expected = router.MinRiskRoute(0, 3)->bit_risk_miles +
+                          router.MinRiskRoute(1, 3)->bit_risk_miles;
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+// ---------- lambda sweep property (TEST_P) ----------
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, RiskRouteDominatesShortestPathInBitRisk) {
+  const double lambda = GetParam();
+  const RiskGraph graph = DetourGraph();
+  const RiskRouter router(graph, RiskParams{lambda, 0});
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    for (std::size_t j = 0; j < graph.node_count(); ++j) {
+      if (i == j) continue;
+      const auto rr = router.MinRiskRoute(i, j);
+      const auto sp = router.ShortestRoute(i, j);
+      ASSERT_TRUE(rr && sp);
+      EXPECT_LE(rr->bit_risk_miles, sp->bit_risk_miles + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.0, 1.0, 1e2, 1e3, 1e4, 1e5, 1e6,
+                                           1e8));
+
+}  // namespace
+}  // namespace riskroute::core

@@ -1,0 +1,223 @@
+// Unit tests for the hazard module: catalogs, the regional synthesizers
+// (Figure 4's qualitative geography), and the aggregate risk field with
+// calibration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/conus.h"
+#include "geo/distance.h"
+#include "hazard/catalog.h"
+#include "hazard/risk_field.h"
+#include "hazard/synthesis.h"
+#include "topology/network.h"
+#include "util/error.h"
+
+namespace riskroute::hazard {
+namespace {
+
+TEST(Catalog, PaperEventCounts) {
+  // Section 4.3's exact archive sizes.
+  EXPECT_EQ(PaperEventCount(HazardType::kFemaHurricane), 2805u);
+  EXPECT_EQ(PaperEventCount(HazardType::kFemaTornado), 6437u);
+  EXPECT_EQ(PaperEventCount(HazardType::kFemaStorm), 20623u);
+  EXPECT_EQ(PaperEventCount(HazardType::kNoaaEarthquake), 2267u);
+  EXPECT_EQ(PaperEventCount(HazardType::kNoaaWind), 143847u);
+}
+
+TEST(Catalog, NamesRoundTrip) {
+  for (const HazardType type : AllHazardTypes()) {
+    EXPECT_EQ(ParseHazardType(ToString(type)), type);
+  }
+  EXPECT_FALSE(ParseHazardType("FEMA Meteor").has_value());
+}
+
+TEST(Catalog, RejectsEmpty) {
+  EXPECT_THROW(Catalog(HazardType::kFemaStorm, {}), InvalidArgument);
+}
+
+TEST(Catalog, FilterYears) {
+  std::vector<Event> events = {{geo::GeoPoint(30, -90), 1975},
+                               {geo::GeoPoint(31, -91), 1985},
+                               {geo::GeoPoint(32, -92), 2005}};
+  const Catalog catalog(HazardType::kFemaStorm, events);
+  EXPECT_EQ(catalog.FilterYears(1980, 2000).size(), 1u);
+  EXPECT_EQ(catalog.FilterYears(1970, 2010).size(), 3u);
+}
+
+TEST(Synthesis, CatalogsHavePaperCountsAndConusEvents) {
+  for (const Catalog& catalog : SynthesizeAllCatalogs(11)) {
+    EXPECT_EQ(catalog.size(), PaperEventCount(catalog.type()))
+        << ToString(catalog.type());
+    // Spot-check a sample for CONUS containment and valid years.
+    for (std::size_t i = 0; i < catalog.size(); i += 97) {
+      const Event& event = catalog.events()[i];
+      EXPECT_TRUE(geo::InConus(event.location))
+          << ToString(catalog.type()) << " event " << i;
+      EXPECT_GE(event.year, 1970);
+      EXPECT_LE(event.year, 2010);
+    }
+  }
+}
+
+TEST(Synthesis, Deterministic) {
+  const Catalog a = SynthesizeCatalog(HazardType::kFemaHurricane, 5);
+  const Catalog b = SynthesizeCatalog(HazardType::kFemaHurricane, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 13) {
+    EXPECT_EQ(a.events()[i].location, b.events()[i].location);
+  }
+}
+
+/// Fraction of a catalog's events within `radius` miles of a point.
+double FractionNear(const Catalog& catalog, const geo::GeoPoint& p,
+                    double radius) {
+  std::size_t near = 0;
+  for (const Event& event : catalog.events()) {
+    if (geo::GreatCircleMiles(event.location, p) <= radius) ++near;
+  }
+  return static_cast<double>(near) / static_cast<double>(catalog.size());
+}
+
+TEST(Synthesis, HurricanesHugTheCoasts) {
+  const Catalog hurricanes = SynthesizeCatalog(HazardType::kFemaHurricane, 3);
+  // Figure 4-A: Gulf coast prevalence; essentially nothing inland-west.
+  EXPECT_GT(FractionNear(hurricanes, geo::GeoPoint(29.95, -90.07), 200), 0.10);
+  EXPECT_LT(FractionNear(hurricanes, geo::GeoPoint(39.74, -104.99), 300), 0.01);
+}
+
+TEST(Synthesis, TornadoesInTheAlley) {
+  const Catalog tornadoes = SynthesizeCatalog(HazardType::kFemaTornado, 3);
+  EXPECT_GT(FractionNear(tornadoes, geo::GeoPoint(35.47, -97.52), 250), 0.15);
+  EXPECT_LT(FractionNear(tornadoes, geo::GeoPoint(47.61, -122.33), 300), 0.01);
+}
+
+TEST(Synthesis, EarthquakesDominateTheWest) {
+  const Catalog quakes = SynthesizeCatalog(HazardType::kNoaaEarthquake, 3);
+  const double west = FractionNear(quakes, geo::GeoPoint(36.5, -119.5), 500);
+  const double southeast = FractionNear(quakes, geo::GeoPoint(32.0, -83.0), 500);
+  EXPECT_GT(west, 3 * (southeast + 0.001));
+}
+
+TEST(Synthesis, WindEventsFormTightClusters) {
+  const Catalog wind = SynthesizeCatalog(HazardType::kNoaaWind, 3);
+  // Median nearest-event distance must be a few miles (the basis for the
+  // small Table 1 wind bandwidth). Sample pairs cheaply.
+  std::size_t close_pairs = 0, sampled = 0;
+  for (std::size_t i = 0; i + 1 < wind.size(); i += 401) {
+    double best = 1e9;
+    for (std::size_t j = std::max<std::size_t>(1, i) - 1;
+         j < std::min(wind.size(), i + 400); ++j) {
+      if (j == i) continue;
+      best = std::min(best, geo::GreatCircleMiles(wind.events()[i].location,
+                                                  wind.events()[j].location));
+    }
+    ++sampled;
+    if (best < 20.0) ++close_pairs;
+  }
+  EXPECT_GT(static_cast<double>(close_pairs) / static_cast<double>(sampled),
+            0.5);
+}
+
+TEST(Synthesis, MixtureValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)SampleMixture({}, 10, rng), InvalidArgument);
+}
+
+// ---------- risk field ----------
+
+std::vector<Catalog> TinyCatalogs() {
+  util::Rng rng(3);
+  std::vector<Catalog> catalogs;
+  catalogs.emplace_back(
+      HazardType::kFemaHurricane,
+      SampleMixture({{geo::GeoPoint(29.9, -90.1), 1.0, 60.0}}, 300, rng));
+  catalogs.emplace_back(
+      HazardType::kNoaaEarthquake,
+      SampleMixture({{geo::GeoPoint(37.0, -120.0), 1.0, 80.0}}, 300, rng));
+  return catalogs;
+}
+
+TEST(RiskField, SumsPerHazardDensities) {
+  const auto catalogs = TinyCatalogs();
+  const HistoricalRiskField field(catalogs, {50.0, 50.0});
+  const geo::GeoPoint p(30.5, -90.5);
+  EXPECT_NEAR(field.RiskAt(p),
+              field.RiskAt(p, HazardType::kFemaHurricane) +
+                  field.RiskAt(p, HazardType::kNoaaEarthquake),
+              1e-15);
+}
+
+TEST(RiskField, RegionalSeparation) {
+  const HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  // Near New Orleans, hurricane risk dominates; near Fresno, earthquake.
+  const geo::GeoPoint nola(29.95, -90.07), fresno(36.75, -119.77);
+  EXPECT_GT(field.RiskAt(nola, HazardType::kFemaHurricane),
+            field.RiskAt(nola, HazardType::kNoaaEarthquake));
+  EXPECT_GT(field.RiskAt(fresno, HazardType::kNoaaEarthquake),
+            field.RiskAt(fresno, HazardType::kFemaHurricane));
+}
+
+TEST(RiskField, Validation) {
+  EXPECT_THROW(HistoricalRiskField({}, {}), InvalidArgument);
+  EXPECT_THROW(HistoricalRiskField(TinyCatalogs(), {50.0}), InvalidArgument);
+  const HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  EXPECT_THROW((void)field.RiskAt(geo::GeoPoint(30, -90),
+                                  HazardType::kFemaTornado),
+               InvalidArgument);
+  EXPECT_THROW((void)field.model(5), InvalidArgument);
+}
+
+TEST(RiskField, CalibrationHitsTarget) {
+  HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  const std::vector<geo::GeoPoint> reference = {
+      geo::GeoPoint(29.95, -90.07), geo::GeoPoint(36.75, -119.77),
+      geo::GeoPoint(40.0, -100.0)};
+  field.CalibrateTo(reference, 0.25);
+  double mean = 0.0;
+  for (const auto& p : reference) mean += field.RiskAt(p);
+  mean /= reference.size();
+  EXPECT_NEAR(mean, 0.25, 1e-9);
+  EXPECT_GT(field.scale(), 0.0);
+}
+
+TEST(RiskField, CalibrationValidation) {
+  HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  EXPECT_THROW(field.CalibrateTo({}, 0.1), InvalidArgument);
+  EXPECT_THROW(field.CalibrateTo({geo::GeoPoint(30, -90)}, -1.0),
+               InvalidArgument);
+}
+
+TEST(RiskField, RecalibrationIsIdempotentInEffect) {
+  HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  const std::vector<geo::GeoPoint> reference = {geo::GeoPoint(29.95, -90.07),
+                                                geo::GeoPoint(36.75, -119.77)};
+  field.CalibrateTo(reference, 0.15);
+  const double first = field.RiskAt(reference[0]);
+  field.CalibrateTo(reference, 0.15);  // calibrating again must not drift
+  EXPECT_NEAR(field.RiskAt(reference[0]), first, 1e-12);
+}
+
+TEST(RiskField, PopRisksMatchPerPopEvaluation) {
+  const HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  topology::Network net("n", topology::NetworkKind::kRegional);
+  net.AddPop({"A, LA", geo::GeoPoint(29.95, -90.07)});
+  net.AddPop({"B, CA", geo::GeoPoint(36.75, -119.77)});
+  const auto risks = field.PopRisks(net);
+  ASSERT_EQ(risks.size(), 2u);
+  EXPECT_DOUBLE_EQ(risks[0], field.RiskAt(net.pop(0).location));
+  EXPECT_DOUBLE_EQ(risks[1], field.RiskAt(net.pop(1).location));
+}
+
+TEST(RiskField, PaperBandwidthsMatchTable1) {
+  const auto bandwidths = PaperBandwidths();
+  ASSERT_EQ(bandwidths.size(), 5u);
+  EXPECT_DOUBLE_EQ(bandwidths[0], 71.56);
+  EXPECT_DOUBLE_EQ(bandwidths[1], 59.48);
+  EXPECT_DOUBLE_EQ(bandwidths[2], 24.38);
+  EXPECT_DOUBLE_EQ(bandwidths[3], 298.82);
+  EXPECT_DOUBLE_EQ(bandwidths[4], 3.59);
+}
+
+}  // namespace
+}  // namespace riskroute::hazard

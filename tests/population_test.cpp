@@ -1,0 +1,185 @@
+// Unit tests for the population module: census synthesis structure and the
+// nearest-neighbour impact assignment of Section 5.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/conus.h"
+#include "geo/distance.h"
+#include "population/assignment.h"
+#include "population/census.h"
+#include "topology/network.h"
+#include "util/error.h"
+
+namespace riskroute::population {
+namespace {
+
+CensusOptions SmallCensus(std::size_t blocks = 20000) {
+  CensusOptions options;
+  options.block_count = blocks;
+  return options;
+}
+
+TEST(Census, BlockCountMatchesRequest) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus(5000));
+  EXPECT_EQ(census.block_count(), 5000u);
+}
+
+TEST(Census, DefaultMatchesPaperBlockCount) {
+  CensusOptions options;
+  EXPECT_EQ(options.block_count, 215932u);  // Section 4.2
+}
+
+TEST(Census, TotalPopulationNormalized) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  EXPECT_NEAR(census.total_population(), 306e6, 1e3);
+}
+
+TEST(Census, AllBlocksInsideConus) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus(5000));
+  for (const CensusBlock& block : census.blocks()) {
+    EXPECT_TRUE(geo::InConus(block.centroid));
+    EXPECT_GT(block.population, 0.0);
+    EXPECT_EQ(block.state.size(), 2u);
+  }
+}
+
+TEST(Census, Deterministic) {
+  const CensusModel a = CensusModel::Synthesize(SmallCensus(2000));
+  const CensusModel b = CensusModel::Synthesize(SmallCensus(2000));
+  ASSERT_EQ(a.block_count(), b.block_count());
+  for (std::size_t i = 0; i < a.block_count(); ++i) {
+    EXPECT_EQ(a.blocks()[i].centroid, b.blocks()[i].centroid);
+    EXPECT_DOUBLE_EQ(a.blocks()[i].population, b.blocks()[i].population);
+  }
+}
+
+TEST(Census, UrbanConcentration) {
+  // Population within 60 miles of NYC must far exceed population within
+  // 60 miles of an empty patch of Nevada.
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const geo::GeoPoint nyc(40.71, -74.01);
+  const geo::GeoPoint nowhere_nv(40.0, -117.5);
+  double near_nyc = 0.0, near_nowhere = 0.0;
+  for (const CensusBlock& block : census.blocks()) {
+    if (geo::GreatCircleMiles(block.centroid, nyc) < 60) {
+      near_nyc += block.population;
+    }
+    if (geo::GreatCircleMiles(block.centroid, nowhere_nv) < 60) {
+      near_nowhere += block.population;
+    }
+  }
+  EXPECT_GT(near_nyc, 20 * (near_nowhere + 1.0));
+}
+
+TEST(Census, PopulationInStates) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const double everything = census.PopulationInStates({});
+  const double texas = census.PopulationInStates({"TX"});
+  const double texas_and_ca = census.PopulationInStates({"TX", "CA"});
+  EXPECT_DOUBLE_EQ(everything, census.total_population());
+  EXPECT_GT(texas, 0.0);
+  EXPECT_GT(texas_and_ca, texas);
+  EXPECT_LT(texas_and_ca, everything);
+}
+
+TEST(Census, WrappingConstructorValidation) {
+  EXPECT_THROW(CensusModel(std::vector<CensusBlock>{}), InvalidArgument);
+}
+
+// ---------- PoP-name state extraction ----------
+
+TEST(StateOfPopName, ExtractsFromStandardNames) {
+  EXPECT_EQ(StateOfPopName("Houston, TX"), "TX");
+  EXPECT_EQ(StateOfPopName("St. Louis, MO"), "MO");
+  EXPECT_EQ(StateOfPopName("Jackson, MS Metro 3"), "MS");
+  EXPECT_EQ(StateOfPopName("no state here"), "");
+  EXPECT_EQ(StateOfPopName(""), "");
+  EXPECT_EQ(StateOfPopName("Weird, TXX"), "");
+}
+
+TEST(NetworkStates, CollectsSortedUniqueStates) {
+  topology::Network net("n", topology::NetworkKind::kRegional);
+  net.AddPop({"A, TX", geo::GeoPoint(30, -95)});
+  net.AddPop({"B, LA", geo::GeoPoint(30, -91)});
+  net.AddPop({"C, TX Metro 1", geo::GeoPoint(31, -95)});
+  EXPECT_EQ(NetworkStates(net), (std::vector<std::string>{"LA", "TX"}));
+}
+
+// ---------- impact model ----------
+
+topology::Network TwoCityNetwork() {
+  topology::Network net("two", topology::NetworkKind::kTier1);
+  net.AddPop({"New York, NY", geo::GeoPoint(40.71, -74.01)});
+  net.AddPop({"Billings, MT", geo::GeoPoint(45.78, -108.50)});
+  net.AddLink(0, 1);
+  return net;
+}
+
+TEST(ImpactModel, FractionsSumToOneForNationalNetwork) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const topology::Network net = TwoCityNetwork();
+  const ImpactModel impact = ImpactModel::Build(net, census);
+  EXPECT_NEAR(impact.fraction(0) + impact.fraction(1), 1.0, 1e-9);
+  EXPECT_NEAR(impact.considered_population(), census.total_population(), 1e-3);
+}
+
+TEST(ImpactModel, BigCityServesMorePopulation) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const ImpactModel impact = ImpactModel::Build(TwoCityNetwork(), census);
+  // NYC PoP covers the dense east; Billings covers the sparse mountain
+  // west. East must dominate.
+  EXPECT_GT(impact.fraction(0), impact.fraction(1));
+  EXPECT_GT(impact.fraction(0), 0.5);
+}
+
+TEST(ImpactModel, AlphaIsSumOfFractions) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const ImpactModel impact = ImpactModel::Build(TwoCityNetwork(), census);
+  EXPECT_DOUBLE_EQ(impact.Alpha(0, 1),
+                   impact.fraction(0) + impact.fraction(1));
+  EXPECT_DOUBLE_EQ(impact.Alpha(0, 0), 2 * impact.fraction(0));
+}
+
+TEST(ImpactModel, RegionalNetworksConfinedToOwnStates) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  topology::Network net("ms-only", topology::NetworkKind::kRegional);
+  net.AddPop({"Jackson, MS", geo::GeoPoint(32.30, -90.18)});
+  net.AddPop({"Gulfport, MS", geo::GeoPoint(30.37, -89.09)});
+  net.AddLink(0, 1);
+  const ImpactModel impact = ImpactModel::Build(net, census);
+  // Considered population == Mississippi population, not the whole US.
+  EXPECT_NEAR(impact.considered_population(),
+              census.PopulationInStates({"MS"}), 1e-6);
+  EXPECT_LT(impact.considered_population(), census.total_population() * 0.1);
+  EXPECT_NEAR(impact.fraction(0) + impact.fraction(1), 1.0, 1e-9);
+}
+
+TEST(ImpactModel, Tier1IgnoresStateConfinement) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  topology::Network net("tier1-ms", topology::NetworkKind::kTier1);
+  net.AddPop({"Jackson, MS", geo::GeoPoint(32.30, -90.18)});
+  net.AddPop({"Gulfport, MS", geo::GeoPoint(30.37, -89.09)});
+  net.AddLink(0, 1);
+  const ImpactModel impact = ImpactModel::Build(net, census);
+  EXPECT_NEAR(impact.considered_population(), census.total_population(), 1e-3);
+}
+
+TEST(ImpactModel, IndexValidation) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus(2000));
+  const ImpactModel impact = ImpactModel::Build(TwoCityNetwork(), census);
+  EXPECT_THROW((void)impact.fraction(2), InvalidArgument);
+  EXPECT_THROW((void)impact.served_population(2), InvalidArgument);
+}
+
+TEST(ImpactModel, ServedPopulationConsistentWithFractions) {
+  const CensusModel census = CensusModel::Synthesize(SmallCensus());
+  const ImpactModel impact = ImpactModel::Build(TwoCityNetwork(), census);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(impact.served_population(i),
+                impact.fraction(i) * impact.considered_population(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace riskroute::population

@@ -1,0 +1,167 @@
+// Tests for the storm-motion projection (forecast cone) and the GeoJSON
+// exports.
+#include <gtest/gtest.h>
+
+#include "forecast/projection.h"
+#include "geo/distance.h"
+#include "topology/generator.h"
+#include "topology/geojson.h"
+#include "util/error.h"
+
+namespace riskroute {
+namespace {
+
+// ---------- projection ----------
+
+forecast::Advisory MovingStorm() {
+  forecast::Advisory advisory;
+  advisory.storm_name = "TEST";
+  advisory.time = forecast::AdvisoryTime{2012, 10, 28, 12, "EDT"};
+  advisory.center = geo::GeoPoint(33.0, -75.0);
+  advisory.max_wind_mph = 85;
+  advisory.hurricane_wind_radius_miles = 80;
+  advisory.tropical_wind_radius_miles = 250;
+  advisory.motion_direction = "NORTH";
+  advisory.motion_mph = 15;
+  return advisory;
+}
+
+TEST(Projection, ZeroLeadIsIdentity) {
+  const forecast::Advisory advisory = MovingStorm();
+  const forecast::Advisory projected = forecast::ProjectAdvisory(advisory, 0);
+  EXPECT_EQ(projected.center, advisory.center);
+  EXPECT_DOUBLE_EQ(projected.tropical_wind_radius_miles,
+                   advisory.tropical_wind_radius_miles);
+}
+
+TEST(Projection, DeadReckonsAlongMotion) {
+  const forecast::Advisory advisory = MovingStorm();
+  const forecast::Advisory projected = forecast::ProjectAdvisory(advisory, 10);
+  // 15 mph north for 10 hours = 150 miles north.
+  EXPECT_NEAR(geo::GreatCircleMiles(advisory.center, projected.center), 150,
+              0.5);
+  EXPECT_GT(projected.center.latitude(), advisory.center.latitude());
+  EXPECT_NEAR(projected.center.longitude(), advisory.center.longitude(), 0.1);
+}
+
+TEST(Projection, UncertaintyGrowsRadii) {
+  const forecast::Advisory advisory = MovingStorm();
+  forecast::ProjectionOptions options;
+  options.uncertainty_miles_per_hour = 10.0;
+  const forecast::Advisory projected =
+      forecast::ProjectAdvisory(advisory, 12, options);
+  EXPECT_DOUBLE_EQ(projected.hurricane_wind_radius_miles, 80 + 120);
+  EXPECT_DOUBLE_EQ(projected.tropical_wind_radius_miles, 250 + 120);
+  EXPECT_EQ(projected.time, advisory.time.PlusHours(12));
+}
+
+TEST(Projection, NoHurricaneFieldStaysZero) {
+  forecast::Advisory ts = MovingStorm();
+  ts.hurricane_wind_radius_miles = 0;
+  const forecast::Advisory projected = forecast::ProjectAdvisory(ts, 24);
+  EXPECT_DOUBLE_EQ(projected.hurricane_wind_radius_miles, 0.0);
+  EXPECT_GT(projected.tropical_wind_radius_miles,
+            ts.tropical_wind_radius_miles);
+}
+
+TEST(Projection, MotionDecayShortensDisplacement) {
+  const forecast::Advisory advisory = MovingStorm();
+  forecast::ProjectionOptions decayed;
+  decayed.motion_decay_per_hour = 0.9;
+  const auto straight = forecast::ProjectAdvisory(advisory, 24);
+  const auto curved = forecast::ProjectAdvisory(advisory, 24, decayed);
+  EXPECT_LT(geo::GreatCircleMiles(advisory.center, curved.center),
+            geo::GreatCircleMiles(advisory.center, straight.center));
+}
+
+TEST(Projection, NegativeLeadThrows) {
+  EXPECT_THROW((void)forecast::ProjectAdvisory(MovingStorm(), -1),
+               InvalidArgument);
+}
+
+TEST(ConeRiskField, CoversPointsAheadOfTheStorm) {
+  const forecast::Advisory advisory = MovingStorm();
+  // A point ~300 miles north: outside the current field, inside the
+  // 24-hour projection (360 mi displacement + grown radius).
+  const geo::GeoPoint ahead = geo::Destination(advisory.center, 0, 300);
+  const forecast::ForecastRiskField now(advisory);
+  EXPECT_DOUBLE_EQ(now.RiskAt(ahead), 0.0);
+  const forecast::ConeRiskField cone(advisory, {0, 12, 24});
+  EXPECT_GT(cone.RiskAt(ahead), 0.0);
+}
+
+TEST(ConeRiskField, NeverBelowInstantaneousField) {
+  const forecast::Advisory advisory = MovingStorm();
+  const forecast::ForecastRiskField now(advisory);
+  const forecast::ConeRiskField cone(advisory, {0, 12, 24});
+  for (const double bearing : {0.0, 90.0, 180.0, 270.0}) {
+    for (const double miles : {0.0, 100.0, 300.0, 600.0}) {
+      const geo::GeoPoint p = geo::Destination(advisory.center, bearing, miles);
+      EXPECT_GE(cone.RiskAt(p), now.RiskAt(p));
+    }
+  }
+}
+
+TEST(ConeRiskField, Validation) {
+  EXPECT_THROW(forecast::ConeRiskField(MovingStorm(), {}), InvalidArgument);
+}
+
+// ---------- geojson ----------
+
+topology::Network TinyNetwork() {
+  topology::Network net("Tiny", topology::NetworkKind::kRegional);
+  net.AddPop({"Alpha, TX", geo::GeoPoint(30.0, -95.0)});
+  net.AddPop({"Beta \"B\", TX", geo::GeoPoint(31.0, -96.0)});
+  net.AddLink(0, 1);
+  return net;
+}
+
+TEST(GeoJson, NetworkDocumentStructure) {
+  const std::string doc = topology::NetworkToGeoJson(TinyNetwork());
+  EXPECT_NE(doc.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(doc.find("\"Point\""), std::string::npos);
+  EXPECT_NE(doc.find("\"LineString\""), std::string::npos);
+  // GeoJSON coordinate order is [lon, lat].
+  EXPECT_NE(doc.find("[-95.000000,30.000000]"), std::string::npos);
+  // Quote in the PoP name must be escaped.
+  EXPECT_NE(doc.find("Beta \\\"B\\\""), std::string::npos);
+  EXPECT_EQ(doc.find("Beta \"B\""), std::string::npos);
+}
+
+TEST(GeoJson, RiskPropertyIncludedWhenProvided) {
+  const topology::Network net = TinyNetwork();
+  const std::string doc = topology::NetworkToGeoJson(
+      net, [](std::size_t i) { return 0.5 + static_cast<double>(i); });
+  EXPECT_NE(doc.find("\"risk\":0.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"risk\":1.5"), std::string::npos);
+  const std::string plain = topology::NetworkToGeoJson(net);
+  EXPECT_EQ(plain.find("\"risk\""), std::string::npos);
+}
+
+TEST(GeoJson, CorpusIncludesEveryNetwork) {
+  const topology::Corpus corpus = topology::GeneratePaperCorpus(3);
+  const std::string doc = topology::CorpusToGeoJson(corpus);
+  for (const topology::Network& net : corpus.networks()) {
+    EXPECT_NE(doc.find("\"" + topology::JsonEscape(net.name()) + "\""),
+              std::string::npos)
+        << net.name();
+  }
+}
+
+TEST(GeoJson, PathFeature) {
+  const topology::Network net = TinyNetwork();
+  const std::string doc = topology::PathToGeoJson(net, {0, 1}, "riskroute");
+  EXPECT_NE(doc.find("\"label\":\"riskroute\""), std::string::npos);
+  EXPECT_NE(doc.find("\"LineString\""), std::string::npos);
+  EXPECT_THROW((void)topology::PathToGeoJson(net, {}, "x"), InvalidArgument);
+}
+
+TEST(GeoJson, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(topology::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(topology::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(topology::JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(topology::JsonEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace riskroute

@@ -1,0 +1,174 @@
+// Property tests on random graphs: Dijkstra is cross-checked against
+// Floyd-Warshall, Yen's enumeration against exhaustive DFS path
+// enumeration, and metric invariants against random parameter draws.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/k_shortest.h"
+#include "core/riskroute.h"
+#include "core/shortest_path.h"
+#include "util/rng.h"
+
+namespace riskroute::core {
+namespace {
+
+/// Random connected geometric graph with random risk attributes.
+RiskGraph RandomGraph(std::size_t n, double extra_edge_prob, util::Rng& rng) {
+  RiskGraph graph;
+  std::vector<double> fractions(n);
+  double fraction_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fractions[i] = rng.Uniform(0.01, 1.0);
+    fraction_sum += fractions[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.AddNode(RiskNode{
+        "n" + std::to_string(i),
+        geo::GeoPoint(rng.Uniform(26, 48), rng.Uniform(-123, -68)),
+        fractions[i] / fraction_sum, rng.Uniform(0.0, 0.5),
+        rng.Chance(0.3) ? rng.Uniform(0.0, 100.0) : 0.0});
+  }
+  // Random spanning tree first (guarantees connectivity).
+  for (std::size_t i = 1; i < n; ++i) {
+    graph.AddEdgeByDistance(
+        i, static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(i) - 1)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!graph.HasEdge(i, j) && rng.Chance(extra_edge_prob)) {
+        graph.AddEdgeByDistance(i, j);
+      }
+    }
+  }
+  return graph;
+}
+
+/// Floyd-Warshall distances under plain mileage.
+std::vector<std::vector<double>> FloydWarshall(const RiskGraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::vector<double>> dist(
+      n, std::vector<double>(n, DijkstraWorkspace::Infinity()));
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i][i] = 0.0;
+    for (const RiskEdge& e : graph.OutEdges(i)) {
+      dist[i][e.to] = std::min(dist[i][e.to], e.miles);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  return dist;
+}
+
+/// All loopless paths between two nodes by DFS (small graphs only).
+void EnumeratePaths(const RiskGraph& graph, std::size_t node, std::size_t dst,
+                    Path& current, std::vector<bool>& visited,
+                    std::vector<Path>& out) {
+  if (node == dst) {
+    out.push_back(current);
+    return;
+  }
+  for (const RiskEdge& e : graph.OutEdges(node)) {
+    if (visited[e.to]) continue;
+    visited[e.to] = true;
+    current.push_back(e.to);
+    EnumeratePaths(graph, e.to, dst, current, visited, out);
+    current.pop_back();
+    visited[e.to] = false;
+  }
+}
+
+double PathMilesOf(const RiskGraph& graph, const Path& path) {
+  double total = 0.0;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    for (const RiskEdge& e : graph.OutEdges(path[k - 1])) {
+      if (e.to == path[k]) total += e.miles;
+    }
+  }
+  return total;
+}
+
+class RandomGraphSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphSweep, DijkstraMatchesFloydWarshall) {
+  util::Rng rng(GetParam());
+  const RiskGraph graph = RandomGraph(20, 0.15, rng);
+  const auto expected = FloydWarshall(graph);
+  DijkstraWorkspace workspace;
+  for (std::size_t s = 0; s < graph.node_count(); ++s) {
+    workspace.Run(graph, s, DistanceWeight);
+    for (std::size_t d = 0; d < graph.node_count(); ++d) {
+      ASSERT_TRUE(workspace.Reached(d));
+      EXPECT_NEAR(workspace.DistanceTo(d), expected[s][d], 1e-6)
+          << "pair " << s << "->" << d;
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, YenMatchesExhaustiveEnumeration) {
+  util::Rng rng(GetParam() + 1000);
+  const RiskGraph graph = RandomGraph(9, 0.25, rng);
+  const std::size_t src = 0, dst = graph.node_count() - 1;
+  std::vector<Path> all;
+  Path current{src};
+  std::vector<bool> visited(graph.node_count(), false);
+  visited[src] = true;
+  EnumeratePaths(graph, src, dst, current, visited, all);
+  std::sort(all.begin(), all.end(), [&](const Path& a, const Path& b) {
+    return PathMilesOf(graph, a) < PathMilesOf(graph, b);
+  });
+
+  const std::size_t k = std::min<std::size_t>(6, all.size());
+  const auto yen =
+      KShortestPaths(graph, src, dst, k, EdgeWeightFn(DistanceWeight));
+  ASSERT_EQ(yen.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Weights must match the i-th cheapest enumerated path (paths may tie).
+    EXPECT_NEAR(yen[i].weight, PathMilesOf(graph, all[i]), 1e-6)
+        << "rank " << i;
+  }
+}
+
+TEST_P(RandomGraphSweep, MinRiskRouteIsOptimalOverEnumeration) {
+  util::Rng rng(GetParam() + 2000);
+  const RiskGraph graph = RandomGraph(8, 0.3, rng);
+  const RiskParams params{rng.Uniform(10, 1e4), rng.Uniform(0, 10)};
+  const RiskRouter router(graph, params);
+  const std::size_t src = 0, dst = graph.node_count() - 1;
+  std::vector<Path> all;
+  Path current{src};
+  std::vector<bool> visited(graph.node_count(), false);
+  visited[src] = true;
+  EnumeratePaths(graph, src, dst, current, visited, all);
+  ASSERT_FALSE(all.empty());
+  double best = std::numeric_limits<double>::infinity();
+  for (const Path& p : all) {
+    best = std::min(best, router.PathBitRiskMiles(p));
+  }
+  const auto route = router.MinRiskRoute(src, dst);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_NEAR(route->bit_risk_miles, best, 1e-6);
+}
+
+TEST_P(RandomGraphSweep, RatiosWellFormed) {
+  util::Rng rng(GetParam() + 3000);
+  const RiskGraph graph = RandomGraph(15, 0.2, rng);
+  const RatioReport report =
+      ComputeIntradomainRatios(graph, RiskParams{1e4, 1e2});
+  EXPECT_EQ(report.pair_count, 15u * 14u);
+  EXPECT_GE(report.risk_reduction_ratio, -1e-9);
+  EXPECT_LT(report.risk_reduction_ratio, 1.0);
+  EXPECT_GE(report.distance_increase_ratio, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace riskroute::core

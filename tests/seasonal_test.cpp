@@ -1,0 +1,134 @@
+// Tests for seasonal hazard risk: month filtering, seasonal profiles in
+// the synthesizers, and the SeasonalRiskField extension.
+#include <gtest/gtest.h>
+
+#include "hazard/seasonal.h"
+#include "hazard/synthesis.h"
+#include "util/error.h"
+
+namespace riskroute::hazard {
+namespace {
+
+TEST(Season, MonthMapping) {
+  EXPECT_EQ(SeasonOfMonth(1), Season::kWinter);
+  EXPECT_EQ(SeasonOfMonth(12), Season::kWinter);
+  EXPECT_EQ(SeasonOfMonth(4), Season::kSpring);
+  EXPECT_EQ(SeasonOfMonth(7), Season::kSummer);
+  EXPECT_EQ(SeasonOfMonth(9), Season::kFall);
+  EXPECT_THROW((void)SeasonOfMonth(0), InvalidArgument);
+  EXPECT_THROW((void)SeasonOfMonth(13), InvalidArgument);
+}
+
+TEST(Season, FilterMonthsWrapsAroundYear) {
+  std::vector<Event> events;
+  for (int m = 1; m <= 12; ++m) {
+    events.push_back(Event{geo::GeoPoint(30, -90), 2000, m});
+  }
+  const Catalog catalog(HazardType::kFemaStorm, events);
+  EXPECT_EQ(catalog.FilterMonths(3, 5).size(), 3u);
+  EXPECT_EQ(catalog.FilterMonths(12, 2).size(), 3u);  // Dec, Jan, Feb
+  EXPECT_EQ(catalog.FilterMonths(1, 12).size(), 12u);
+  EXPECT_THROW((void)catalog.FilterMonths(0, 5), InvalidArgument);
+}
+
+TEST(Season, SynthesizedCatalogsFollowSeasonalProfiles) {
+  const Catalog hurricanes = SynthesizeCatalog(HazardType::kFemaHurricane, 4);
+  // Hurricanes: Aug-Oct must dominate Dec-Apr heavily.
+  const std::size_t peak = hurricanes.FilterMonths(8, 10).size();
+  const std::size_t off = hurricanes.FilterMonths(12, 4).size();
+  EXPECT_GT(peak, 5 * (off + 1));
+
+  const Catalog tornadoes = SynthesizeCatalog(HazardType::kFemaTornado, 4);
+  EXPECT_GT(tornadoes.FilterMonths(4, 6).size(),
+            2 * tornadoes.FilterMonths(11, 1).size());
+
+  const Catalog quakes = SynthesizeCatalog(HazardType::kNoaaEarthquake, 4);
+  // Aseasonal: each quarter within 2x of any other.
+  const std::size_t q1 = quakes.FilterMonths(1, 3).size();
+  const std::size_t q3 = quakes.FilterMonths(7, 9).size();
+  EXPECT_LT(q1, 2 * q3);
+  EXPECT_LT(q3, 2 * q1);
+}
+
+TEST(Season, ProfilesDefinedForAllTypes) {
+  for (const HazardType type : AllHazardTypes()) {
+    const auto profile = SeasonalProfile(type);
+    double total = 0.0;
+    for (const double w : profile) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+class SeasonalFieldTest : public ::testing::Test {
+ protected:
+  static const SeasonalRiskField& Field() {
+    static const SeasonalRiskField field = [] {
+      std::vector<Catalog> catalogs;
+      catalogs.push_back(SynthesizeCatalog(HazardType::kFemaHurricane, 21));
+      catalogs.push_back(SynthesizeCatalog(HazardType::kNoaaEarthquake, 22));
+      return SeasonalRiskField(catalogs, {100.0, 250.0});
+    }();
+    return field;
+  }
+};
+
+TEST_F(SeasonalFieldTest, GulfRiskPeaksInHurricaneSeason) {
+  const geo::GeoPoint new_orleans(29.95, -90.07);
+  const double summer = Field().RiskAt(new_orleans, Season::kSummer);
+  const double fall = Field().RiskAt(new_orleans, Season::kFall);
+  const double winter = Field().RiskAt(new_orleans, Season::kWinter);
+  EXPECT_GT(fall, 3 * winter);    // Sep-Oct dominate
+  EXPECT_GT(summer, winter);      // Jun-Aug beat Dec-Feb
+}
+
+TEST_F(SeasonalFieldTest, WestCoastRiskIsAseasonal) {
+  const geo::GeoPoint la(34.05, -118.24);
+  const double summer = Field().RiskAt(la, Season::kSummer);
+  const double winter = Field().RiskAt(la, Season::kWinter);
+  ASSERT_GT(winter, 0.0);
+  EXPECT_LT(summer / winter, 1.8);
+  EXPECT_GT(summer / winter, 0.55);
+}
+
+TEST_F(SeasonalFieldTest, MonthOverloadMatchesSeason) {
+  const geo::GeoPoint p(29.95, -90.07);
+  EXPECT_DOUBLE_EQ(Field().RiskAt(p, 9), Field().RiskAt(p, Season::kFall));
+  EXPECT_DOUBLE_EQ(Field().RiskAt(p, 1), Field().RiskAt(p, Season::kWinter));
+}
+
+TEST_F(SeasonalFieldTest, AmplificationAboveOneInSeason) {
+  const std::vector<geo::GeoPoint> gulf = {geo::GeoPoint(29.95, -90.07),
+                                           geo::GeoPoint(30.4, -88.9),
+                                           geo::GeoPoint(27.9, -82.6)};
+  EXPECT_GT(Field().SeasonalAmplification(gulf, Season::kFall), 1.5);
+  EXPECT_LT(Field().SeasonalAmplification(gulf, Season::kWinter), 0.5);
+}
+
+TEST_F(SeasonalFieldTest, CalibrationSetsSeasonAveragedMean) {
+  std::vector<Catalog> catalogs;
+  catalogs.push_back(SynthesizeCatalog(HazardType::kFemaHurricane, 31));
+  SeasonalRiskField field(catalogs, {100.0});
+  const std::vector<geo::GeoPoint> reference = {geo::GeoPoint(29.95, -90.07),
+                                                geo::GeoPoint(32.8, -79.9)};
+  field.CalibrateTo(reference, 0.2);
+  double sum = 0.0;
+  for (const auto& p : reference) {
+    for (const Season s : AllSeasons()) sum += field.RiskAt(p, s);
+  }
+  EXPECT_NEAR(sum / (reference.size() * 4), 0.2, 1e-9);
+}
+
+TEST(SeasonalField, Validation) {
+  EXPECT_THROW(SeasonalRiskField({}, {}), InvalidArgument);
+  std::vector<Catalog> catalogs;
+  catalogs.push_back(SynthesizeCatalog(HazardType::kFemaStorm, 41));
+  EXPECT_THROW(SeasonalRiskField(catalogs, {1.0, 2.0}), InvalidArgument);
+  SeasonalRiskField field(catalogs, {60.0});
+  EXPECT_THROW(field.CalibrateTo({}, 0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace riskroute::hazard

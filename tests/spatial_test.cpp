@@ -1,0 +1,193 @@
+// Unit and property tests for the spatial index structures: the kd-tree is
+// checked against brute force on random point sets; the grid index must
+// return supersets that exact-filter to the same answer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "geo/bounding_box.h"
+#include "geo/distance.h"
+#include "spatial/grid_index.h"
+#include "spatial/kd_tree.h"
+#include "util/rng.h"
+
+namespace riskroute::spatial {
+namespace {
+
+std::vector<geo::GeoPoint> RandomConusPoints(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geo::GeoPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.emplace_back(rng.Uniform(25, 49), rng.Uniform(-124, -67));
+  }
+  return points;
+}
+
+std::size_t BruteForceNearest(const std::vector<geo::GeoPoint>& points,
+                              const geo::GeoPoint& q) {
+  std::size_t best = 0;
+  double best_miles = geo::GreatCircleMiles(points[0], q);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double miles = geo::GreatCircleMiles(points[i], q);
+    if (miles < best_miles) {
+      best_miles = miles;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(KdTree, EmptyTreeReturnsNothing) {
+  const KdTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Nearest(geo::GeoPoint(40, -100)).has_value());
+  EXPECT_TRUE(tree.KNearest(geo::GeoPoint(40, -100), 3).empty());
+  EXPECT_TRUE(tree.WithinRadius(geo::GeoPoint(40, -100), 100).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree tree({geo::GeoPoint(40, -100)});
+  const auto nn = tree.Nearest(geo::GeoPoint(41, -101));
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->index, 0u);
+  EXPECT_NEAR(nn->miles,
+              geo::GreatCircleMiles(geo::GeoPoint(40, -100),
+                                    geo::GeoPoint(41, -101)),
+              1e-6);
+}
+
+TEST(KdTree, NearestMatchesBruteForce) {
+  const auto points = RandomConusPoints(500, 21);
+  const KdTree tree(points);
+  const auto queries = RandomConusPoints(200, 22);
+  for (const auto& q : queries) {
+    const auto nn = tree.Nearest(q);
+    ASSERT_TRUE(nn.has_value());
+    const std::size_t expected = BruteForceNearest(points, q);
+    // Equal distance ties may pick either point; compare distances.
+    EXPECT_NEAR(nn->miles, geo::GreatCircleMiles(points[expected], q), 1e-6);
+  }
+}
+
+TEST(KdTree, KNearestSortedAndMatchesBruteForce) {
+  const auto points = RandomConusPoints(300, 31);
+  const KdTree tree(points);
+  const geo::GeoPoint q(38.0, -95.0);
+  const auto result = tree.KNearest(q, 10);
+  ASSERT_EQ(result.size(), 10u);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].miles, result[i].miles);
+  }
+  // Brute force distances.
+  std::vector<double> all;
+  for (const auto& p : points) all.push_back(geo::GreatCircleMiles(p, q));
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_NEAR(result[i].miles, all[i], 1e-6);
+  }
+}
+
+TEST(KdTree, KNearestClampsToSize) {
+  const auto points = RandomConusPoints(5, 41);
+  const KdTree tree(points);
+  EXPECT_EQ(tree.KNearest(geo::GeoPoint(40, -100), 50).size(), 5u);
+  EXPECT_TRUE(tree.KNearest(geo::GeoPoint(40, -100), 0).empty());
+}
+
+TEST(KdTree, WithinRadiusMatchesBruteForce) {
+  const auto points = RandomConusPoints(400, 51);
+  const KdTree tree(points);
+  const geo::GeoPoint q(36.0, -98.0);
+  for (const double radius : {0.0, 50.0, 200.0, 800.0}) {
+    const auto result = tree.WithinRadius(q, radius);
+    std::size_t expected = 0;
+    for (const auto& p : points) {
+      if (geo::GreatCircleMiles(p, q) <= radius) ++expected;
+    }
+    EXPECT_EQ(result.size(), expected) << "radius " << radius;
+    for (std::size_t i = 1; i < result.size(); ++i) {
+      EXPECT_LE(result[i - 1].miles, result[i].miles);
+    }
+  }
+}
+
+TEST(KdTree, DuplicatePointsAllReturned) {
+  std::vector<geo::GeoPoint> points(7, geo::GeoPoint(40, -100));
+  const KdTree tree(points);
+  EXPECT_EQ(tree.WithinRadius(geo::GeoPoint(40, -100), 1.0).size(), 7u);
+}
+
+class KdTreeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdTreeSizeSweep, NearestAlwaysAgreesWithBruteForce) {
+  const std::size_t n = GetParam();
+  const auto points = RandomConusPoints(n, 60 + n);
+  const KdTree tree(points);
+  const auto queries = RandomConusPoints(50, 61 + n);
+  for (const auto& q : queries) {
+    const auto nn = tree.Nearest(q);
+    ASSERT_TRUE(nn.has_value());
+    EXPECT_NEAR(nn->miles,
+                geo::GreatCircleMiles(points[BruteForceNearest(points, q)], q),
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeSizeSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 100, 257));
+
+TEST(GridIndex, WithinRadiusMatchesBruteForce) {
+  const auto points = RandomConusPoints(600, 71);
+  const geo::BoundingBox bounds = geo::BoundingBox::Around(points).Padded(0.5);
+  const GridIndex index(points, bounds, 60.0);
+  const auto queries = RandomConusPoints(50, 72);
+  for (const auto& q : queries) {
+    for (const double radius : {30.0, 120.0, 500.0}) {
+      const auto got = index.WithinRadius(q, radius);
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (geo::GreatCircleMiles(points[i], q) <= radius) {
+          expected.push_back(i);
+        }
+      }
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(GridIndex, VisitNearIsSuperset) {
+  const auto points = RandomConusPoints(300, 81);
+  const geo::BoundingBox bounds = geo::BoundingBox::Around(points).Padded(0.5);
+  const GridIndex index(points, bounds, 40.0);
+  const geo::GeoPoint q(38, -95);
+  const double radius = 150.0;
+  std::vector<bool> visited(points.size(), false);
+  index.VisitNear(q, radius, [&](std::size_t i) { visited[i] = true; });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (geo::GreatCircleMiles(points[i], q) <= radius) {
+      EXPECT_TRUE(visited[i]) << "point " << i << " inside radius not visited";
+    }
+  }
+}
+
+TEST(GridIndex, PointsOutsideBoundsAreClamped) {
+  const std::vector<geo::GeoPoint> points = {{20, -130}, {55, -60}, {38, -95}};
+  const geo::BoundingBox bounds(25, -124, 49, -67);
+  const GridIndex index(points, bounds, 100.0);
+  EXPECT_EQ(index.size(), 3u);
+  // Every point is still findable with a generous radius.
+  const auto all = index.WithinRadius(geo::GeoPoint(38, -95), 4000.0);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(GridIndex, RejectsBadCellSize) {
+  const auto points = RandomConusPoints(10, 91);
+  const geo::BoundingBox bounds(25, -124, 49, -67);
+  EXPECT_THROW(GridIndex(points, bounds, 0.0), InvalidArgument);
+  EXPECT_THROW(GridIndex(points, bounds, -5.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace riskroute::spatial

@@ -1,0 +1,246 @@
+// Unit and property tests for the statistics module: descriptive stats,
+// regression/R^2, kernel density estimation (normalization, monotonicity,
+// truncation) and bandwidth cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/bounding_box.h"
+#include "geo/distance.h"
+#include "stats/bandwidth_cv.h"
+#include "stats/kernel_density.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace riskroute::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, SingleValueHasZeroVariance) {
+  const Summary s = Summarize({7.5});
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW((void)Summarize({}), InvalidArgument);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 5.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW((void)Quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)Quantile({1.0}, 1.5), InvalidArgument);
+}
+
+TEST(Regression, ExactLinearFit) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.Predict(10), 21.0, 1e-12);
+}
+
+TEST(Regression, NoTrendYieldsLowR2) {
+  util::Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.Uniform(0, 1));
+    ys.push_back(rng.Uniform(0, 1));
+  }
+  EXPECT_LT(RSquared(xs, ys), 0.05);
+}
+
+TEST(Regression, R2EqualsSquaredPearson) {
+  util::Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back(x);
+    ys.push_back(2 * x + rng.Gaussian(0, 3));
+  }
+  const double r = PearsonCorrelation(xs, ys);
+  EXPECT_NEAR(RSquared(xs, ys), r * r, 1e-12);
+}
+
+TEST(Regression, Validation) {
+  EXPECT_THROW((void)FitLinear({1}, {2}), InvalidArgument);
+  EXPECT_THROW((void)FitLinear({1, 2}, {1, 2, 3}), InvalidArgument);
+  EXPECT_THROW((void)FitLinear({3, 3, 3}, {1, 2, 3}), InvalidArgument);
+}
+
+// ---------- kernel density ----------
+
+std::vector<geo::GeoPoint> ClusterAround(const geo::GeoPoint& center,
+                                         double sigma_miles, std::size_t n,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geo::GeoPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(geo::Destination(center, rng.Uniform(0, 360),
+                                      std::fabs(rng.Gaussian(0, sigma_miles))));
+  }
+  return points;
+}
+
+TEST(KernelDensity, Validation) {
+  EXPECT_THROW(KernelDensity2D({}, 10.0), InvalidArgument);
+  EXPECT_THROW(KernelDensity2D({geo::GeoPoint(40, -100)}, 0.0), InvalidArgument);
+  EXPECT_THROW(KernelDensity2D({geo::GeoPoint(40, -100)}, -3.0), InvalidArgument);
+}
+
+TEST(KernelDensity, SingleEventPeakValue) {
+  const geo::GeoPoint event(40, -100);
+  const double sigma = 50.0;
+  const KernelDensity2D kde({event}, sigma);
+  // Peak density of a single 2-D Gaussian: 1 / (2 pi sigma^2).
+  EXPECT_NEAR(kde.Evaluate(event), 1.0 / (2 * M_PI * sigma * sigma), 1e-9);
+}
+
+TEST(KernelDensity, DecaysWithDistance) {
+  const geo::GeoPoint event(40, -100);
+  const KernelDensity2D kde({event}, 50.0);
+  double previous = kde.Evaluate(event);
+  for (const double miles : {25.0, 50.0, 100.0, 200.0}) {
+    const double value = kde.Evaluate(geo::Destination(event, 90, miles));
+    EXPECT_LT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(KernelDensity, TruncatedBeyondFiveSigma) {
+  const geo::GeoPoint event(40, -100);
+  const KernelDensity2D kde({event}, 20.0);
+  EXPECT_EQ(kde.Evaluate(geo::Destination(event, 90, 120.0)), 0.0);
+}
+
+TEST(KernelDensity, IntegratesToRoughlyOne) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -97), 60, 400, 9);
+  const double sigma = 40.0;
+  const KernelDensity2D kde(events, sigma);
+  // Numerically integrate over a generous box around the cluster.
+  const geo::BoundingBox box = geo::BoundingBox::Around(events).Padded(5.0);
+  const std::size_t rows = 160, cols = 160;
+  const auto grid = kde.Raster(box, rows, cols);
+  const double lat_step_mi =
+      (box.max_lat() - box.min_lat()) / rows * 69.055;
+  const double lon_step_mi = (box.max_lon() - box.min_lon()) / cols * 69.055 *
+                             std::cos(geo::DegToRad((box.min_lat() + box.max_lat()) / 2));
+  double integral = 0.0;
+  for (const double v : grid) integral += v * lat_step_mi * lon_step_mi;
+  EXPECT_NEAR(integral, 1.0, 0.08);
+}
+
+TEST(KernelDensity, MeanDensityAveragesEvaluate) {
+  const auto events = ClusterAround(geo::GeoPoint(35, -90), 40, 100, 10);
+  const KernelDensity2D kde(events, 30.0);
+  const std::vector<geo::GeoPoint> queries = {
+      geo::GeoPoint(35, -90), geo::GeoPoint(36, -91), geo::GeoPoint(34, -89)};
+  double expected = 0.0;
+  for (const auto& q : queries) expected += kde.Evaluate(q);
+  expected /= queries.size();
+  EXPECT_NEAR(kde.MeanDensity(queries), expected, 1e-15);
+}
+
+TEST(KernelDensity, RasterDimensions) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -97), 60, 50, 11);
+  const KernelDensity2D kde(events, 40.0);
+  const geo::BoundingBox box(30, -110, 45, -80);
+  EXPECT_EQ(kde.Raster(box, 10, 20).size(), 200u);
+  EXPECT_THROW((void)kde.Raster(box, 0, 20), InvalidArgument);
+}
+
+// ---------- bandwidth cross-validation ----------
+
+TEST(BandwidthCv, LogSpacedGrid) {
+  const auto grid = LogSpacedBandwidths(1.0, 100.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_NEAR(grid.front(), 1.0, 1e-12);
+  EXPECT_NEAR(grid.back(), 100.0, 1e-9);
+  EXPECT_NEAR(grid[2], 10.0, 1e-9);  // geometric midpoint
+  EXPECT_THROW((void)LogSpacedBandwidths(0, 10, 3), InvalidArgument);
+  EXPECT_THROW((void)LogSpacedBandwidths(10, 1, 3), InvalidArgument);
+  EXPECT_THROW((void)LogSpacedBandwidths(1, 10, 1), InvalidArgument);
+}
+
+TEST(BandwidthCv, PrefersTightBandwidthForTightClusters) {
+  // Many tiny clusters: the CV-optimal bandwidth must be near the cluster
+  // scale, far below the inter-cluster spacing.
+  util::Rng rng(12);
+  std::vector<geo::GeoPoint> events;
+  for (int c = 0; c < 40; ++c) {
+    const geo::GeoPoint center(rng.Uniform(30, 45), rng.Uniform(-110, -80));
+    for (const auto& p : ClusterAround(center, 8.0, 40, 100 + c)) {
+      events.push_back(p);
+    }
+  }
+  const auto candidates = LogSpacedBandwidths(2.0, 500.0, 9);
+  const auto selection = SelectBandwidth(events, candidates);
+  EXPECT_LE(selection.best_bandwidth_miles, 30.0);
+}
+
+TEST(BandwidthCv, PrefersWideBandwidthForDiffuseData) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -95), 400.0, 300, 13);
+  const auto candidates = LogSpacedBandwidths(2.0, 800.0, 9);
+  const auto selection = SelectBandwidth(events, candidates);
+  EXPECT_GE(selection.best_bandwidth_miles, 60.0);
+}
+
+TEST(BandwidthCv, ScoresCoverAllCandidates) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -95), 50.0, 100, 14);
+  const auto candidates = LogSpacedBandwidths(5.0, 200.0, 6);
+  const auto selection = SelectBandwidth(events, candidates);
+  ASSERT_EQ(selection.scores.size(), candidates.size());
+  double best = selection.scores.front().kl_score;
+  for (const auto& score : selection.scores) best = std::min(best, score.kl_score);
+  bool found = false;
+  for (const auto& score : selection.scores) {
+    if (score.bandwidth_miles == selection.best_bandwidth_miles) {
+      EXPECT_DOUBLE_EQ(score.kl_score, best);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BandwidthCv, Validation) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -95), 50.0, 3, 15);
+  EXPECT_THROW((void)SelectBandwidth(events, {}), InvalidArgument);
+  CrossValidationOptions options;
+  options.folds = 5;
+  EXPECT_THROW((void)SelectBandwidth(events, {10.0}, options), InvalidArgument);
+}
+
+TEST(BandwidthCv, DeterministicForFixedSeed) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -95), 50.0, 200, 16);
+  const auto candidates = LogSpacedBandwidths(5.0, 200.0, 5);
+  const auto a = SelectBandwidth(events, candidates);
+  const auto b = SelectBandwidth(events, candidates);
+  EXPECT_EQ(a.best_bandwidth_miles, b.best_bandwidth_miles);
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scores[i].kl_score, b.scores[i].kl_score);
+  }
+}
+
+}  // namespace
+}  // namespace riskroute::stats

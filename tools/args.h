@@ -1,0 +1,78 @@
+// Minimal command-line option parsing for the riskroute CLI.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::cli {
+
+/// Parses "--key value" pairs plus positional arguments.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";  // boolean flag
+        }
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string GetOr(const std::string& key,
+                                  const std::string& fallback) const {
+    return Get(key).value_or(fallback);
+  }
+
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const {
+    const auto value = Get(key);
+    if (!value) return fallback;
+    const auto parsed = util::ParseDouble(*value);
+    if (!parsed) {
+      throw InvalidArgument("--" + key + " expects a number, got: " + *value);
+    }
+    return *parsed;
+  }
+
+  [[nodiscard]] std::size_t GetSize(const std::string& key,
+                                    std::size_t fallback) const {
+    const auto value = Get(key);
+    if (!value) return fallback;
+    const auto parsed = util::ParseInt(*value);
+    if (!parsed || *parsed < 0) {
+      throw InvalidArgument("--" + key + " expects a non-negative integer");
+    }
+    return static_cast<std::size_t>(*parsed);
+  }
+
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return options_.contains(key);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace riskroute::cli

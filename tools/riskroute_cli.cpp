@@ -1,0 +1,364 @@
+// riskroute — command-line front end to the RiskRoute library.
+//
+//   riskroute route    --network Level3 --from "Houston, TX" --to "Boston, MA"
+//   riskroute ratios   [--network NAME] [--lambda-h 1e5] [--lambda-f 1e3]
+//   riskroute augment  --network Sprint [--links 5]
+//   riskroute peering  --network Digex [--any-peer]
+//   riskroute storm    --network Level3 --storm SANDY [--project 24]
+//   riskroute simulate --network Tinet [--trials 2000]
+//   riskroute export   [--network NAME] [--format geojson|rrt]
+//   riskroute ospf     --network Deutsche
+//
+// Every subcommand runs against the deterministic reference study
+// (override the corpus seed with --seed). Output goes to stdout; GeoJSON
+// and .rrt exports print the document so it can be piped to a file.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bgp/path_vector.h"
+#include "bgp/relationships.h"
+#include "bgp/risk_selection.h"
+#include "core/backup_paths.h"
+#include "core/multi_objective.h"
+#include "core/ospf_export.h"
+#include "core/riskroute.h"
+#include "core/study.h"
+#include "forecast/forecast_risk.h"
+#include "forecast/projection.h"
+#include "forecast/tracks.h"
+#include "hazard/synthesis.h"
+#include "provision/augmentation.h"
+#include "provision/peering.h"
+#include "sim/outage_sim.h"
+#include "sim/traffic.h"
+#include "topology/geojson.h"
+#include "topology/serialize.h"
+#include "tools/args.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::cli {
+namespace {
+
+int Usage() {
+  std::puts(
+      "usage: riskroute <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  route     --network N --from \"City, ST\" --to \"City, ST\"\n"
+      "            [--lambda-h X] [--lambda-f X] [--latency-budget MS]\n"
+      "            [--geojson]\n"
+      "  ratios    [--network N] [--lambda-h X] [--lambda-f X]\n"
+      "  augment   --network N [--links K]\n"
+      "  peering   --network N [--any-peer]\n"
+      "  storm     --network N --storm IRENE|KATRINA|SANDY [--project H]\n"
+      "  simulate  --network N [--trials T] [--lambda-h X]\n"
+      "  export    [--network N] [--format geojson|rrt]\n"
+      "  ospf      --network N [--lambda-h X]\n"
+      "  bgp       --dest N [--risk-aware]\n"
+      "\n"
+      "common options: --seed S (corpus seed), --blocks B (census blocks)");
+  return 2;
+}
+
+core::Study BuildStudy(const Args& args) {
+  core::StudyOptions options;
+  options.corpus_seed = args.GetSize("seed", 123);
+  options.census.block_count = args.GetSize("blocks", 215932);
+  std::fprintf(stderr, "building study (seed %zu, %zu census blocks)...\n",
+               static_cast<std::size_t>(options.corpus_seed),
+               options.census.block_count);
+  return core::Study::Build(options);
+}
+
+core::RiskParams ParamsFrom(const Args& args) {
+  return core::RiskParams{args.GetDouble("lambda-h", 1e5),
+                          args.GetDouble("lambda-f", 1e3)};
+}
+
+std::size_t RequirePop(const core::RiskGraph& graph, const std::string& name) {
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    if (graph.node(i).name == name) return i;
+  }
+  throw InvalidArgument("no PoP named '" + name + "' in this network");
+}
+
+int CmdRoute(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Level3");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  const std::size_t src = RequirePop(graph, args.GetOr("from", "Houston, TX"));
+  const std::size_t dst = RequirePop(graph, args.GetOr("to", "Boston, MA"));
+  const core::RiskParams params = ParamsFrom(args);
+
+  const core::RiskRouter router(graph, params);
+  const auto shortest = router.ShortestRoute(src, dst);
+  const auto risky = router.MinRiskRoute(src, dst);
+  if (!shortest || !risky) {
+    std::fprintf(stderr, "PoPs are not connected\n");
+    return 1;
+  }
+
+  const auto print_route = [&](const char* label, const core::Path& path,
+                               double miles, double brm) {
+    std::printf("%s: %.0f mi, %.0f bit-risk mi\n  ", label, miles, brm);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      std::printf("%s%s", graph.node(path[i]).name.c_str(),
+                  i + 1 == path.size() ? "\n" : " -> ");
+    }
+  };
+  print_route("shortest ", shortest->path, shortest->bit_miles,
+              shortest->bit_risk_miles);
+  print_route("riskroute", risky->path, risky->bit_miles,
+              risky->bit_risk_miles);
+
+  if (args.Has("latency-budget")) {
+    const double budget = args.GetDouble("latency-budget", 1e9);
+    const core::MultiObjectiveRouter multi(graph, params);
+    const auto pick = multi.MinRiskWithinLatency(src, dst, budget);
+    if (pick) {
+      print_route("sla-pick ", pick->path, pick->miles, pick->bit_risk_miles);
+      std::printf("  latency %.2f ms within budget %.2f ms\n",
+                  pick->latency_ms, budget);
+    } else {
+      std::printf("no route fits the %.2f ms latency budget\n", budget);
+    }
+  }
+  if (args.Has("geojson")) {
+    const auto& net = study.corpus().network(study.NetworkIndex(network));
+    std::puts(topology::PathToGeoJson(net, risky->path, "riskroute").c_str());
+  }
+  return 0;
+}
+
+int CmdRatios(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const core::RiskParams params = ParamsFrom(args);
+  util::ThreadPool pool;
+  util::Table table({"Network", "# PoPs", "Risk Reduction", "Distance Increase"});
+  std::vector<std::string> names;
+  if (const auto one = args.Get("network")) {
+    names.push_back(*one);
+  } else {
+    for (const auto& net : study.corpus().networks()) {
+      if (net.kind() == topology::NetworkKind::kTier1) {
+        names.push_back(net.name());
+      }
+    }
+  }
+  for (const std::string& name : names) {
+    const core::RiskGraph graph = study.BuildGraphFor(name);
+    const core::RatioReport report =
+        core::ComputeIntradomainRatios(graph, params, &pool);
+    table.Add(name, graph.node_count(), report.risk_reduction_ratio,
+              report.distance_increase_ratio);
+  }
+  table.Render(std::cout);
+  return 0;
+}
+
+int CmdAugment(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Sprint");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  util::ThreadPool pool;
+  provision::AugmentationOptions options;
+  options.links_to_add = args.GetSize("links", 5);
+  options.candidates.max_candidates = graph.node_count() > 100 ? 120 : 400;
+  const auto result =
+      provision::GreedyAugment(graph, ParamsFrom(args), options, &pool);
+  std::printf("aggregate bit-risk today: %.4g\n", result.original_objective);
+  for (std::size_t s = 0; s < result.steps.size(); ++s) {
+    std::printf("%zu. %s <-> %s (%.0f mi) -> %.2f%% of original\n", s + 1,
+                graph.node(result.steps[s].link.a).name.c_str(),
+                graph.node(result.steps[s].link.b).name.c_str(),
+                result.steps[s].link.direct_miles,
+                100 * result.steps[s].fraction_of_original);
+  }
+  return 0;
+}
+
+int CmdPeering(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Digex");
+  util::ThreadPool pool;
+  core::MergedGraph merged = study.BuildMerged();
+  const auto scope = args.Has("any-peer") ? provision::PeerScope::kAnyNetwork
+                                          : provision::PeerScope::kTier1Only;
+  const auto rec = provision::RecommendPeering(
+      merged, study.corpus(), study.NetworkIndex(network), ParamsFrom(args),
+      25.0, &pool, scope);
+  if (rec.evaluations.empty()) {
+    std::puts("no candidate peers (co-located, not already peered)");
+    return 0;
+  }
+  for (const auto& eval : rec.evaluations) {
+    std::printf("%-14s %2zu co-located PoPs -> %.2f%% bit-risk reduction\n",
+                study.corpus().network(eval.peer.network).name().c_str(),
+                eval.peer.pairs.size(),
+                100 * (1 - eval.objective / rec.baseline_objective));
+  }
+  return 0;
+}
+
+int CmdStorm(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Level3");
+  const std::string storm = util::ToUpper(args.GetOr("storm", "SANDY"));
+  const forecast::StormTrack* track = &forecast::SandyTrack();
+  if (storm == "IRENE") track = &forecast::IreneTrack();
+  if (storm == "KATRINA") track = &forecast::KatrinaTrack();
+
+  core::RiskGraph graph = study.BuildGraphFor(network);
+  util::ThreadPool pool;
+  const core::RiskParams params = ParamsFrom(args);
+  const double project_hours = args.GetDouble("project", 0.0);
+
+  std::printf("%-30s %8s %10s\n", "advisory", "in-scope", "risk-ratio");
+  const auto advisories = forecast::GenerateAdvisories(*track);
+  for (std::size_t a = 0; a < advisories.size(); a += 4) {
+    std::vector<double> risks(graph.node_count());
+    std::size_t in_scope = 0;
+    if (project_hours > 0) {
+      const forecast::ConeRiskField cone(advisories[a],
+                                         {0.0, project_hours / 2, project_hours});
+      for (std::size_t i = 0; i < graph.node_count(); ++i) {
+        risks[i] = cone.RiskAt(graph.node(i).location);
+        if (risks[i] > 0) ++in_scope;
+      }
+    } else {
+      const forecast::ForecastRiskField field(advisories[a]);
+      for (std::size_t i = 0; i < graph.node_count(); ++i) {
+        risks[i] = field.RiskAt(graph.node(i).location);
+        if (risks[i] > 0) ++in_scope;
+      }
+    }
+    graph.SetForecastRisks(risks);
+    const auto report = core::ComputeIntradomainRatios(graph, params, &pool);
+    std::printf("%-30s %8zu %10.3f\n",
+                advisories[a].time.ToString().c_str(), in_scope,
+                report.risk_reduction_ratio);
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Tinet");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  const sim::TrafficMatrix traffic = sim::TrafficMatrix::Gravity(graph);
+  util::ThreadPool pool;
+  sim::OutageSimOptions options;
+  options.trials = args.GetSize("trials", 2000);
+  options.params = core::RiskParams{args.GetDouble("lambda-h", 1e5), 0.0};
+  const auto report = sim::RunOutageSimulation(
+      graph, hazard::SynthesizeAllCatalogs(), traffic, options, &pool);
+  std::printf(
+      "trials %zu | transit hit: shortest %.3f%%, riskroute %.3f%% "
+      "(ratio %.2f) | endpoint loss %.3f%%\n",
+      report.trials, 100 * report.shortest_path_affected,
+      100 * report.riskroute_affected, report.AffectedRatio(),
+      100 * report.endpoint_loss);
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string format = args.GetOr("format", "geojson");
+  if (const auto name = args.Get("network")) {
+    const auto& net = study.corpus().network(study.NetworkIndex(*name));
+    if (format == "geojson") {
+      const auto& field = study.hazard_field();
+      std::puts(topology::NetworkToGeoJson(net, [&](std::size_t i) {
+                  return field.RiskAt(net.pop(i).location);
+                }).c_str());
+    } else {
+      topology::Corpus single;
+      single.AddNetwork(net);
+      std::puts(topology::CorpusToString(single).c_str());
+    }
+    return 0;
+  }
+  if (format == "geojson") {
+    std::puts(topology::CorpusToGeoJson(study.corpus()).c_str());
+  } else {
+    std::puts(topology::CorpusToString(study.corpus()).c_str());
+  }
+  return 0;
+}
+
+int CmdBgp(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string dest_name = args.GetOr("dest", "Level3");
+  const std::size_t dest = study.NetworkIndex(dest_name);
+  const auto graph = bgp::RelationshipGraph::FromCorpus(study.corpus());
+  bgp::RoutingState state = bgp::RoutingState::Compute(graph, dest, 3);
+  if (args.Has("risk-aware")) {
+    const auto as_risk =
+        bgp::AsRiskScores(study.corpus(), study.hazard_field());
+    const std::size_t changed = bgp::ApplyRiskAwareSelection(state, as_risk);
+    std::printf("risk-aware selection changed %zu primaries\n", changed);
+  }
+  std::printf("routes toward %s (policy: customer > peer > provider):\n",
+              dest_name.c_str());
+  for (std::size_t as = 0; as < graph.as_count(); ++as) {
+    if (as == dest) continue;
+    const bgp::RibEntry& rib = state.rib(as);
+    std::printf("  %-14s ", study.corpus().network(as).name().c_str());
+    if (!rib.best) {
+      std::puts("(unreachable under policy)");
+      continue;
+    }
+    for (std::size_t i = 0; i < rib.best->as_path.size(); ++i) {
+      std::printf("%s%s",
+                  study.corpus().network(rib.best->as_path[i]).name().c_str(),
+                  i + 1 == rib.best->as_path.size() ? "" : " > ");
+    }
+    std::printf("   (+%zu alternates)\n", rib.alternates.size() - 1);
+  }
+  return 0;
+}
+
+int CmdOspf(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Deutsche");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  core::OspfExportOptions options;
+  options.params = ParamsFrom(args);
+  const auto costs = core::ComputeOspfCosts(graph, options);
+  std::fputs(core::RenderOspfConfig(graph, costs).c_str(), stdout);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "route") return CmdRoute(args);
+  if (command == "ratios") return CmdRatios(args);
+  if (command == "augment") return CmdAugment(args);
+  if (command == "peering") return CmdPeering(args);
+  if (command == "storm") return CmdStorm(args);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "export") return CmdExport(args);
+  if (command == "ospf") return CmdOspf(args);
+  if (command == "bgp") return CmdBgp(args);
+  if (command == "help" || command == "--help") return Usage();
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace riskroute::cli
+
+int main(int argc, char** argv) {
+  try {
+    return riskroute::cli::Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
