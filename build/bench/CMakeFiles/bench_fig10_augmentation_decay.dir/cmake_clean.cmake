@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_augmentation_decay.dir/bench_fig10_augmentation_decay.cpp.o"
+  "CMakeFiles/bench_fig10_augmentation_decay.dir/bench_fig10_augmentation_decay.cpp.o.d"
+  "bench_fig10_augmentation_decay"
+  "bench_fig10_augmentation_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_augmentation_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

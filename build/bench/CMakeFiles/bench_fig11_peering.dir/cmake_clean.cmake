@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_peering.dir/bench_fig11_peering.cpp.o"
+  "CMakeFiles/bench_fig11_peering.dir/bench_fig11_peering.cpp.o.d"
+  "bench_fig11_peering"
+  "bench_fig11_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

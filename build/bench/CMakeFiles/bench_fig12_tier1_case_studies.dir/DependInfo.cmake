@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_tier1_case_studies.cpp" "bench/CMakeFiles/bench_fig12_tier1_case_studies.dir/bench_fig12_tier1_case_studies.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_tier1_case_studies.dir/bench_fig12_tier1_case_studies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provision/CMakeFiles/riskroute_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/riskroute_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riskroute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riskroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/riskroute_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/hazard/CMakeFiles/riskroute_hazard.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/riskroute_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riskroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

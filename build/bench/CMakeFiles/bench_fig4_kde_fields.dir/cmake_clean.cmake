@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_kde_fields.dir/bench_fig4_kde_fields.cpp.o"
+  "CMakeFiles/bench_fig4_kde_fields.dir/bench_fig4_kde_fields.cpp.o.d"
+  "bench_fig4_kde_fields"
+  "bench_fig4_kde_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kde_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

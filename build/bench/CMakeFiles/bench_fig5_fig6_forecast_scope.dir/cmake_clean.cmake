@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_forecast_scope.dir/bench_fig5_fig6_forecast_scope.cpp.o"
+  "CMakeFiles/bench_fig5_fig6_forecast_scope.dir/bench_fig5_fig6_forecast_scope.cpp.o.d"
+  "bench_fig5_fig6_forecast_scope"
+  "bench_fig5_fig6_forecast_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_forecast_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

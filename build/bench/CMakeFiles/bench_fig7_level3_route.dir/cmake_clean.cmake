@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_level3_route.dir/bench_fig7_level3_route.cpp.o"
+  "CMakeFiles/bench_fig7_level3_route.dir/bench_fig7_level3_route.cpp.o.d"
+  "bench_fig7_level3_route"
+  "bench_fig7_level3_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_level3_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_level3_route.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_augmentation_links.dir/bench_fig9_augmentation_links.cpp.o"
+  "CMakeFiles/bench_fig9_augmentation_links.dir/bench_fig9_augmentation_links.cpp.o.d"
+  "bench_fig9_augmentation_links"
+  "bench_fig9_augmentation_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_augmentation_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

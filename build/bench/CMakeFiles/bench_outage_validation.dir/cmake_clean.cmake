@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outage_validation.dir/bench_outage_validation.cpp.o"
+  "CMakeFiles/bench_outage_validation.dir/bench_outage_validation.cpp.o.d"
+  "bench_outage_validation"
+  "bench_outage_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outage_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seasonal_risk.dir/bench_seasonal_risk.cpp.o"
+  "CMakeFiles/bench_seasonal_risk.dir/bench_seasonal_risk.cpp.o.d"
+  "bench_seasonal_risk"
+  "bench_seasonal_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seasonal_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bandwidths.dir/bench_table1_bandwidths.cpp.o"
+  "CMakeFiles/bench_table1_bandwidths.dir/bench_table1_bandwidths.cpp.o.d"
+  "bench_table1_bandwidths"
+  "bench_table1_bandwidths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bandwidths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

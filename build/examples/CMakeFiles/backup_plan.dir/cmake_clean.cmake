@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_plan.dir/backup_plan.cpp.o"
+  "CMakeFiles/backup_plan.dir/backup_plan.cpp.o.d"
+  "backup_plan"
+  "backup_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_rehearsal.dir/hurricane_rehearsal.cpp.o"
+  "CMakeFiles/hurricane_rehearsal.dir/hurricane_rehearsal.cpp.o.d"
+  "hurricane_rehearsal"
+  "hurricane_rehearsal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_rehearsal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_atlas.dir/risk_atlas.cpp.o"
+  "CMakeFiles/risk_atlas.dir/risk_atlas.cpp.o.d"
+  "risk_atlas"
+  "risk_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

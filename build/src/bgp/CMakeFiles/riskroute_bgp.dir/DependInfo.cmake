@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/path_vector.cpp" "src/bgp/CMakeFiles/riskroute_bgp.dir/path_vector.cpp.o" "gcc" "src/bgp/CMakeFiles/riskroute_bgp.dir/path_vector.cpp.o.d"
+  "/root/repo/src/bgp/relationships.cpp" "src/bgp/CMakeFiles/riskroute_bgp.dir/relationships.cpp.o" "gcc" "src/bgp/CMakeFiles/riskroute_bgp.dir/relationships.cpp.o.d"
+  "/root/repo/src/bgp/restoration.cpp" "src/bgp/CMakeFiles/riskroute_bgp.dir/restoration.cpp.o" "gcc" "src/bgp/CMakeFiles/riskroute_bgp.dir/restoration.cpp.o.d"
+  "/root/repo/src/bgp/risk_selection.cpp" "src/bgp/CMakeFiles/riskroute_bgp.dir/risk_selection.cpp.o" "gcc" "src/bgp/CMakeFiles/riskroute_bgp.dir/risk_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forecast/CMakeFiles/riskroute_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/hazard/CMakeFiles/riskroute_hazard.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riskroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_bgp.dir/path_vector.cpp.o"
+  "CMakeFiles/riskroute_bgp.dir/path_vector.cpp.o.d"
+  "CMakeFiles/riskroute_bgp.dir/relationships.cpp.o"
+  "CMakeFiles/riskroute_bgp.dir/relationships.cpp.o.d"
+  "CMakeFiles/riskroute_bgp.dir/restoration.cpp.o"
+  "CMakeFiles/riskroute_bgp.dir/restoration.cpp.o.d"
+  "CMakeFiles/riskroute_bgp.dir/risk_selection.cpp.o"
+  "CMakeFiles/riskroute_bgp.dir/risk_selection.cpp.o.d"
+  "libriskroute_bgp.a"
+  "libriskroute_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backup_paths.cpp" "src/core/CMakeFiles/riskroute_core.dir/backup_paths.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/backup_paths.cpp.o.d"
+  "/root/repo/src/core/disjoint_paths.cpp" "src/core/CMakeFiles/riskroute_core.dir/disjoint_paths.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/disjoint_paths.cpp.o.d"
+  "/root/repo/src/core/interdomain.cpp" "src/core/CMakeFiles/riskroute_core.dir/interdomain.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/interdomain.cpp.o.d"
+  "/root/repo/src/core/k_shortest.cpp" "src/core/CMakeFiles/riskroute_core.dir/k_shortest.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/k_shortest.cpp.o.d"
+  "/root/repo/src/core/multi_objective.cpp" "src/core/CMakeFiles/riskroute_core.dir/multi_objective.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/multi_objective.cpp.o.d"
+  "/root/repo/src/core/ospf_export.cpp" "src/core/CMakeFiles/riskroute_core.dir/ospf_export.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/ospf_export.cpp.o.d"
+  "/root/repo/src/core/risk_graph.cpp" "src/core/CMakeFiles/riskroute_core.dir/risk_graph.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/risk_graph.cpp.o.d"
+  "/root/repo/src/core/riskroute.cpp" "src/core/CMakeFiles/riskroute_core.dir/riskroute.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/riskroute.cpp.o.d"
+  "/root/repo/src/core/shortest_path.cpp" "src/core/CMakeFiles/riskroute_core.dir/shortest_path.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/riskroute_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/riskroute_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hazard/CMakeFiles/riskroute_hazard.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/riskroute_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riskroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

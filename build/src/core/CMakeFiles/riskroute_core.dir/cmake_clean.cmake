@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_core.dir/backup_paths.cpp.o"
+  "CMakeFiles/riskroute_core.dir/backup_paths.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/disjoint_paths.cpp.o"
+  "CMakeFiles/riskroute_core.dir/disjoint_paths.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/interdomain.cpp.o"
+  "CMakeFiles/riskroute_core.dir/interdomain.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/k_shortest.cpp.o"
+  "CMakeFiles/riskroute_core.dir/k_shortest.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/multi_objective.cpp.o"
+  "CMakeFiles/riskroute_core.dir/multi_objective.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/ospf_export.cpp.o"
+  "CMakeFiles/riskroute_core.dir/ospf_export.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/risk_graph.cpp.o"
+  "CMakeFiles/riskroute_core.dir/risk_graph.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/riskroute.cpp.o"
+  "CMakeFiles/riskroute_core.dir/riskroute.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/shortest_path.cpp.o"
+  "CMakeFiles/riskroute_core.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/riskroute_core.dir/study.cpp.o"
+  "CMakeFiles/riskroute_core.dir/study.cpp.o.d"
+  "libriskroute_core.a"
+  "libriskroute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

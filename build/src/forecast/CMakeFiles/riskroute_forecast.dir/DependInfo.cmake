@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/advisory.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/advisory.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/advisory.cpp.o.d"
+  "/root/repo/src/forecast/forecast_risk.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/forecast_risk.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/forecast_risk.cpp.o.d"
+  "/root/repo/src/forecast/parser.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/parser.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/parser.cpp.o.d"
+  "/root/repo/src/forecast/projection.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/projection.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/projection.cpp.o.d"
+  "/root/repo/src/forecast/tracks.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/tracks.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/tracks.cpp.o.d"
+  "/root/repo/src/forecast/writer.cpp" "src/forecast/CMakeFiles/riskroute_forecast.dir/writer.cpp.o" "gcc" "src/forecast/CMakeFiles/riskroute_forecast.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

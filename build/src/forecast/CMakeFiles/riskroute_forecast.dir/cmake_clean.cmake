@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_forecast.dir/advisory.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/advisory.cpp.o.d"
+  "CMakeFiles/riskroute_forecast.dir/forecast_risk.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/forecast_risk.cpp.o.d"
+  "CMakeFiles/riskroute_forecast.dir/parser.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/parser.cpp.o.d"
+  "CMakeFiles/riskroute_forecast.dir/projection.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/projection.cpp.o.d"
+  "CMakeFiles/riskroute_forecast.dir/tracks.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/tracks.cpp.o.d"
+  "CMakeFiles/riskroute_forecast.dir/writer.cpp.o"
+  "CMakeFiles/riskroute_forecast.dir/writer.cpp.o.d"
+  "libriskroute_forecast.a"
+  "libriskroute_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libriskroute_forecast.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bounding_box.cpp" "src/geo/CMakeFiles/riskroute_geo.dir/bounding_box.cpp.o" "gcc" "src/geo/CMakeFiles/riskroute_geo.dir/bounding_box.cpp.o.d"
+  "/root/repo/src/geo/conus.cpp" "src/geo/CMakeFiles/riskroute_geo.dir/conus.cpp.o" "gcc" "src/geo/CMakeFiles/riskroute_geo.dir/conus.cpp.o.d"
+  "/root/repo/src/geo/distance.cpp" "src/geo/CMakeFiles/riskroute_geo.dir/distance.cpp.o" "gcc" "src/geo/CMakeFiles/riskroute_geo.dir/distance.cpp.o.d"
+  "/root/repo/src/geo/geo_point.cpp" "src/geo/CMakeFiles/riskroute_geo.dir/geo_point.cpp.o" "gcc" "src/geo/CMakeFiles/riskroute_geo.dir/geo_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

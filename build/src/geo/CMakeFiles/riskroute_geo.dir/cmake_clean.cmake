@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_geo.dir/bounding_box.cpp.o"
+  "CMakeFiles/riskroute_geo.dir/bounding_box.cpp.o.d"
+  "CMakeFiles/riskroute_geo.dir/conus.cpp.o"
+  "CMakeFiles/riskroute_geo.dir/conus.cpp.o.d"
+  "CMakeFiles/riskroute_geo.dir/distance.cpp.o"
+  "CMakeFiles/riskroute_geo.dir/distance.cpp.o.d"
+  "CMakeFiles/riskroute_geo.dir/geo_point.cpp.o"
+  "CMakeFiles/riskroute_geo.dir/geo_point.cpp.o.d"
+  "libriskroute_geo.a"
+  "libriskroute_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hazard/catalog.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/catalog.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/catalog.cpp.o.d"
+  "/root/repo/src/hazard/catalog_io.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/catalog_io.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/catalog_io.cpp.o.d"
+  "/root/repo/src/hazard/duration.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/duration.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/duration.cpp.o.d"
+  "/root/repo/src/hazard/risk_field.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/risk_field.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/risk_field.cpp.o.d"
+  "/root/repo/src/hazard/seasonal.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/seasonal.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/seasonal.cpp.o.d"
+  "/root/repo/src/hazard/synthesis.cpp" "src/hazard/CMakeFiles/riskroute_hazard.dir/synthesis.cpp.o" "gcc" "src/hazard/CMakeFiles/riskroute_hazard.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/riskroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_hazard.dir/catalog.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/catalog.cpp.o.d"
+  "CMakeFiles/riskroute_hazard.dir/catalog_io.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/catalog_io.cpp.o.d"
+  "CMakeFiles/riskroute_hazard.dir/duration.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/duration.cpp.o.d"
+  "CMakeFiles/riskroute_hazard.dir/risk_field.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/risk_field.cpp.o.d"
+  "CMakeFiles/riskroute_hazard.dir/seasonal.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/seasonal.cpp.o.d"
+  "CMakeFiles/riskroute_hazard.dir/synthesis.cpp.o"
+  "CMakeFiles/riskroute_hazard.dir/synthesis.cpp.o.d"
+  "libriskroute_hazard.a"
+  "libriskroute_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

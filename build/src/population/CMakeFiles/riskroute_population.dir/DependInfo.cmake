@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/population/assignment.cpp" "src/population/CMakeFiles/riskroute_population.dir/assignment.cpp.o" "gcc" "src/population/CMakeFiles/riskroute_population.dir/assignment.cpp.o.d"
+  "/root/repo/src/population/census.cpp" "src/population/CMakeFiles/riskroute_population.dir/census.cpp.o" "gcc" "src/population/CMakeFiles/riskroute_population.dir/census.cpp.o.d"
+  "/root/repo/src/population/census_io.cpp" "src/population/CMakeFiles/riskroute_population.dir/census_io.cpp.o" "gcc" "src/population/CMakeFiles/riskroute_population.dir/census_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_population.dir/assignment.cpp.o"
+  "CMakeFiles/riskroute_population.dir/assignment.cpp.o.d"
+  "CMakeFiles/riskroute_population.dir/census.cpp.o"
+  "CMakeFiles/riskroute_population.dir/census.cpp.o.d"
+  "CMakeFiles/riskroute_population.dir/census_io.cpp.o"
+  "CMakeFiles/riskroute_population.dir/census_io.cpp.o.d"
+  "libriskroute_population.a"
+  "libriskroute_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

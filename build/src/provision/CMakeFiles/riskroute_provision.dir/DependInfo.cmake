@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provision/augmentation.cpp" "src/provision/CMakeFiles/riskroute_provision.dir/augmentation.cpp.o" "gcc" "src/provision/CMakeFiles/riskroute_provision.dir/augmentation.cpp.o.d"
+  "/root/repo/src/provision/candidate_links.cpp" "src/provision/CMakeFiles/riskroute_provision.dir/candidate_links.cpp.o" "gcc" "src/provision/CMakeFiles/riskroute_provision.dir/candidate_links.cpp.o.d"
+  "/root/repo/src/provision/peering.cpp" "src/provision/CMakeFiles/riskroute_provision.dir/peering.cpp.o" "gcc" "src/provision/CMakeFiles/riskroute_provision.dir/peering.cpp.o.d"
+  "/root/repo/src/provision/shared_risk.cpp" "src/provision/CMakeFiles/riskroute_provision.dir/shared_risk.cpp.o" "gcc" "src/provision/CMakeFiles/riskroute_provision.dir/shared_risk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riskroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riskroute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/riskroute_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/hazard/CMakeFiles/riskroute_hazard.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/riskroute_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riskroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

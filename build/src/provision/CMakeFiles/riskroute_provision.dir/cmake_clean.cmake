@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_provision.dir/augmentation.cpp.o"
+  "CMakeFiles/riskroute_provision.dir/augmentation.cpp.o.d"
+  "CMakeFiles/riskroute_provision.dir/candidate_links.cpp.o"
+  "CMakeFiles/riskroute_provision.dir/candidate_links.cpp.o.d"
+  "CMakeFiles/riskroute_provision.dir/peering.cpp.o"
+  "CMakeFiles/riskroute_provision.dir/peering.cpp.o.d"
+  "CMakeFiles/riskroute_provision.dir/shared_risk.cpp.o"
+  "CMakeFiles/riskroute_provision.dir/shared_risk.cpp.o.d"
+  "libriskroute_provision.a"
+  "libriskroute_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for riskroute_provision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_sim.dir/outage_sim.cpp.o"
+  "CMakeFiles/riskroute_sim.dir/outage_sim.cpp.o.d"
+  "CMakeFiles/riskroute_sim.dir/traffic.cpp.o"
+  "CMakeFiles/riskroute_sim.dir/traffic.cpp.o.d"
+  "libriskroute_sim.a"
+  "libriskroute_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libriskroute_sim.a"
+)

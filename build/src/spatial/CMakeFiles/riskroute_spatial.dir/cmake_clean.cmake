@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_spatial.dir/grid_index.cpp.o"
+  "CMakeFiles/riskroute_spatial.dir/grid_index.cpp.o.d"
+  "CMakeFiles/riskroute_spatial.dir/kd_tree.cpp.o"
+  "CMakeFiles/riskroute_spatial.dir/kd_tree.cpp.o.d"
+  "libriskroute_spatial.a"
+  "libriskroute_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bandwidth_cv.cpp" "src/stats/CMakeFiles/riskroute_stats.dir/bandwidth_cv.cpp.o" "gcc" "src/stats/CMakeFiles/riskroute_stats.dir/bandwidth_cv.cpp.o.d"
+  "/root/repo/src/stats/kernel_density.cpp" "src/stats/CMakeFiles/riskroute_stats.dir/kernel_density.cpp.o" "gcc" "src/stats/CMakeFiles/riskroute_stats.dir/kernel_density.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/riskroute_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/riskroute_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/riskroute_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/riskroute_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/riskroute_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

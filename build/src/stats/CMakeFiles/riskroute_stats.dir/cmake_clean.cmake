@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_stats.dir/bandwidth_cv.cpp.o"
+  "CMakeFiles/riskroute_stats.dir/bandwidth_cv.cpp.o.d"
+  "CMakeFiles/riskroute_stats.dir/kernel_density.cpp.o"
+  "CMakeFiles/riskroute_stats.dir/kernel_density.cpp.o.d"
+  "CMakeFiles/riskroute_stats.dir/regression.cpp.o"
+  "CMakeFiles/riskroute_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/riskroute_stats.dir/summary.cpp.o"
+  "CMakeFiles/riskroute_stats.dir/summary.cpp.o.d"
+  "libriskroute_stats.a"
+  "libriskroute_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/corpus.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/corpus.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/corpus.cpp.o.d"
+  "/root/repo/src/topology/gazetteer.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/gazetteer.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/gazetteer.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/geojson.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/geojson.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/geojson.cpp.o.d"
+  "/root/repo/src/topology/graphml.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/graphml.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/graphml.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/serialize.cpp" "src/topology/CMakeFiles/riskroute_topology.dir/serialize.cpp.o" "gcc" "src/topology/CMakeFiles/riskroute_topology.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/riskroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/riskroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_topology.dir/corpus.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/corpus.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/gazetteer.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/gazetteer.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/generator.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/geojson.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/geojson.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/graphml.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/graphml.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/network.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/network.cpp.o.d"
+  "CMakeFiles/riskroute_topology.dir/serialize.cpp.o"
+  "CMakeFiles/riskroute_topology.dir/serialize.cpp.o.d"
+  "libriskroute_topology.a"
+  "libriskroute_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_util.dir/csv.cpp.o"
+  "CMakeFiles/riskroute_util.dir/csv.cpp.o.d"
+  "CMakeFiles/riskroute_util.dir/rng.cpp.o"
+  "CMakeFiles/riskroute_util.dir/rng.cpp.o.d"
+  "CMakeFiles/riskroute_util.dir/strings.cpp.o"
+  "CMakeFiles/riskroute_util.dir/strings.cpp.o.d"
+  "CMakeFiles/riskroute_util.dir/table.cpp.o"
+  "CMakeFiles/riskroute_util.dir/table.cpp.o.d"
+  "CMakeFiles/riskroute_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/riskroute_util.dir/thread_pool.cpp.o.d"
+  "libriskroute_util.a"
+  "libriskroute_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for riskroute_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_extensions_test.dir/io_extensions_test.cpp.o"
+  "CMakeFiles/io_extensions_test.dir/io_extensions_test.cpp.o.d"
+  "io_extensions_test"
+  "io_extensions_test.pdb"
+  "io_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

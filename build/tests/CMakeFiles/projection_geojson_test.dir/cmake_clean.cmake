@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_geojson_test.dir/projection_geojson_test.cpp.o"
+  "CMakeFiles/projection_geojson_test.dir/projection_geojson_test.cpp.o.d"
+  "projection_geojson_test"
+  "projection_geojson_test.pdb"
+  "projection_geojson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_geojson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

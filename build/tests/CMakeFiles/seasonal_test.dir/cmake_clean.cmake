@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonal_test.dir/seasonal_test.cpp.o"
+  "CMakeFiles/seasonal_test.dir/seasonal_test.cpp.o.d"
+  "seasonal_test"
+  "seasonal_test.pdb"
+  "seasonal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/population_test[1]_include.cmake")
+include("/root/repo/build/tests/hazard_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/interdomain_test[1]_include.cmake")
+include("/root/repo/build/tests/provision_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/projection_geojson_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/disjoint_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/seasonal_test[1]_include.cmake")
+include("/root/repo/build/tests/io_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/random_graph_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskroute_cli.dir/riskroute_cli.cpp.o"
+  "CMakeFiles/riskroute_cli.dir/riskroute_cli.cpp.o.d"
+  "riskroute"
+  "riskroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskroute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
