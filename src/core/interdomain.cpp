@@ -28,15 +28,19 @@ MergedGraph BuildMergedGraph(
   merged.global_ids.resize(corpus.network_count());
 
   // Nodes: every PoP of every network, with its own network's impact
-  // fraction and the shared historical hazard field.
+  // fraction and the shared historical hazard field. Risks come per
+  // network from the batch path (or the caller's memoized cache).
   for (std::size_t n = 0; n < corpus.network_count(); ++n) {
     const topology::Network& network = corpus.network(n);
+    const std::vector<double> risks =
+        options.risk_cache != nullptr ? options.risk_cache->PopRisks(network)
+                                      : hazard_field.PopRisks(network);
     merged.global_ids[n].resize(network.pop_count());
     for (std::size_t p = 0; p < network.pop_count(); ++p) {
       const topology::Pop& pop = network.pop(p);
       const std::size_t id = merged.graph.AddNode(RiskNode{
           network.name() + ":" + pop.name, pop.location,
-          impacts[n].fraction(p), hazard_field.RiskAt(pop.location), 0.0});
+          impacts[n].fraction(p), risks[p], 0.0});
       merged.global_ids[n][p] = id;
       merged.origin.push_back(MergedNode{n, p});
     }

@@ -43,6 +43,9 @@ struct MergeOptions {
   /// Two PoPs of AS-adjacent networks peer when within this distance
   /// (the paper's "co-located" infrastructure).
   double colocation_radius_miles = 25.0;
+  /// Optional memoized risk lookup. When set (e.g. to a Study's warmed
+  /// cache) node risks come from it instead of fresh KDE evaluations.
+  const hazard::RiskFieldCache* risk_cache = nullptr;
 };
 
 /// Builds the merged graph. `impacts` must hold one ImpactModel per corpus

@@ -1,6 +1,8 @@
 #include "core/risk_graph.h"
 
 #include <algorithm>
+#include <numeric>
+#include <utility>
 
 #include "geo/distance.h"
 #include "util/error.h"
@@ -31,6 +33,41 @@ void RiskGraph::AddEdgeByDistance(std::size_t a, std::size_t b) {
   }
   AddEdge(a, b,
           geo::GreatCircleMiles(nodes_[a].location, nodes_[b].location));
+}
+
+void RiskGraph::AddEdgesUnchecked(std::span<const WeightedLink> edges) {
+  // Normalized (low, high) keys so duplicates in either orientation
+  // collide; keys_sorted finds them in O(E log E) while the insertion pass
+  // below walks the ORIGINAL order, so adjacency lists come out exactly as
+  // a sequence of AddEdge calls would build them (first occurrence wins).
+  std::vector<std::pair<std::size_t, std::size_t>> keys(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const WeightedLink& e = edges[i];
+    if (e.a >= nodes_.size() || e.b >= nodes_.size()) {
+      throw InvalidArgument(
+          util::Format("edge (%zu, %zu) out of range", e.a, e.b));
+    }
+    if (e.a == e.b) throw InvalidArgument("self-edges are not allowed");
+    if (e.miles < 0.0) {
+      throw InvalidArgument("edge mileage must be non-negative");
+    }
+    keys[i] = std::minmax(e.a, e.b);
+  }
+  std::vector<std::size_t> by_key(edges.size());
+  std::iota(by_key.begin(), by_key.end(), 0);
+  std::sort(by_key.begin(), by_key.end(), [&](std::size_t x, std::size_t y) {
+    return keys[x] != keys[y] ? keys[x] < keys[y] : x < y;
+  });
+  std::vector<bool> duplicate(edges.size(), false);
+  for (std::size_t s = 1; s < by_key.size(); ++s) {
+    if (keys[by_key[s]] == keys[by_key[s - 1]]) duplicate[by_key[s]] = true;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (duplicate[i]) continue;
+    const WeightedLink& e = edges[i];
+    adjacency_[e.a].push_back(RiskEdge{e.b, e.miles});
+    adjacency_[e.b].push_back(RiskEdge{e.a, e.miles});
+  }
 }
 
 void RiskGraph::RemoveEdge(std::size_t a, std::size_t b) {
@@ -85,15 +122,32 @@ void RiskGraph::ClearForecastRisks() {
 RiskGraph RiskGraph::FromNetwork(const topology::Network& network,
                                  const population::ImpactModel& impact,
                                  const hazard::HistoricalRiskField& hazard_field) {
+  return FromNetwork(network, impact, hazard_field.PopRisks(network));
+}
+
+RiskGraph RiskGraph::FromNetwork(const topology::Network& network,
+                                 const population::ImpactModel& impact,
+                                 std::span<const double> historical_risks) {
+  if (historical_risks.size() != network.pop_count()) {
+    throw InvalidArgument(util::Format(
+        "FromNetwork: %zu historical risks for %zu PoPs",
+        historical_risks.size(), network.pop_count()));
+  }
   RiskGraph graph;
   for (std::size_t i = 0; i < network.pop_count(); ++i) {
     const topology::Pop& pop = network.pop(i);
     graph.AddNode(RiskNode{pop.name, pop.location, impact.fraction(i),
-                           hazard_field.RiskAt(pop.location), 0.0});
+                           historical_risks[i], 0.0});
   }
+  std::vector<WeightedLink> edges;
+  edges.reserve(network.link_count());
   for (const topology::Link& link : network.links()) {
-    graph.AddEdgeByDistance(link.a, link.b);
+    edges.push_back(WeightedLink{
+        link.a, link.b,
+        geo::GreatCircleMiles(network.pop(link.a).location,
+                              network.pop(link.b).location)});
   }
+  graph.AddEdgesUnchecked(edges);
   return graph;
 }
 

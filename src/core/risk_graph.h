@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ struct RiskEdge {
   double miles = 0.0;
 };
 
+/// One undirected edge for the bulk-build path.
+struct WeightedLink {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double miles = 0.0;
+};
+
 /// Weighted undirected graph over PoPs.
 class RiskGraph {
  public:
@@ -50,6 +58,16 @@ class RiskGraph {
 
   /// Adds an undirected edge with great-circle mileage between the nodes.
   void AddEdgeByDistance(std::size_t a, std::size_t b);
+
+  /// Bulk edge insertion for graph construction: validates indices and
+  /// mileages, dedups the batch once via a sort (either orientation
+  /// collides) instead of the per-insert O(degree) duplicate scan AddEdge
+  /// does, then builds the adjacency lists in one pass. Self-edges and bad
+  /// indices throw, exactly as AddEdge. "Unchecked" = the batch is NOT
+  /// checked against edges already in the graph; callers use this on
+  /// freshly built graphs (as FromNetwork does). With E edges this is
+  /// O(E log E) total where repeated AddEdge is O(E * degree).
+  void AddEdgesUnchecked(std::span<const WeightedLink> edges);
 
   /// Removes an undirected edge (both directions); throws if absent.
   void RemoveEdge(std::size_t a, std::size_t b);
@@ -72,12 +90,20 @@ class RiskGraph {
   void ClearForecastRisks();
 
   /// Builds the graph for one network: impact fractions from the census
-  /// assignment, historical risks from the hazard field. Forecast risks
-  /// start at zero.
+  /// assignment, historical risks from the hazard field (evaluated through
+  /// the field's batch path). Forecast risks start at zero.
   [[nodiscard]] static RiskGraph FromNetwork(
       const topology::Network& network,
       const population::ImpactModel& impact,
       const hazard::HistoricalRiskField& hazard_field);
+
+  /// Same, with precomputed per-PoP historical risks (one per PoP, e.g.
+  /// from a hazard::RiskFieldCache) so repeated builds over the same
+  /// network skip the KDE evaluations entirely.
+  [[nodiscard]] static RiskGraph FromNetwork(
+      const topology::Network& network,
+      const population::ImpactModel& impact,
+      std::span<const double> historical_risks);
 
  private:
   std::vector<RiskNode> nodes_;

@@ -19,8 +19,14 @@ Study Study::Build(const StudyOptions& options) {
                                  : options.bandwidths;
   study.hazard_field_ =
       std::make_unique<hazard::HistoricalRiskField>(catalogs, bandwidths);
-  study.hazard_field_->CalibrateTo(study.AllPopLocations(),
+  const std::vector<geo::GeoPoint> pop_locations = study.AllPopLocations();
+  study.hazard_field_->CalibrateTo(pop_locations,
                                    options.calibration_target);
+  // Memoize the calibrated per-PoP risks once; every BuildGraph /
+  // BuildMerged afterwards is a pure cache read.
+  study.risk_cache_ =
+      std::make_unique<hazard::RiskFieldCache>(*study.hazard_field_);
+  study.risk_cache_->Warm(pop_locations);
 
   study.impacts_.reserve(study.corpus_.network_count());
   for (std::size_t n = 0; n < study.corpus_.network_count(); ++n) {
@@ -38,8 +44,9 @@ const population::ImpactModel& Study::impact(std::size_t network) const {
 }
 
 RiskGraph Study::BuildGraph(std::size_t network) const {
-  return RiskGraph::FromNetwork(corpus_.network(network), impact(network),
-                                *hazard_field_);
+  return RiskGraph::FromNetwork(
+      corpus_.network(network), impact(network),
+      risk_cache_->PopRisks(corpus_.network(network)));
 }
 
 std::size_t Study::NetworkIndex(std::string_view name) const {
@@ -55,7 +62,11 @@ RiskGraph Study::BuildGraphFor(std::string_view network_name) const {
 }
 
 MergedGraph Study::BuildMerged(const MergeOptions& options) const {
-  return BuildMergedGraph(corpus_, impacts_, *hazard_field_, options);
+  MergeOptions with_cache = options;
+  if (with_cache.risk_cache == nullptr) {
+    with_cache.risk_cache = risk_cache_.get();
+  }
+  return BuildMergedGraph(corpus_, impacts_, *hazard_field_, with_cache);
 }
 
 std::vector<geo::GeoPoint> Study::AllPopLocations() const {

@@ -45,6 +45,14 @@ class Study {
   [[nodiscard]] const hazard::HistoricalRiskField& hazard_field() const {
     return *hazard_field_;
   }
+
+  /// Memoized risk lookup over hazard_field(), pre-warmed with every
+  /// corpus PoP location at Build time. BuildGraph/BuildMerged read
+  /// through it, so repeated network builds never re-evaluate the KDEs
+  /// for the same ~800 locations.
+  [[nodiscard]] const hazard::RiskFieldCache& risk_cache() const {
+    return *risk_cache_;
+  }
   [[nodiscard]] const population::ImpactModel& impact(std::size_t network) const;
 
   /// Risk graph for one network (forecast risks zeroed).
@@ -68,6 +76,7 @@ class Study {
   topology::Corpus corpus_;
   std::unique_ptr<population::CensusModel> census_;
   std::unique_ptr<hazard::HistoricalRiskField> hazard_field_;
+  std::unique_ptr<hazard::RiskFieldCache> risk_cache_;
   std::vector<population::ImpactModel> impacts_;
 };
 

@@ -1,5 +1,8 @@
 #include "hazard/risk_field.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -65,8 +68,9 @@ void HistoricalRiskField::CalibrateTo(
     throw InvalidArgument("CalibrateTo: target mean must be positive");
   }
   scale_ = 1.0;
+  const std::vector<double> risks = RisksAt(reference);
   double sum = 0.0;
-  for (const geo::GeoPoint& p : reference) sum += RiskAt(p);
+  for (const double r : risks) sum += r;
   const double mean = sum / static_cast<double>(reference.size());
   if (mean <= 0.0) {
     throw InvalidArgument("CalibrateTo: reference set has zero mean risk");
@@ -92,14 +96,40 @@ double HistoricalRiskField::RiskAt(const geo::GeoPoint& p,
   throw InvalidArgument("HistoricalRiskField: no model for hazard type");
 }
 
+void HistoricalRiskField::RisksAt(std::span<const geo::GeoPoint> points,
+                                  std::span<double> out) const {
+  if (points.size() != out.size()) {
+    throw InvalidArgument("RisksAt: output span size mismatch");
+  }
+  // Accumulate w_t * p_t(y) in model order, then scale — the same
+  // operation order as RiskAt, so results are bitwise equal.
+  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> densities(points.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    models_[i].kde.EvaluateBatch(points, densities);
+    const double w = type_weights_[i];
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j] += w * densities[j];
+    }
+  }
+  for (double& r : out) r *= scale_;
+}
+
+std::vector<double> HistoricalRiskField::RisksAt(
+    std::span<const geo::GeoPoint> points) const {
+  std::vector<double> out(points.size());
+  RisksAt(points, out);
+  return out;
+}
+
 std::vector<double> HistoricalRiskField::PopRisks(
     const topology::Network& network) const {
-  std::vector<double> risks;
-  risks.reserve(network.pop_count());
+  std::vector<geo::GeoPoint> locations;
+  locations.reserve(network.pop_count());
   for (const topology::Pop& pop : network.pops()) {
-    risks.push_back(RiskAt(pop.location));
+    locations.push_back(pop.location);
   }
-  return risks;
+  return RisksAt(locations);
 }
 
 HazardType HistoricalRiskField::model_type(std::size_t i) const {
@@ -114,6 +144,94 @@ const stats::KernelDensity2D& HistoricalRiskField::model(std::size_t i) const {
     throw InvalidArgument("HistoricalRiskField: model index out of range");
   }
   return models_[i].kde;
+}
+
+// ---------------------------------------------------------------------------
+// RiskFieldCache
+
+RiskFieldCache::RiskFieldCache(const HistoricalRiskField& field)
+    : field_(&field) {}
+
+RiskFieldCache::Key RiskFieldCache::KeyOf(const geo::GeoPoint& p) {
+  return Key{std::bit_cast<std::uint64_t>(p.latitude()),
+             std::bit_cast<std::uint64_t>(p.longitude())};
+}
+
+std::size_t RiskFieldCache::KeyHash::operator()(const Key& k) const noexcept {
+  // Mix the two coordinate payloads (splitmix64 finalizer).
+  std::uint64_t h = k.lat_bits + 0x9e3779b97f4a7c15ULL * k.lon_bits;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+double RiskFieldCache::RiskAt(const geo::GeoPoint& p) const {
+  const Key key = KeyOf(p);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  const double risk = field_->RiskAt(p);
+  std::lock_guard lock(mutex_);
+  cache_.emplace(key, risk);
+  return risk;
+}
+
+void RiskFieldCache::RisksAt(std::span<const geo::GeoPoint> points,
+                             std::span<double> out) const {
+  if (points.size() != out.size()) {
+    throw InvalidArgument("RiskFieldCache::RisksAt: span size mismatch");
+  }
+  // Resolve hits and collect misses under the lock, evaluate the misses in
+  // one batch outside it, then publish.
+  std::vector<std::size_t> misses;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = cache_.find(KeyOf(points[i]));
+      if (it != cache_.end()) {
+        out[i] = it->second;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) return;
+  std::vector<geo::GeoPoint> miss_points;
+  miss_points.reserve(misses.size());
+  for (const std::size_t i : misses) miss_points.push_back(points[i]);
+  const std::vector<double> risks = field_->RisksAt(miss_points);
+  std::lock_guard lock(mutex_);
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    out[misses[m]] = risks[m];
+    cache_.emplace(KeyOf(miss_points[m]), risks[m]);
+  }
+}
+
+std::vector<double> RiskFieldCache::PopRisks(
+    const topology::Network& network) const {
+  std::vector<geo::GeoPoint> locations;
+  locations.reserve(network.pop_count());
+  for (const topology::Pop& pop : network.pops()) {
+    locations.push_back(pop.location);
+  }
+  std::vector<double> out(locations.size());
+  RisksAt(locations, out);
+  return out;
+}
+
+void RiskFieldCache::Warm(std::span<const geo::GeoPoint> points) const {
+  std::vector<double> scratch(points.size());
+  RisksAt(points, scratch);
+}
+
+std::size_t RiskFieldCache::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
 }
 
 }  // namespace riskroute::hazard

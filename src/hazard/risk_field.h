@@ -5,6 +5,10 @@
 // location, each KDE using its cross-validated bandwidth (Table 1).
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/geo_point.h"
@@ -31,6 +35,10 @@ namespace riskroute::hazard {
 inline constexpr double kDefaultMeanPopRisk = 0.15;
 
 /// Immutable aggregate risk field over a set of trained per-hazard KDEs.
+///
+/// Thread safety: RiskAt/RisksAt/PopRisks are const, touch no mutable
+/// state and may run concurrently from any number of threads. The mutating
+/// calls (SetTypeWeights, CalibrateTo) must not race with readers.
 class HistoricalRiskField {
  public:
   /// Builds one KDE per catalog with the given bandwidths (parallel
@@ -74,7 +82,18 @@ class HistoricalRiskField {
   /// Single-hazard likelihood at a location.
   [[nodiscard]] double RiskAt(const geo::GeoPoint& p, HazardType type) const;
 
-  /// o_h for every PoP of a network.
+  /// Batch aggregate risk: out[i] = RiskAt(points[i]), bitwise. Each
+  /// hazard model evaluates the whole batch through its cell-blocked KDE
+  /// path, which is markedly faster than per-point RiskAt. Throws
+  /// InvalidArgument if the span sizes differ.
+  void RisksAt(std::span<const geo::GeoPoint> points,
+               std::span<double> out) const;
+
+  /// Convenience overload returning a new vector.
+  [[nodiscard]] std::vector<double> RisksAt(
+      std::span<const geo::GeoPoint> points) const;
+
+  /// o_h for every PoP of a network (batch path).
   [[nodiscard]] std::vector<double> PopRisks(
       const topology::Network& network) const;
 
@@ -90,6 +109,58 @@ class HistoricalRiskField {
   std::vector<TypedModel> models_;
   std::vector<double> type_weights_;
   double scale_ = 1.0;
+};
+
+/// Memoizing read-through cache over a HistoricalRiskField.
+///
+/// Corpus-scale studies query the aggregate risk of the same ~800 PoP
+/// locations once per network build (graph construction, merged graphs,
+/// calibration, case studies). The cache keys on the exact coordinate bit
+/// patterns, so a hit returns the bitwise-identical value RiskAt would
+/// compute. Lookups are guarded by a mutex and therefore thread-safe;
+/// values never depend on insertion order, so concurrent use stays
+/// deterministic. The cache snapshots the field's current weights and
+/// calibration — rebuild it if the underlying field is recalibrated.
+class RiskFieldCache {
+ public:
+  /// Wraps `field`, which must outlive the cache.
+  explicit RiskFieldCache(const HistoricalRiskField& field);
+
+  /// Aggregate risk at `p`, memoized.
+  [[nodiscard]] double RiskAt(const geo::GeoPoint& p) const;
+
+  /// Batch lookup: misses are evaluated through the field's batch path in
+  /// one pass, then cached.
+  void RisksAt(std::span<const geo::GeoPoint> points,
+               std::span<double> out) const;
+
+  /// o_h for every PoP of a network, memoized.
+  [[nodiscard]] std::vector<double> PopRisks(
+      const topology::Network& network) const;
+
+  /// Pre-populates the cache for `points` via one batch evaluation.
+  void Warm(std::span<const geo::GeoPoint> points) const;
+
+  /// Number of distinct locations cached so far.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const HistoricalRiskField& field() const { return *field_; }
+
+ private:
+  /// Bit-exact coordinate key (hashing the IEEE-754 payloads).
+  struct Key {
+    std::uint64_t lat_bits = 0;
+    std::uint64_t lon_bits = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  [[nodiscard]] static Key KeyOf(const geo::GeoPoint& p);
+
+  const HistoricalRiskField* field_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, double, KeyHash> cache_;
 };
 
 }  // namespace riskroute::hazard

@@ -102,11 +102,24 @@ double SeasonalRiskField::RiskAt(const geo::GeoPoint& p, int month) const {
 
 std::vector<double> SeasonalRiskField::PopRisks(
     const topology::Network& network, Season season) const {
-  std::vector<double> risks;
-  risks.reserve(network.pop_count());
+  // Batch path: each model evaluates every PoP through its cell-blocked
+  // KDE engine. Accumulation order matches RiskAt, so values are bitwise
+  // equal to the per-PoP loop it replaces.
+  std::vector<geo::GeoPoint> locations;
+  locations.reserve(network.pop_count());
   for (const topology::Pop& pop : network.pops()) {
-    risks.push_back(RiskAt(pop.location, season));
+    locations.push_back(pop.location);
   }
+  const SeasonSlice& slice = slices_[static_cast<std::size_t>(season)];
+  std::vector<double> risks(locations.size(), 0.0);
+  std::vector<double> densities(locations.size());
+  for (std::size_t m = 0; m < slice.models.size(); ++m) {
+    slice.models[m]->EvaluateBatch(locations, densities);
+    for (std::size_t j = 0; j < risks.size(); ++j) {
+      risks[j] += slice.weights[m] * densities[j];
+    }
+  }
+  for (double& r : risks) r *= scale_;
   return risks;
 }
 

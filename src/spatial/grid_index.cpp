@@ -27,11 +27,26 @@ GridIndex::GridIndex(const std::vector<geo::GeoPoint>& points,
   lon_step_ = cell_miles / miles_per_lon_deg;
   rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(lat_span / lat_step_)));
   cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(lon_span / lon_step_)));
-  cells_.resize(rows_ * cols_);
+
+  // Counting sort into the CSR layout: one pass to size each cell, a
+  // prefix sum for the offsets, one pass to place the indices. Input order
+  // is preserved within a cell.
+  std::vector<std::size_t> cell_of(points_.size());
+  std::vector<std::size_t> counts(rows_ * cols_, 0);
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    const std::size_t r = RowOf(points_[i].latitude());
-    const std::size_t c = ColOf(points_[i].longitude());
-    cells_[r * cols_ + c].push_back(i);
+    const std::size_t cell = RowOf(points_[i].latitude()) * cols_ +
+                             ColOf(points_[i].longitude());
+    cell_of[i] = cell;
+    ++counts[cell];
+  }
+  offsets_.assign(rows_ * cols_ + 1, 0);
+  for (std::size_t cell = 0; cell < counts.size(); ++cell) {
+    offsets_[cell + 1] = offsets_[cell] + counts[cell];
+  }
+  slots_.resize(points_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    slots_[cursor[cell_of[i]]++] = i;
   }
 }
 
@@ -49,20 +64,49 @@ std::size_t GridIndex::ColOf(double lon) const {
       col, 0, static_cast<long long>(cols_) - 1));
 }
 
-void GridIndex::VisitNear(const geo::GeoPoint& center, double radius_miles,
-                          const std::function<void(std::size_t)>& visit) const {
-  if (radius_miles < 0.0) return;
+std::size_t GridIndex::CellIdOf(const geo::GeoPoint& p) const {
+  return RowOf(p.latitude()) * cols_ + ColOf(p.longitude());
+}
+
+CellRect GridIndex::RectNear(const geo::GeoPoint& center,
+                             double radius_miles) const {
   const double lat_radius = radius_miles / kMilesPerLatDeg;
   const double cos_lat =
       std::max(0.2, std::cos(geo::DegToRad(center.latitude())));
   const double lon_radius = radius_miles / (kMilesPerLatDeg * cos_lat);
-  const std::size_t r0 = RowOf(center.latitude() - lat_radius);
-  const std::size_t r1 = RowOf(center.latitude() + lat_radius);
-  const std::size_t c0 = ColOf(center.longitude() - lon_radius);
-  const std::size_t c1 = ColOf(center.longitude() + lon_radius);
-  for (std::size_t r = r0; r <= r1; ++r) {
-    for (std::size_t c = c0; c <= c1; ++c) {
-      for (const std::size_t i : cells_[r * cols_ + c]) visit(i);
+  CellRect rect;
+  rect.r0 = RowOf(center.latitude() - lat_radius);
+  rect.r1 = RowOf(center.latitude() + lat_radius);
+  rect.c0 = ColOf(center.longitude() - lon_radius);
+  rect.c1 = ColOf(center.longitude() + lon_radius);
+  return rect;
+}
+
+std::span<const std::size_t> GridIndex::CellPoints(std::size_t r,
+                                                   std::size_t c) const {
+  const auto [first, last] = CellSlotRange(r, c);
+  return {slots_.data() + first, last - first};
+}
+
+std::pair<std::size_t, std::size_t> GridIndex::CellSlotRange(
+    std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw InvalidArgument("GridIndex: cell out of range");
+  }
+  const std::size_t cell = r * cols_ + c;
+  return {offsets_[cell], offsets_[cell + 1]};
+}
+
+void GridIndex::VisitNear(const geo::GeoPoint& center, double radius_miles,
+                          const std::function<void(std::size_t)>& visit) const {
+  if (radius_miles < 0.0) return;
+  const CellRect rect = RectNear(center, radius_miles);
+  for (std::size_t r = rect.r0; r <= rect.r1; ++r) {
+    for (std::size_t c = rect.c0; c <= rect.c1; ++c) {
+      const std::size_t cell = r * cols_ + c;
+      for (std::size_t s = offsets_[cell]; s < offsets_[cell + 1]; ++s) {
+        visit(slots_[s]);
+      }
     }
   }
 }

@@ -4,16 +4,31 @@
 // evaluating the density at a query point then only needs the events inside
 // a small window. Bucketing the (up to 143,847-event) catalogs into a
 // uniform grid turns each KDE evaluation from O(N) into O(events nearby).
+//
+// Points are stored in a compressed (CSR) layout: one flat array of point
+// indices ordered cell-by-cell (row-major), plus per-cell offsets. Batch
+// consumers (the KDE engine) mirror that ordering in their own
+// structure-of-arrays so a cell's points are a contiguous range they can
+// stream through without indirection.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "geo/bounding_box.h"
 #include "geo/geo_point.h"
 
 namespace riskroute::spatial {
+
+/// Inclusive rectangle of grid cells, [r0, r1] x [c0, c1].
+struct CellRect {
+  std::size_t r0 = 0;
+  std::size_t r1 = 0;
+  std::size_t c0 = 0;
+  std::size_t c1 = 0;
+};
 
 /// Grid of point buckets over a bounding box. Points outside the box are
 /// clamped into the border cells, so no input is ever lost.
@@ -34,9 +49,34 @@ class GridIndex {
   [[nodiscard]] std::vector<std::size_t> WithinRadius(
       const geo::GeoPoint& center, double radius_miles) const;
 
+  /// Cells intersecting the disc of `radius_miles` around `center`
+  /// (cell-granular superset, the rectangle VisitNear scans).
+  [[nodiscard]] CellRect RectNear(const geo::GeoPoint& center,
+                                  double radius_miles) const;
+
+  /// Grid cell containing `p` (clamped into range), as a flat row-major id.
+  [[nodiscard]] std::size_t CellIdOf(const geo::GeoPoint& p) const;
+
+  /// Original point indices bucketed in cell (r, c), in input order.
+  [[nodiscard]] std::span<const std::size_t> CellPoints(std::size_t r,
+                                                        std::size_t c) const;
+
+  /// Half-open range [first, last) of slots in `OrderedIndices()` holding
+  /// cell (r, c)'s points. Batch consumers that replicate the CSR ordering
+  /// use these slots directly as offsets into their own arrays.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> CellSlotRange(
+      std::size_t r, std::size_t c) const;
+
+  /// All point indices in CSR order (cell-by-cell, row-major; input order
+  /// within a cell). Size equals size().
+  [[nodiscard]] const std::vector<std::size_t>& OrderedIndices() const {
+    return slots_;
+  }
+
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t cell_count() const { return rows_ * cols_; }
 
  private:
   [[nodiscard]] std::size_t RowOf(double lat) const;
@@ -48,8 +88,10 @@ class GridIndex {
   double lon_step_ = 1.0;
   std::size_t rows_ = 1;
   std::size_t cols_ = 1;
-  // cells_[row * cols_ + col] lists indices of points in that cell.
-  std::vector<std::vector<std::size_t>> cells_;
+  // CSR layout: slots_ lists point indices cell-by-cell (row-major);
+  // cell (r, c) owns slots_[offsets_[r * cols_ + c] .. offsets_[.. + 1]).
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> slots_;
 };
 
 }  // namespace riskroute::spatial

@@ -8,6 +8,7 @@
 #include "stats/kernel_density.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace riskroute::stats {
 namespace {
@@ -27,6 +28,19 @@ std::vector<geo::GeoPoint> Subsample(const std::vector<geo::GeoPoint>& items,
   return out;
 }
 
+/// Mean negative log held-out density of one (candidate, fold) cell.
+double FoldScore(const std::vector<geo::GeoPoint>& train,
+                 const std::vector<geo::GeoPoint>& eval, double bandwidth,
+                 double density_floor) {
+  const KernelDensity2D model(train, bandwidth);
+  const std::vector<double> densities = model.EvaluateBatch(eval);
+  double nll = 0.0;
+  for (const double density : densities) {
+    nll -= std::log(std::max(density_floor, density));
+  }
+  return nll / static_cast<double>(eval.size());
+}
+
 }  // namespace
 
 std::vector<double> LogSpacedBandwidths(double lo, double hi,
@@ -40,6 +54,15 @@ std::vector<double> LogSpacedBandwidths(double lo, double hi,
   for (std::size_t i = 0; i < count; ++i) {
     const double t = static_cast<double>(i) / static_cast<double>(count - 1);
     out[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  // exp(log(...)) rounding can land the endpoints a few ulps off `lo`/`hi`
+  // (and on pathological inputs even out of order); pin them exactly.
+  out.front() = lo;
+  out.back() = hi;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (!(out[i] > out[i - 1])) {
+      throw InternalError("LogSpacedBandwidths: grid is not increasing");
+    }
   }
   return out;
 }
@@ -81,26 +104,38 @@ BandwidthSelection SelectBandwidth(const std::vector<geo::GeoPoint>& events,
                         options.seed ^ (0xE7A1 + f));
   }
 
+  // Every (candidate, fold) cell is independent; fan them out across the
+  // pool. Each cell's score does not depend on which thread ran it, and
+  // the reductions below run serially in fixed order, so the sweep is
+  // deterministic for any thread count.
+  const std::size_t cells = candidates.size() * options.folds;
+  std::vector<double> cell_scores(cells, 0.0);
+  const auto score_cell = [&](std::size_t t) {
+    const std::size_t cand = t / options.folds;
+    const std::size_t fold = t % options.folds;
+    cell_scores[t] = FoldScore(train[fold], eval[fold], candidates[cand],
+                               options.density_floor);
+  };
+  if (options.pool != nullptr && options.pool->thread_count() > 1 &&
+      cells > 1) {
+    util::ParallelFor(*options.pool, cells, score_cell);
+  } else {
+    for (std::size_t t = 0; t < cells; ++t) score_cell(t);
+  }
+
   BandwidthSelection selection;
   selection.scores.reserve(candidates.size());
   double best_score = std::numeric_limits<double>::infinity();
-  for (const double bandwidth : candidates) {
+  for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
     double fold_sum = 0.0;
     for (std::size_t f = 0; f < options.folds; ++f) {
-      const KernelDensity2D model(train[f], bandwidth);
-      double nll = 0.0;
-      for (const auto& y : eval[f]) {
-        const double density =
-            std::max(options.density_floor, model.Evaluate(y));
-        nll -= std::log(density);
-      }
-      fold_sum += nll / static_cast<double>(eval[f].size());
+      fold_sum += cell_scores[cand * options.folds + f];
     }
     const double score = fold_sum / static_cast<double>(options.folds);
-    selection.scores.push_back(BandwidthScore{bandwidth, score});
+    selection.scores.push_back(BandwidthScore{candidates[cand], score});
     if (score < best_score) {
       best_score = score;
-      selection.best_bandwidth_miles = bandwidth;
+      selection.best_bandwidth_miles = candidates[cand];
     }
   }
   return selection;

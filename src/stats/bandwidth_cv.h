@@ -8,6 +8,12 @@
 // log model density plus the (bandwidth-independent) entropy of the
 // empirical distribution, so minimizing the average negative log-likelihood
 // of held-out events minimizes the KL divergence. That is what we score.
+//
+// The (candidate x fold) sweep cells are independent, so SelectBandwidth
+// runs them across a caller-supplied thread pool. Every cell computes an
+// identical result on any thread, and the cross-fold/cross-candidate
+// reductions happen serially in a fixed order afterwards, so the selected
+// bandwidth and every score are bitwise identical for any thread count.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +21,10 @@
 #include <vector>
 
 #include "geo/geo_point.h"
+
+namespace riskroute::util {
+class ThreadPool;
+}  // namespace riskroute::util
 
 namespace riskroute::stats {
 
@@ -42,6 +52,10 @@ struct CrossValidationOptions {
   /// events beyond every kernel's truncation window yield a large-but-
   /// finite penalty instead of an infinite one.
   double density_floor = 1e-12;
+  /// Optional worker pool: the (candidate x fold) sweep fans out across
+  /// it. Null (or a single-thread pool) runs serially; results are
+  /// bitwise identical either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Result of a bandwidth sweep.
@@ -50,7 +64,9 @@ struct BandwidthSelection {
   std::vector<BandwidthScore> scores;  // one per candidate, input order
 };
 
-/// Log-spaced candidate grid in [lo, hi]; count >= 2.
+/// Log-spaced candidate grid in [lo, hi]; count >= 2. The first and last
+/// candidates are exactly `lo` and `hi` (no exp(log(...)) rounding) and
+/// the grid is checked to be strictly increasing.
 [[nodiscard]] std::vector<double> LogSpacedBandwidths(double lo, double hi,
                                                       std::size_t count);
 

@@ -18,18 +18,40 @@
 // Kernels are truncated at 5 sigma (relative error < 4e-6) and events are
 // bucketed in a GridIndex, so evaluation cost scales with the number of
 // events near the query instead of the catalog size.
+//
+// Evaluation is trig-free: events are projected to equirectangular plane
+// coordinates once at construction (radians scaled by the Earth radius,
+// with each event's cos(latitude) stored alongside), laid out as a
+// structure of arrays in the grid's CSR cell order. A query projects once
+// (one cos), then the inner loop over nearby events is pure multiply-add
+// plus exp. The squared distance uses the mean of the two cosines for the
+// longitude scale, which agrees with geo::ApproxMiles (cosine of the mean
+// latitude) to second order in the latitude separation — well inside the
+// equirectangular approximation's own error at kernel scales.
+//
+// EvaluateBatch and Evaluate compute each density with identical
+// floating-point operations in an identical order, so their results are
+// bitwise equal; parallel Raster is likewise bitwise independent of the
+// thread count because every cell is an independent query.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "geo/bounding_box.h"
 #include "geo/geo_point.h"
 #include "spatial/grid_index.h"
 
+namespace riskroute::util {
+class ThreadPool;
+}  // namespace riskroute::util
+
 namespace riskroute::stats {
 
-/// Immutable KDE model over a fixed event set.
+/// Immutable KDE model over a fixed event set. Evaluation methods are
+/// const and touch no mutable state, so one model may be queried from
+/// many threads concurrently.
 class KernelDensity2D {
  public:
   /// Builds the model. Throws InvalidArgument if `events` is empty or
@@ -39,15 +61,29 @@ class KernelDensity2D {
   /// Density at `y` in events per square mile (>= 0).
   [[nodiscard]] double Evaluate(const geo::GeoPoint& y) const;
 
+  /// Batch evaluation: densities for `ys` written to `out` (same index).
+  /// Queries are processed blocked by grid cell so consecutive queries
+  /// stream the same event ranges (cache locality); each density is
+  /// bitwise equal to Evaluate(ys[i]). Throws InvalidArgument if the span
+  /// sizes differ.
+  void EvaluateBatch(std::span<const geo::GeoPoint> ys,
+                     std::span<double> out) const;
+
+  /// Convenience overload returning a new vector.
+  [[nodiscard]] std::vector<double> EvaluateBatch(
+      std::span<const geo::GeoPoint> ys) const;
+
   /// Mean of Evaluate over a set of points (used by cross-validation).
   [[nodiscard]] double MeanDensity(const std::vector<geo::GeoPoint>& ys) const;
 
   /// Rasterizes the density over `bounds` into a row-major rows x cols
   /// grid (row 0 = min latitude). Cell value is the density at the cell
-  /// centre. This backs the paper's Figure 4 surfaces.
-  [[nodiscard]] std::vector<double> Raster(const geo::BoundingBox& bounds,
-                                           std::size_t rows,
-                                           std::size_t cols) const;
+  /// centre. This backs the paper's Figure 4 surfaces. When `pool` is
+  /// non-null the rows are evaluated in parallel; cell values are bitwise
+  /// identical for any thread count (including serial).
+  [[nodiscard]] std::vector<double> Raster(
+      const geo::BoundingBox& bounds, std::size_t rows, std::size_t cols,
+      util::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] double bandwidth_miles() const { return bandwidth_miles_; }
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
@@ -56,11 +92,31 @@ class KernelDensity2D {
   }
 
  private:
+  /// Projected query coordinates (plane miles) and cos(latitude).
+  struct Projected {
+    double x = 0.0;
+    double y = 0.0;
+    double cos_lat = 0.0;
+  };
+
+  [[nodiscard]] Projected Project(const geo::GeoPoint& p) const;
+
+  /// Kernel sum at one projected query (density before normalization).
+  [[nodiscard]] double KernelSum(const geo::GeoPoint& y,
+                                 const Projected& q) const;
+
   std::vector<geo::GeoPoint> events_;
   double bandwidth_miles_;
   double truncation_miles_;
-  double norm_;  // 1 / (N * 2 pi sigma^2)
+  double norm_;            // 1 / (N * 2 pi sigma^2)
+  double inv_two_sigma2_;  // 1 / (2 sigma^2)
   std::unique_ptr<spatial::GridIndex> index_;
+  // Structure-of-arrays event coordinates in the grid's CSR slot order:
+  // ex_/ey_ are equirectangular plane miles (R * lon_rad, R * lat_rad),
+  // ecos_ the per-event cos(latitude) folded in at construction.
+  std::vector<double> ex_;
+  std::vector<double> ey_;
+  std::vector<double> ecos_;
 };
 
 }  // namespace riskroute::stats

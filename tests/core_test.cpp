@@ -78,6 +78,54 @@ TEST(RiskGraph, ForecastRiskLifecycle) {
   }
 }
 
+TEST(RiskGraph, AddEdgesUncheckedMatchesAddEdgeSequence) {
+  // The bulk path must reproduce exactly what a sequence of AddEdge calls
+  // builds — same adjacency order (first occurrence wins), duplicates in
+  // either orientation dropped — because edge order feeds Dijkstra
+  // tie-breaking downstream.
+  const std::vector<WeightedLink> links = {
+      {0, 1, 100.0}, {2, 3, 200.0}, {1, 0, 999.0},  // reversed duplicate
+      {1, 3, 300.0}, {2, 3, 888.0},                 // same-orientation dup
+      {0, 2, 400.0},
+  };
+  RiskGraph bulk = DetourGraph();
+  RiskGraph incremental = DetourGraph();
+  // Strip DetourGraph's edges by rebuilding node-only copies.
+  RiskGraph bulk_nodes, incr_nodes;
+  for (std::size_t i = 0; i < bulk.node_count(); ++i) {
+    bulk_nodes.AddNode(bulk.node(i));
+    incr_nodes.AddNode(incremental.node(i));
+  }
+  bulk_nodes.AddEdgesUnchecked(links);
+  for (const WeightedLink& link : links) {
+    incr_nodes.AddEdge(link.a, link.b, link.miles);
+  }
+  ASSERT_EQ(bulk_nodes.directed_edge_count(), 8u);
+  ASSERT_EQ(bulk_nodes.directed_edge_count(),
+            incr_nodes.directed_edge_count());
+  for (std::size_t v = 0; v < bulk_nodes.node_count(); ++v) {
+    const auto& a = bulk_nodes.OutEdges(v);
+    const auto& b = incr_nodes.OutEdges(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].to, b[k].to) << "node " << v << " slot " << k;
+      EXPECT_DOUBLE_EQ(a[k].miles, b[k].miles);
+    }
+  }
+}
+
+TEST(RiskGraph, AddEdgesUncheckedValidation) {
+  RiskGraph graph = DetourGraph();
+  const std::vector<WeightedLink> out_of_range = {{0, 9, 10.0}};
+  EXPECT_THROW(graph.AddEdgesUnchecked(out_of_range), InvalidArgument);
+  const std::vector<WeightedLink> self_edge = {{2, 2, 10.0}};
+  EXPECT_THROW(graph.AddEdgesUnchecked(self_edge), InvalidArgument);
+  const std::vector<WeightedLink> negative = {{0, 3, -1.0}};
+  EXPECT_THROW(graph.AddEdgesUnchecked(negative), InvalidArgument);
+  // A throwing batch must not have inserted anything.
+  EXPECT_FALSE(graph.HasEdge(0, 3));
+}
+
 // ---------- Dijkstra ----------
 
 TEST(Dijkstra, FindsShortestDistancePath) {

@@ -209,6 +209,59 @@ TEST(RiskField, PopRisksMatchPerPopEvaluation) {
   EXPECT_DOUBLE_EQ(risks[1], field.RiskAt(net.pop(1).location));
 }
 
+TEST(RiskField, RisksAtMatchesRiskAtBitwise) {
+  HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  field.CalibrateTo({geo::GeoPoint(29.95, -90.07), geo::GeoPoint(37.0, -120.0)},
+                    0.2);
+  util::Rng rng(8);
+  std::vector<geo::GeoPoint> points;
+  for (int i = 0; i < 50; ++i) {
+    points.emplace_back(rng.Uniform(25, 49), rng.Uniform(-124, -67));
+  }
+  const std::vector<double> batch = field.RisksAt(points);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batch[i], field.RiskAt(points[i])) << "point " << i;
+  }
+  std::vector<double> wrong_size(points.size() + 1);
+  EXPECT_THROW(field.RisksAt(points, wrong_size), InvalidArgument);
+}
+
+TEST(RiskFieldCache, HitsReturnBitwiseIdenticalValues) {
+  const HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  const RiskFieldCache cache(field);
+  const geo::GeoPoint p(30.5, -90.5);
+  const double direct = field.RiskAt(p);
+  EXPECT_EQ(cache.RiskAt(p), direct);   // miss: evaluates and stores
+  EXPECT_EQ(cache.RiskAt(p), direct);   // hit: must be the cached value
+  EXPECT_EQ(cache.size(), 1u);
+  // A nearby-but-distinct coordinate is a different key, not a collision.
+  const geo::GeoPoint q(30.5, -90.5000001);
+  EXPECT_EQ(cache.RiskAt(q), field.RiskAt(q));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(RiskFieldCache, WarmPrepopulatesAndPopRisksMatchField) {
+  const HistoricalRiskField field(TinyCatalogs(), {50.0, 50.0});
+  const RiskFieldCache cache(field);
+  topology::Network net("n", topology::NetworkKind::kRegional);
+  net.AddPop({"A, LA", geo::GeoPoint(29.95, -90.07)});
+  net.AddPop({"B, CA", geo::GeoPoint(36.75, -119.77)});
+  net.AddPop({"C, KS", geo::GeoPoint(39.0, -98.0)});
+  std::vector<geo::GeoPoint> locations;
+  for (const topology::Pop& pop : net.pops()) locations.push_back(pop.location);
+  cache.Warm(locations);
+  EXPECT_EQ(cache.size(), 3u);
+  const auto cached = cache.PopRisks(net);
+  const auto fresh = field.PopRisks(net);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(cached[i], fresh[i]) << "pop " << i;
+  }
+  EXPECT_EQ(cache.size(), 3u);  // PopRisks after Warm added nothing new
+  EXPECT_EQ(&cache.field(), &field);
+}
+
 TEST(RiskField, PaperBandwidthsMatchTable1) {
   const auto bandwidths = PaperBandwidths();
   ASSERT_EQ(bandwidths.size(), 5u);

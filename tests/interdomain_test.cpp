@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/interdomain.h"
+#include "core/risk_graph.h"
 #include "core/riskroute.h"
 #include "geo/distance.h"
 #include "hazard/risk_field.h"
@@ -72,6 +73,37 @@ struct Fixture {
     }
   }
 };
+
+TEST(RiskGraphFromNetwork, PrecomputedRiskOverloadMatchesFieldOverload) {
+  Fixture f;
+  const topology::Network& net = f.corpus.network(0);
+  const RiskGraph from_field =
+      RiskGraph::FromNetwork(net, f.impacts[0], *f.field);
+  const RiskGraph from_span = RiskGraph::FromNetwork(
+      net, f.impacts[0], f.field->PopRisks(net));
+  ASSERT_EQ(from_span.node_count(), from_field.node_count());
+  for (std::size_t i = 0; i < from_field.node_count(); ++i) {
+    EXPECT_EQ(from_span.node(i).name, from_field.node(i).name);
+    EXPECT_EQ(from_span.node(i).historical_risk,
+              from_field.node(i).historical_risk);
+    EXPECT_EQ(from_span.node(i).impact_fraction,
+              from_field.node(i).impact_fraction);
+  }
+  ASSERT_EQ(from_span.directed_edge_count(), from_field.directed_edge_count());
+  for (std::size_t v = 0; v < from_field.node_count(); ++v) {
+    const auto& a = from_span.OutEdges(v);
+    const auto& b = from_field.OutEdges(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].to, b[k].to);
+      EXPECT_EQ(a[k].miles, b[k].miles);
+    }
+  }
+  const std::vector<double> wrong_size(net.pop_count() + 1, 0.0);
+  EXPECT_THROW(
+      (void)RiskGraph::FromNetwork(net, f.impacts[0], wrong_size),
+      InvalidArgument);
+}
 
 TEST(MergedGraph, NodeCountAndOriginMapping) {
   Fixture f;

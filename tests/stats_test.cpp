@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <thread>
 
 #include "geo/bounding_box.h"
 #include "geo/distance.h"
@@ -13,6 +15,7 @@
 #include "stats/summary.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace riskroute::stats {
 namespace {
@@ -162,6 +165,51 @@ TEST(KernelDensity, MeanDensityAveragesEvaluate) {
   EXPECT_NEAR(kde.MeanDensity(queries), expected, 1e-15);
 }
 
+TEST(KernelDensity, EvaluateBatchMatchesScalarBitwise) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -97), 80, 500, 21);
+  const KernelDensity2D kde(events, 35.0);
+  util::Rng rng(22);
+  std::vector<geo::GeoPoint> queries;
+  for (int i = 0; i < 200; ++i) {
+    // Mix of in-cluster queries and far-away ones (truncated to zero).
+    queries.emplace_back(rng.Uniform(25, 50), rng.Uniform(-125, -65));
+  }
+  const std::vector<double> batch = kde.EvaluateBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Both paths run the same compiled kernel, so the match is exact —
+    // strictly tighter than the 1e-12 relative-error contract.
+    EXPECT_EQ(batch[i], kde.Evaluate(queries[i])) << "query " << i;
+  }
+}
+
+TEST(KernelDensity, EvaluateBatchSizeMismatchThrows) {
+  const KernelDensity2D kde({geo::GeoPoint(40, -100)}, 25.0);
+  const std::vector<geo::GeoPoint> queries = {geo::GeoPoint(40, -100),
+                                              geo::GeoPoint(41, -101)};
+  std::vector<double> out(1);
+  EXPECT_THROW(kde.EvaluateBatch(queries, out), InvalidArgument);
+}
+
+TEST(KernelDensity, RasterBitwiseStableAcrossThreadCounts) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -97), 80, 400, 23);
+  const KernelDensity2D kde(events, 40.0);
+  const geo::BoundingBox box = geo::BoundingBox::Around(events).Padded(1.0);
+  const std::size_t rows = 17, cols = 23;
+  const auto serial = kde.Raster(box, rows, cols);
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hardware}) {
+    util::ThreadPool pool(threads);
+    const auto parallel = kde.Raster(box, rows, cols, &pool);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "cell " << i << " with " << threads << " threads";
+    }
+  }
+}
+
 TEST(KernelDensity, RasterDimensions) {
   const auto events = ClusterAround(geo::GeoPoint(38, -97), 60, 50, 11);
   const KernelDensity2D kde(events, 40.0);
@@ -181,6 +229,42 @@ TEST(BandwidthCv, LogSpacedGrid) {
   EXPECT_THROW((void)LogSpacedBandwidths(0, 10, 3), InvalidArgument);
   EXPECT_THROW((void)LogSpacedBandwidths(10, 1, 3), InvalidArgument);
   EXPECT_THROW((void)LogSpacedBandwidths(1, 10, 1), InvalidArgument);
+}
+
+TEST(BandwidthCv, LogSpacedGridEndpointsExact) {
+  // The endpoints are pinned to the requested values, not exp(log(x))
+  // round-trips; interior points must stay strictly increasing.
+  for (const auto& [lo, hi, n] :
+       {std::tuple{3.59, 298.82, 12}, {0.001, 7.0, 3}, {5.0, 5000.0, 40}}) {
+    const auto grid = LogSpacedBandwidths(lo, hi, static_cast<std::size_t>(n));
+    ASSERT_EQ(grid.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(grid.front(), lo);
+    EXPECT_EQ(grid.back(), hi);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      EXPECT_LT(grid[i - 1], grid[i]);
+    }
+  }
+}
+
+TEST(BandwidthCv, ParallelSelectionBitwiseMatchesSerial) {
+  const auto events = ClusterAround(geo::GeoPoint(38, -95), 60.0, 400, 17);
+  const auto candidates = LogSpacedBandwidths(10.0, 200.0, 5);
+  const auto serial = SelectBandwidth(events, candidates);
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hardware}) {
+    util::ThreadPool pool(threads);
+    CrossValidationOptions options;
+    options.pool = &pool;
+    const auto parallel = SelectBandwidth(events, candidates, options);
+    EXPECT_EQ(parallel.best_bandwidth_miles, serial.best_bandwidth_miles)
+        << threads << " threads";
+    ASSERT_EQ(parallel.scores.size(), serial.scores.size());
+    for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+      EXPECT_EQ(parallel.scores[i].kl_score, serial.scores[i].kl_score)
+          << "candidate " << i << " with " << threads << " threads";
+    }
+  }
 }
 
 TEST(BandwidthCv, PrefersTightBandwidthForTightClusters) {

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/error.h"
@@ -226,6 +228,42 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                     if (i == 57) throw std::runtime_error("boom");
                   }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsIterationsInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  ParallelFor(pool, 64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  // With a single worker the iterations run in index order, so the first
+  // exception chronologically is the one at the lowest throwing index —
+  // that is the error ParallelFor must rethrow, not a later one.
+  ThreadPool pool(1);
+  std::size_t executed = 0;
+  try {
+    ParallelFor(pool, 100, [&](std::size_t i) {
+      ++executed;
+      if (i == 3 || i == 50) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+  // Later iterations still ran; an exception records the error but does
+  // not cancel the sweep.
+  EXPECT_EQ(executed, 100u);
+}
+
+TEST(ThreadPool, SubmitWorksOnSingleThreadPool) {
+  ThreadPool pool(1);
+  auto a = pool.Submit([] { return 7; });
+  auto b = pool.Submit([] { return 35; });
+  EXPECT_EQ(a.get() + b.get(), 42);
 }
 
 }  // namespace

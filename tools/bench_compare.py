@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Run the core performance benchmarks and gate on speedup regressions.
+
+Runs ``bench_perf_core`` with google-benchmark's JSON writer, pairs each
+legacy-path benchmark with its optimized counterpart, and computes the
+speedup ratio legacy/new. Ratios are compared within one run on one host,
+so they are insensitive to absolute machine speed and background load.
+
+The tool then:
+  1. writes a ``BENCH_perf.json`` report (raw times + speedups),
+  2. fails if any speedup is below ``--min-speedup``,
+  3. if a baseline report exists (``--baseline``), fails if any speedup
+     regressed by more than ``--regression-threshold`` relative to it.
+
+Wired as the ``bench_compare`` CTest target; also usable standalone:
+
+    python3 tools/bench_compare.py --binary build/bench/bench_perf_core
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# Legacy benchmark -> optimized benchmark it is the baseline for.
+PAIRS = {
+    "evaluate": ("BM_KdeEvaluateLegacy", "BM_KdeEvaluateBatch"),
+    "raster": ("BM_KdeRasterLegacy", "BM_KdeRasterParallel"),
+    "bandwidth_cv": ("BM_BandwidthCVLegacy", "BM_BandwidthCV"),
+}
+
+
+def run_benchmarks(binary: pathlib.Path, min_time: float) -> dict:
+    """Runs the benchmark binary, returns the parsed google-benchmark JSON."""
+    # The bench harness prints a human banner to stdout, so the JSON must go
+    # through --benchmark_out rather than --benchmark_format=json.
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = pathlib.Path(tmp.name)
+    names = sorted({name for pair in PAIRS.values() for name in pair})
+    cmd = [
+        str(binary),
+        f"--benchmark_filter=^({'|'.join(names)})$",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    try:
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        return json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+
+
+def real_times(report: dict) -> dict[str, float]:
+    """Maps benchmark name -> real time in nanoseconds."""
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[bench["name"]] = float(bench["real_time"]) * scale
+    return times
+
+
+def build_report(times: dict[str, float]) -> dict:
+    report = {"pairs": {}}
+    for key, (legacy, new) in PAIRS.items():
+        if legacy not in times or new not in times:
+            raise SystemExit(
+                f"bench_compare: missing benchmark(s) for pair '{key}': "
+                f"{legacy}={times.get(legacy)}, {new}={times.get(new)}"
+            )
+        report["pairs"][key] = {
+            "legacy_benchmark": legacy,
+            "new_benchmark": new,
+            "legacy_ns": times[legacy],
+            "new_ns": times[new],
+            "speedup": times[legacy] / times[new],
+        }
+    return report
+
+
+def check_floor(report: dict, min_speedup: float) -> list[str]:
+    failures = []
+    for key, pair in report["pairs"].items():
+        if pair["speedup"] < min_speedup:
+            failures.append(
+                f"{key}: speedup {pair['speedup']:.2f}x is below the "
+                f"required {min_speedup:.2f}x floor"
+            )
+    return failures
+
+
+def check_baseline(report: dict, baseline: dict, threshold: float) -> list[str]:
+    failures = []
+    for key, pair in report["pairs"].items():
+        base = baseline.get("pairs", {}).get(key)
+        if base is None:
+            continue  # new pair, nothing to regress against
+        floor = base["speedup"] * (1.0 - threshold)
+        if pair["speedup"] < floor:
+            failures.append(
+                f"{key}: speedup {pair['speedup']:.2f}x regressed more than "
+                f"{threshold:.0%} from baseline {base['speedup']:.2f}x"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", type=pathlib.Path, required=True,
+                        help="path to the bench_perf_core executable")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_perf.json"),
+                        help="where to write the speedup report")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="prior BENCH_perf.json to diff against "
+                             "(skipped if the file does not exist)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="hard floor on every legacy/new speedup ratio")
+    parser.add_argument("--regression-threshold", type=float, default=0.25,
+                        help="allowed fractional speedup drop vs the baseline")
+    parser.add_argument("--min-time", type=float, default=0.2,
+                        help="--benchmark_min_time per benchmark, seconds")
+    args = parser.parse_args()
+
+    if not args.binary.exists():
+        print(f"bench_compare: no such binary: {args.binary}", file=sys.stderr)
+        return 2
+
+    report = build_report(real_times(run_benchmarks(args.binary,
+                                                    args.min_time)))
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for key, pair in report["pairs"].items():
+        print(f"{key:>12}: {pair['legacy_ns'] / 1e6:8.2f} ms -> "
+              f"{pair['new_ns'] / 1e6:8.2f} ms  ({pair['speedup']:.2f}x)")
+    print(f"report written to {args.output}")
+
+    failures = check_floor(report, args.min_speedup)
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        failures += check_baseline(report, baseline,
+                                   args.regression_threshold)
+    elif args.baseline is not None:
+        print(f"baseline {args.baseline} not found; skipping regression diff")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
