@@ -1,18 +1,26 @@
 // Performance microbenchmarks for the library's computational kernels:
 // great-circle math, kd-tree queries, KDE evaluation (batched engine vs
-// the pre-batching scalar path), Dijkstra, Eq 1 metric evaluation,
-// bandwidth cross-validation and the parallel sweeps. Not tied to a paper
-// table; used to track regressions in the hot paths. tools/bench_compare.py
-// runs the BM_Kde* / BM_BandwidthCV* subset, derives the batch-vs-legacy
-// speedups and records them in BENCH_perf.json.
+// the pre-batching scalar path), Dijkstra (frozen RouteEngine vs the
+// pre-engine adjacency-list path), Eq 1 metric evaluation, bandwidth
+// cross-validation and the parallel sweeps. Not tied to a paper table;
+// used to track regressions in the hot paths. tools/bench_compare.py runs
+// the legacy/new pairs (BM_Kde*, BM_BandwidthCV*, BM_RouteAllPairs*,
+// BM_GreedyScan*), derives the speedups and records them in
+// BENCH_perf.json.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <limits>
 #include <numeric>
+#include <optional>
+#include <queue>
 
 #include "bench/common.h"
+#include "core/edge_overlay.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
+#include "provision/augmentation.h"
+#include "provision/candidate_links.h"
 #include "forecast/parser.h"
 #include "forecast/tracks.h"
 #include "forecast/writer.h"
@@ -296,6 +304,171 @@ void BM_BandwidthCV(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BandwidthCV)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Routing engine: frozen-CSR RouteEngine sweeps vs the pre-engine path,
+// preserved verbatim as the speedup baseline: adjacency-list iteration,
+// per-edge Eq 1 recomputation through graph.node() lookups, and a freshly
+// allocated std::priority_queue per Dijkstra call.
+
+class LegacyDijkstra {
+ public:
+  template <typename WeightFn>
+  void Run(const core::RiskGraph& graph, std::size_t source, WeightFn&& weight,
+           std::optional<std::size_t> target = std::nullopt) {
+    const std::size_t n = graph.node_count();
+    dist_.assign(n, std::numeric_limits<double>::infinity());
+    parent_.assign(n, n);
+    settled_.assign(n, false);
+    dist_[source] = 0.0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    queue.push(Entry{0.0, source});
+    while (!queue.empty()) {
+      const Entry top = queue.top();
+      queue.pop();
+      if (settled_[top.node]) continue;
+      settled_[top.node] = true;
+      if (target && top.node == *target) return;
+      for (const core::RiskEdge& edge : graph.OutEdges(top.node)) {
+        if (settled_[edge.to]) continue;
+        const double candidate = dist_[top.node] + weight(top.node, edge);
+        if (candidate < dist_[edge.to]) {
+          dist_[edge.to] = candidate;
+          parent_[edge.to] = top.node;
+          queue.push(Entry{candidate, edge.to});
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double DistanceTo(std::size_t node) const {
+    return dist_[node];
+  }
+  [[nodiscard]] bool Reached(std::size_t node) const {
+    return dist_[node] < std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  struct Entry {
+    double dist;
+    std::size_t node;
+    bool operator>(const Entry& other) const { return dist > other.dist; }
+  };
+
+  std::vector<double> dist_;
+  std::vector<std::size_t> parent_;
+  std::vector<bool> settled_;
+};
+
+/// The pre-engine per-edge Eq 1 weight: two node() lookups' worth of risk
+/// recomputation per relaxation.
+struct LegacyBitRiskWeight {
+  const core::RiskGraph* graph;
+  core::RiskParams params;
+  double alpha;
+
+  double operator()(std::size_t, const core::RiskEdge& edge) const {
+    const core::RiskNode& to = graph->node(edge.to);
+    return edge.miles + alpha * (params.lambda_historical * to.historical_risk +
+                                 params.lambda_forecast * to.forecast_risk);
+  }
+};
+
+/// Pre-engine Eq 4: one targeted legacy Dijkstra per unordered pair.
+double LegacyAggregateMinBitRisk(const core::RiskGraph& graph,
+                                 const core::RiskParams& params,
+                                 LegacyDijkstra& workspace) {
+  const std::size_t n = graph.node_count();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double alpha =
+          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
+      workspace.Run(graph, i, LegacyBitRiskWeight{&graph, params, alpha}, j);
+      if (workspace.Reached(j)) total += workspace.DistanceTo(j);
+    }
+  }
+  return total;
+}
+
+constexpr core::RiskParams kRouteBenchParams{1e5, 1e3};
+
+void BM_RouteAllPairsLegacy(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Level3");
+  LegacyDijkstra workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LegacyAggregateMinBitRisk(graph, kRouteBenchParams, workspace));
+  }
+}
+BENCHMARK(BM_RouteAllPairsLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_RouteAllPairsEngine(benchmark::State& state) {
+  const core::Study& study = bench::SharedStudy();
+  static const core::RiskGraph graph = study.BuildGraphFor("Level3");
+  static const core::RouteEngine engine(graph, kRouteBenchParams);
+  // On a single-core host the pool adds dispatch overhead without
+  // parallelism; run serial there so the pair measures the engine's
+  // algorithmic gain rather than scheduler noise.
+  util::ThreadPool* pool =
+      bench::SharedPool().thread_count() > 1 ? &bench::SharedPool() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AggregateMinBitRisk(pool));
+  }
+}
+BENCHMARK(BM_RouteAllPairsEngine)->Unit(benchmark::kMillisecond);
+
+/// Shared greedy-augment scan fixture: the Sprint graph and its capped
+/// candidate set, identical for both sides of the pair.
+struct GreedyScanFixture {
+  core::RiskGraph graph;
+  core::RouteEngine engine;
+  std::vector<provision::CandidateLink> candidates;
+
+  GreedyScanFixture()
+      : graph(bench::SharedStudy().BuildGraphFor("Sprint")),
+        engine(graph, kRouteBenchParams) {
+    provision::CandidateOptions options;
+    options.max_candidates = 6;
+    candidates = provision::EnumerateCandidateLinks(engine, options);
+  }
+};
+
+const GreedyScanFixture& SharedGreedyScanFixture() {
+  static const GreedyScanFixture fixture;
+  return fixture;
+}
+
+void BM_GreedyScanLegacy(benchmark::State& state) {
+  const GreedyScanFixture& fixture = SharedGreedyScanFixture();
+  // The pre-engine candidate scan: mutate the working graph, re-run the
+  // full Eq 4 sweep, restore — once per candidate.
+  core::RiskGraph working = fixture.graph;
+  LegacyDijkstra workspace;
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (const provision::CandidateLink& link : fixture.candidates) {
+      working.AddEdge(link.a, link.b, link.direct_miles);
+      sink += LegacyAggregateMinBitRisk(working, kRouteBenchParams, workspace);
+      working.RemoveEdge(link.a, link.b);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_GreedyScanLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyScanEngine(benchmark::State& state) {
+  const GreedyScanFixture& fixture = SharedGreedyScanFixture();
+  const core::EdgeOverlay none;
+  util::ThreadPool* pool =
+      bench::SharedPool().thread_count() > 1 ? &bench::SharedPool() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provision::ScanCandidateObjectives(
+        fixture.engine, none, fixture.candidates, pool));
+  }
+}
+BENCHMARK(BM_GreedyScanEngine)->Unit(benchmark::kMillisecond);
 
 void BM_DijkstraLevel3AllTargets(benchmark::State& state) {
   const core::Study& study = bench::SharedStudy();

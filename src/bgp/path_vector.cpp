@@ -44,10 +44,30 @@ bool RoutePreferred(const Route& a, const Route& b) {
 RoutingState RoutingState::Compute(const RelationshipGraph& graph,
                                    std::size_t destination,
                                    std::size_t max_alternates) {
+  return ComputeImpl(graph, destination, max_alternates, nullptr);
+}
+
+RoutingState RoutingState::Compute(const RelationshipGraph& graph,
+                                   std::size_t destination,
+                                   std::size_t max_alternates,
+                                   const std::vector<bool>& as_failed) {
+  if (as_failed.size() != graph.as_count()) {
+    throw InvalidArgument("RoutingState: failure flag vector size mismatch");
+  }
+  return ComputeImpl(graph, destination, max_alternates, &as_failed);
+}
+
+RoutingState RoutingState::ComputeImpl(const RelationshipGraph& graph,
+                                       std::size_t destination,
+                                       std::size_t max_alternates,
+                                       const std::vector<bool>* failed) {
   const std::size_t n = graph.as_count();
   if (destination >= n) {
     throw InvalidArgument("RoutingState: destination out of range");
   }
+  const auto is_failed = [failed](std::size_t as) {
+    return failed != nullptr && (*failed)[as];
+  };
   RoutingState state;
   state.destination_ = destination;
   state.ribs_.resize(n);
@@ -63,9 +83,10 @@ RoutingState RoutingState::Compute(const RelationshipGraph& graph,
     bool changed = false;
     std::vector<std::optional<Route>> next = best;
     for (std::size_t u = 0; u < n; ++u) {
-      if (u == destination) continue;
+      if (u == destination || is_failed(u)) continue;
       std::optional<Route> chosen;
       const auto consider = [&](std::size_t v, NeighborRole v_role_of_u) {
+        if (is_failed(v)) return;
         // v's role of u decides exportability; u learns the route with the
         // role *v plays for u*.
         const NeighborRole u_learns_as = graph.RoleOf(u, v);
@@ -111,8 +132,10 @@ RoutingState RoutingState::Compute(const RelationshipGraph& graph,
       state.ribs_[u].best = Route{{destination}, NeighborRole::kCustomer};
       continue;
     }
+    if (is_failed(u)) continue;  // a failed AS holds no routes
     std::vector<Route> candidates;
     const auto offer_from = [&](std::size_t v, NeighborRole v_role_of_u) {
+      if (is_failed(v)) return;
       const NeighborRole u_learns_as = graph.RoleOf(u, v);
       if (v == destination) {
         candidates.push_back(Route{{u, destination}, u_learns_as});

@@ -52,6 +52,15 @@ class RoutingState {
                                             std::size_t destination,
                                             std::size_t max_alternates = 3);
 
+  /// Same fixed point with the flagged ASes failed in place: a failed AS
+  /// originates nothing, learns nothing, and offers nothing. Equivalent to
+  /// Compute(graph.WithoutAses(as_failed), ...) without materializing the
+  /// degraded copy — the per-scenario path of the reconvergence analysis.
+  [[nodiscard]] static RoutingState Compute(const RelationshipGraph& graph,
+                                            std::size_t destination,
+                                            std::size_t max_alternates,
+                                            const std::vector<bool>& as_failed);
+
   [[nodiscard]] const RibEntry& rib(std::size_t as) const;
   /// Mutable access for post-processing (e.g. risk-aware re-ranking).
   [[nodiscard]] RibEntry& mutable_rib(std::size_t as);
@@ -66,6 +75,11 @@ class RoutingState {
   [[nodiscard]] double BackupCoverage() const;
 
  private:
+  [[nodiscard]] static RoutingState ComputeImpl(const RelationshipGraph& graph,
+                                                std::size_t destination,
+                                                std::size_t max_alternates,
+                                                const std::vector<bool>* failed);
+
   std::vector<RibEntry> ribs_;
   std::size_t destination_ = 0;
 };

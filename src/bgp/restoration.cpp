@@ -39,14 +39,15 @@ RestorationSummary AssessFailover(const RelationshipGraph& graph,
   if (as_failed.size() != n) {
     throw InvalidArgument("AssessFailover: flag vector size mismatch");
   }
-  const RelationshipGraph degraded = graph.WithoutAses(as_failed);
 
   RestorationSummary summary;
   for (std::size_t dst = 0; dst < n; ++dst) {
     if (as_failed[dst]) continue;
     const RoutingState healthy =
         RoutingState::Compute(graph, dst, max_alternates);
-    const RoutingState reconverged = RoutingState::Compute(degraded, dst, 0);
+    // Failed ASes are masked in place — no degraded graph copy.
+    const RoutingState reconverged =
+        RoutingState::Compute(graph, dst, 0, as_failed);
     for (std::size_t src = 0; src < n; ++src) {
       if (src == dst || as_failed[src]) continue;
       const RibEntry& rib = healthy.rib(src);

@@ -26,10 +26,11 @@ std::vector<double> AsRiskScores(const topology::Corpus& corpus,
   std::vector<double> scores;
   scores.reserve(corpus.network_count());
   for (const topology::Network& network : corpus.networks()) {
+    // Batch evaluation: one trig-free KDE pass over the network's PoPs
+    // (bitwise equal to per-PoP RiskAt calls).
+    const std::vector<double> risks = field.PopRisks(network);
     double sum = 0.0;
-    for (const topology::Pop& pop : network.pops()) {
-      sum += field.RiskAt(pop.location);
-    }
+    for (const double risk : risks) sum += risk;
     scores.push_back(network.pop_count() > 0
                          ? sum / static_cast<double>(network.pop_count())
                          : 0.0);

@@ -26,6 +26,34 @@ RoutingTable BuildRoutingTable(const RiskGraph& graph,
   return table;
 }
 
+RoutingTable BuildRoutingTable(const RouteEngine& engine, double alpha,
+                               util::ThreadPool* pool,
+                               const EdgeOverlay* overlay) {
+  const std::size_t n = engine.node_count();
+  RoutingTable table;
+  table.next_hop.assign(n, std::vector<std::size_t>(n, RoutingTable::kUnreachable));
+  table.dist.assign(n, std::vector<double>(n, DijkstraWorkspace::Infinity()));
+  const auto body = [&](std::size_t s) {
+    thread_local DijkstraWorkspace workspace;
+    engine.Run(workspace, s, alpha, std::nullopt, overlay);
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!workspace.Reached(d)) continue;
+      table.dist[s][d] = workspace.DistanceTo(d);
+      if (d == s) {
+        table.next_hop[s][d] = s;
+      } else {
+        table.next_hop[s][d] = workspace.PathTo(d)[1];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, n, body);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) body(s);
+  }
+  return table;
+}
+
 std::vector<std::vector<LfaEntry>> ComputeLfas(const RiskGraph& graph,
                                                const RoutingTable& table) {
   const std::size_t n = graph.node_count();
@@ -99,6 +127,33 @@ std::optional<Path> NodeBypass(const RiskGraph& graph, std::size_t u,
   };
   DijkstraWorkspace workspace;
   workspace.Run(graph, u, masked, dst);
+  if (!workspace.Reached(dst)) return std::nullopt;
+  return workspace.PathTo(dst);
+}
+
+std::optional<Path> LinkBypass(const RouteEngine& engine, std::size_t u,
+                               std::size_t v, double alpha) {
+  if (!engine.HasEdge(u, v)) {
+    throw InvalidArgument("LinkBypass: protected link does not exist");
+  }
+  EdgeOverlay overlay;
+  overlay.RemoveEdge(u, v);
+  thread_local DijkstraWorkspace workspace;
+  engine.Run(workspace, u, alpha, v, &overlay);
+  if (!workspace.Reached(v)) return std::nullopt;
+  return workspace.PathTo(v);
+}
+
+std::optional<Path> NodeBypass(const RouteEngine& engine, std::size_t u,
+                               std::size_t dst, std::size_t protect,
+                               double alpha) {
+  if (protect == u || protect == dst) {
+    throw InvalidArgument("NodeBypass: cannot protect an endpoint");
+  }
+  EdgeOverlay overlay;
+  overlay.DisableNode(protect);
+  thread_local DijkstraWorkspace workspace;
+  engine.Run(workspace, u, alpha, dst, &overlay);
   if (!workspace.Reached(dst)) return std::nullopt;
   return workspace.PathTo(dst);
 }

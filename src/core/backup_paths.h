@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "core/risk_graph.h"
+#include "core/route_engine.h"
 #include "core/shortest_path.h"
+#include "util/thread_pool.h"
 
 namespace riskroute::core {
 
@@ -36,6 +38,14 @@ struct RoutingTable {
 /// All-pairs routing table (N single-source Dijkstras).
 [[nodiscard]] RoutingTable BuildRoutingTable(const RiskGraph& graph,
                                              const EdgeWeightFn& weight);
+
+/// Engine variant under weight miles + alpha * score: the N sweeps run on
+/// the frozen CSR, parallel over sources when a pool is given (disjoint
+/// table rows; bitwise thread-count independent).
+[[nodiscard]] RoutingTable BuildRoutingTable(const RouteEngine& engine,
+                                             double alpha,
+                                             util::ThreadPool* pool = nullptr,
+                                             const EdgeOverlay* overlay = nullptr);
 
 /// One source's loop-free alternates for one destination.
 struct LfaEntry {
@@ -61,6 +71,11 @@ struct LfaEntry {
                                              std::size_t u, std::size_t v,
                                              const EdgeWeightFn& weight);
 
+/// Engine variant: the protected link fails as an EdgeOverlay removal.
+[[nodiscard]] std::optional<Path> LinkBypass(const RouteEngine& engine,
+                                             std::size_t u, std::size_t v,
+                                             double alpha);
+
 /// MPLS-style node protection: best path from `u` to `dst` avoiding the
 /// protected intermediate node `protect` entirely. nullopt when no detour
 /// exists. Throws if protect is u or dst.
@@ -68,5 +83,10 @@ struct LfaEntry {
                                              std::size_t u, std::size_t dst,
                                              std::size_t protect,
                                              const EdgeWeightFn& weight);
+
+/// Engine variant: the protected node fails as an EdgeOverlay disable.
+[[nodiscard]] std::optional<Path> NodeBypass(const RouteEngine& engine,
+                                             std::size_t u, std::size_t dst,
+                                             std::size_t protect, double alpha);
 
 }  // namespace riskroute::core

@@ -1,0 +1,132 @@
+// Edge overlay: candidate/failure deltas evaluated against a frozen graph.
+//
+// The provisioning analysis (paper Section 6.3) scores thousands of
+// candidate links, and the failure analyses (Sections 3.1, 6.2) score
+// link/node outages. Both used to mutate a RiskGraph copy per scenario;
+// an EdgeOverlay instead records a small add/remove set that RouteEngine
+// consults after each CSR row, so every scenario is evaluated with zero
+// graph copies and zero mutations.
+//
+// Semantics mirror RiskGraph mutation exactly so overlay sweeps are
+// bitwise identical to mutate-and-restore sweeps:
+//  * added edges iterate AFTER the frozen row, in insertion order — the
+//    same position RiskGraph::AddEdge appends them to the adjacency list;
+//  * removed edges are skipped in place — RiskGraph::RemoveEdge's
+//    std::erase_if preserves the order of the surviving entries;
+//  * a disabled node is skipped as a relaxation target, matching the
+//    infinite-weight masking the failure analyses used.
+//
+// A directed pair present in both the added and removed sets is treated
+// as removed (the sets are unordered, so "add then remove" and "remove
+// then re-add" collapse to removal winning).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace riskroute::core {
+
+/// One overlay-added directed edge entry (each AddEdge stores two).
+struct OverlayEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double miles = 0.0;
+};
+
+/// A small set of edge additions/removals and node failures layered over a
+/// frozen RouteEngine. Cheap to copy (one per candidate scenario).
+class EdgeOverlay {
+ public:
+  /// Adds an undirected edge. Within one tail node, edges keep insertion
+  /// order (the AddEdge append position). The caller is responsible for
+  /// not adding an edge the frozen graph already has.
+  void AddEdge(std::size_t a, std::size_t b, double miles) {
+    InsertAdded(a, b, miles);
+    InsertAdded(b, a, miles);
+  }
+
+  /// Removes an undirected frozen edge (both directions).
+  void RemoveEdge(std::size_t a, std::size_t b) {
+    RemoveDirectedEdge(a, b);
+    RemoveDirectedEdge(b, a);
+  }
+
+  /// Removes one direction only — Yen's spur masking removes (u, v)
+  /// without touching (v, u).
+  void RemoveDirectedEdge(std::size_t from, std::size_t to) {
+    const std::pair<std::size_t, std::size_t> key{from, to};
+    const auto it = std::lower_bound(removed_.begin(), removed_.end(), key);
+    if (it == removed_.end() || *it != key) removed_.insert(it, key);
+  }
+
+  /// Fails a node: no edge relaxes into it (its own distance stays
+  /// infinite unless it is the source).
+  void DisableNode(std::size_t v) {
+    const auto it = std::lower_bound(disabled_.begin(), disabled_.end(), v);
+    if (it == disabled_.end() || *it != v) disabled_.insert(it, v);
+  }
+
+  void Clear() {
+    added_.clear();
+    removed_.clear();
+    disabled_.clear();
+  }
+
+  [[nodiscard]] bool empty() const {
+    return added_.empty() && removed_.empty() && disabled_.empty();
+  }
+
+  /// Overlay edges out of `from`, in insertion order.
+  [[nodiscard]] std::span<const OverlayEdge> AddedFrom(std::size_t from) const {
+    const auto [lo, hi] = std::equal_range(
+        added_.begin(), added_.end(), OverlayEdge{from, 0, 0.0},
+        [](const OverlayEdge& a, const OverlayEdge& b) {
+          return a.from < b.from;
+        });
+    return std::span<const OverlayEdge>(added_).subspan(
+        static_cast<std::size_t>(lo - added_.begin()),
+        static_cast<std::size_t>(hi - lo));
+  }
+
+  [[nodiscard]] std::span<const OverlayEdge> added() const { return added_; }
+
+  [[nodiscard]] bool IsRemoved(std::size_t from, std::size_t to) const {
+    return !removed_.empty() &&
+           std::binary_search(removed_.begin(), removed_.end(),
+                              std::pair{from, to});
+  }
+
+  [[nodiscard]] bool IsDisabled(std::size_t v) const {
+    return !disabled_.empty() &&
+           std::binary_search(disabled_.begin(), disabled_.end(), v);
+  }
+
+  /// True when the relaxation from `from` into `to` must be skipped.
+  [[nodiscard]] bool Masks(std::size_t from, std::size_t to) const {
+    return IsDisabled(to) || IsRemoved(from, to);
+  }
+
+  [[nodiscard]] bool HasAddedEdge(std::size_t a, std::size_t b) const {
+    const std::span<const OverlayEdge> out = AddedFrom(a);
+    return std::any_of(out.begin(), out.end(),
+                       [b](const OverlayEdge& e) { return e.to == b; });
+  }
+
+ private:
+  void InsertAdded(std::size_t from, std::size_t to, double miles) {
+    // upper_bound keeps entries with equal `from` in insertion order.
+    const auto it = std::upper_bound(
+        added_.begin(), added_.end(), from,
+        [](std::size_t f, const OverlayEdge& e) { return f < e.from; });
+    added_.insert(it, OverlayEdge{from, to, miles});
+  }
+
+  std::vector<OverlayEdge> added_;  // sorted by from, insertion-stable
+  std::vector<std::pair<std::size_t, std::size_t>> removed_;  // sorted
+  std::vector<std::size_t> disabled_;                         // sorted
+};
+
+}  // namespace riskroute::core

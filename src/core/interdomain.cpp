@@ -1,5 +1,6 @@
 #include "core/interdomain.h"
 
+#include "core/route_engine.h"
 #include "geo/distance.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -97,6 +98,19 @@ RatioReport InterdomainRatios(const MergedGraph& merged,
   const std::vector<std::size_t>& sources = merged.global_ids[network_index];
   const std::vector<std::size_t> targets = RegionalTargets(merged, corpus);
   return ComputeRatios(merged.graph, params, sources, targets, pool);
+}
+
+RatioReport InterdomainRatios(const RouteEngine& engine,
+                              const MergedGraph& merged,
+                              const topology::Corpus& corpus,
+                              std::size_t network_index,
+                              util::ThreadPool* pool) {
+  if (network_index >= corpus.network_count()) {
+    throw InvalidArgument("InterdomainRatios: network index out of range");
+  }
+  const std::vector<std::size_t>& sources = merged.global_ids[network_index];
+  const std::vector<std::size_t> targets = RegionalTargets(merged, corpus);
+  return engine.ComputeRatios(sources, targets, pool);
 }
 
 }  // namespace riskroute::core

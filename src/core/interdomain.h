@@ -67,6 +67,15 @@ struct MergeOptions {
                                             const RiskParams& params,
                                             util::ThreadPool* pool = nullptr);
 
+/// Same, against an engine already frozen from `merged.graph` (saves the
+/// per-call freeze when sweeping many networks over one merged graph).
+class RouteEngine;
+[[nodiscard]] RatioReport InterdomainRatios(const RouteEngine& engine,
+                                            const MergedGraph& merged,
+                                            const topology::Corpus& corpus,
+                                            std::size_t network_index,
+                                            util::ThreadPool* pool = nullptr);
+
 /// Global node ids of all PoPs of every regional network (the paper's
 /// interdomain destination set).
 [[nodiscard]] std::vector<std::size_t> RegionalTargets(

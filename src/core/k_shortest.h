@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/risk_graph.h"
+#include "core/route_engine.h"
 #include "core/shortest_path.h"
 
 namespace riskroute::core {
@@ -29,5 +30,14 @@ struct WeightedPath {
 [[nodiscard]] std::vector<WeightedPath> KShortestPaths(
     const RiskGraph& graph, std::size_t source, std::size_t target,
     std::size_t k, const EdgeWeightFn& weight);
+
+/// Engine variant under weight miles + alpha * score (alpha = 0 is the
+/// distance metric). Spur masking runs as EdgeOverlay removals/disables on
+/// the frozen CSR — no masked-weight callbacks. An optional `base` overlay
+/// (e.g. a failure scenario) applies to every search; spur masks layer on
+/// top of it.
+[[nodiscard]] std::vector<WeightedPath> KShortestPaths(
+    const RouteEngine& engine, std::size_t source, std::size_t target,
+    std::size_t k, double alpha, const EdgeOverlay* base = nullptr);
 
 }  // namespace riskroute::core

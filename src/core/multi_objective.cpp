@@ -12,7 +12,10 @@ namespace riskroute::core {
 MultiObjectiveRouter::MultiObjectiveRouter(const RiskGraph& graph,
                                            const RiskParams& params,
                                            std::size_t candidates_per_objective)
-    : graph_(graph), params_(params), k_(candidates_per_objective) {
+    : graph_(graph),
+      params_(params),
+      engine_(graph, params),
+      k_(candidates_per_objective) {
   if (k_ == 0) {
     throw InvalidArgument("MultiObjectiveRouter: need at least one candidate");
   }
@@ -20,19 +23,12 @@ MultiObjectiveRouter::MultiObjectiveRouter(const RiskGraph& graph,
 
 std::vector<RouteObjectives> MultiObjectiveRouter::Candidates(
     std::size_t i, std::size_t j) const {
-  const RiskRouter router(graph_, params_);
-  const double alpha = router.Alpha(i, j);
+  const double alpha = engine_.Alpha(i, j);
 
-  const EdgeWeightFn distance = [](std::size_t, const RiskEdge& e) {
-    return e.miles;
-  };
-  const EdgeWeightFn bit_risk = [this, alpha,
-                                 &router](std::size_t, const RiskEdge& e) {
-    return e.miles + alpha * router.NodeScore(e.to);
-  };
-
-  std::vector<WeightedPath> pool = KShortestPaths(graph_, i, j, k_, distance);
-  for (WeightedPath& wp : KShortestPaths(graph_, i, j, k_, bit_risk)) {
+  // Both enumerations run on the frozen engine: alpha = 0 is the distance
+  // objective, alpha_ij the bit-risk objective.
+  std::vector<WeightedPath> pool = KShortestPaths(engine_, i, j, k_, 0.0);
+  for (WeightedPath& wp : KShortestPaths(engine_, i, j, k_, alpha)) {
     pool.push_back(std::move(wp));
   }
 
@@ -45,9 +41,9 @@ std::vector<RouteObjectives> MultiObjectiveRouter::Candidates(
     if (duplicate) continue;
     RouteObjectives route;
     route.path = wp.path;
-    route.miles = router.PathMiles(wp.path);
+    route.miles = engine_.PathMiles(wp.path);
     route.latency_ms = MilesToLatencyMs(route.miles);
-    route.bit_risk_miles = router.PathBitRiskMiles(wp.path);
+    route.bit_risk_miles = engine_.PathBitRiskMiles(wp.path);
     candidates.push_back(std::move(route));
   }
   return candidates;

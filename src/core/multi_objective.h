@@ -71,6 +71,7 @@ class MultiObjectiveRouter {
 
   const RiskGraph& graph_;
   RiskParams params_;
+  RouteEngine engine_;  // frozen once; both Yen enumerations run on it
   std::size_t k_;
 };
 

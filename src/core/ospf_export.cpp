@@ -4,48 +4,43 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/route_engine.h"
 #include "util/error.h"
 
 namespace riskroute::core {
 namespace {
 
-double EffectiveAlpha(const RiskGraph& graph, const OspfExportOptions& options) {
+double EffectiveAlpha(const RouteEngine& engine,
+                      const OspfExportOptions& options) {
   if (options.alpha > 0.0) return options.alpha;
-  if (graph.node_count() == 0) return 0.0;
+  if (engine.node_count() == 0) return 0.0;
   // Mean alpha of a uniformly random pair is 2 * mean(c_i) = 2/N when the
   // fractions are normalized.
   double mean_fraction = 0.0;
-  for (const RiskNode& node : graph.nodes()) {
-    mean_fraction += node.impact_fraction;
+  for (std::size_t v = 0; v < engine.node_count(); ++v) {
+    mean_fraction += engine.impact_fraction(v);
   }
-  mean_fraction /= static_cast<double>(graph.node_count());
+  mean_fraction /= static_cast<double>(engine.node_count());
   return 2.0 * mean_fraction;
-}
-
-double LinkCompositeWeight(const RiskGraph& graph,
-                           const OspfExportOptions& options, double alpha,
-                           std::size_t a, std::size_t b, double miles) {
-  const auto score = [&](std::size_t v) {
-    const RiskNode& node = graph.node(v);
-    return options.params.lambda_historical * node.historical_risk +
-           options.params.lambda_forecast * node.forecast_risk;
-  };
-  return miles + alpha * (score(a) + score(b)) / 2.0;
 }
 
 }  // namespace
 
 std::vector<OspfLinkCost> ComputeOspfCosts(const RiskGraph& graph,
                                            const OspfExportOptions& options) {
-  const double alpha = EffectiveAlpha(graph, options);
+  // The freeze precomputes every node score; the per-link composite is
+  // then plane loads instead of per-edge node lookups.
+  const RouteEngine engine(graph, options.params);
+  const double alpha = EffectiveAlpha(engine, options);
   std::vector<OspfLinkCost> costs;
-  for (std::size_t a = 0; a < graph.node_count(); ++a) {
-    for (const RiskEdge& edge : graph.OutEdges(a)) {
-      if (edge.to < a) continue;  // one entry per undirected link
-      costs.push_back(OspfLinkCost{
-          a, edge.to,
-          LinkCompositeWeight(graph, options, alpha, a, edge.to, edge.miles),
-          1});
+  for (std::size_t a = 0; a < engine.node_count(); ++a) {
+    for (std::size_t e = engine.EdgeBegin(a); e < engine.EdgeEnd(a); ++e) {
+      const std::size_t b = engine.EdgeHead(e);
+      if (b < a) continue;  // one entry per undirected link
+      const double weight =
+          engine.EdgeMiles(e) +
+          alpha * (engine.NodeScore(a) + engine.NodeScore(b)) / 2.0;
+      costs.push_back(OspfLinkCost{a, b, weight, 1});
     }
   }
   if (costs.empty()) return costs;
@@ -75,7 +70,7 @@ std::string RenderOspfConfig(const RiskGraph& graph,
 
 EdgeWeightFn CompositeWeight(const RiskGraph& graph,
                              const OspfExportOptions& options) {
-  const double alpha = EffectiveAlpha(graph, options);
+  const double alpha = EffectiveAlpha(RouteEngine(graph, options.params), options);
   const RiskParams params = options.params;
   return [&graph, alpha, params](std::size_t from, const RiskEdge& edge) {
     const auto score = [&](std::size_t v) {

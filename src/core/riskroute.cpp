@@ -1,22 +1,15 @@
 #include "core/riskroute.h"
 
-#include <atomic>
-#include <cmath>
-
+#include "core/route_engine.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace riskroute::core {
 namespace {
 
-/// Per-source accumulation shared by the ratio computations.
-struct SourceSums {
-  double risk_ratio_sum = 0.0;      // sum of r(p_rr)/r(p_short)
-  double distance_ratio_sum = 0.0;  // sum of d(p_rr)/d(p_short)
-  std::size_t pairs = 0;
-};
-
-/// Edge weight for a fixed alpha: miles + alpha * score(v).
+/// Edge weight for a fixed alpha: miles + alpha * score(v). Kept for the
+/// single-pair convenience routes; the batched sweeps run on RouteEngine's
+/// precomputed planes instead.
 struct BitRiskWeight {
   const RiskGraph* graph;
   RiskParams params;
@@ -28,37 +21,6 @@ struct BitRiskWeight {
                                  params.lambda_forecast * to.forecast_risk);
   }
 };
-
-/// Processes every target for one source; used by both ComputeRatios and
-/// AggregateMinBitRisk-style sweeps.
-SourceSums RatioSumsForSource(const RiskGraph& graph, const RiskParams& params,
-                              std::size_t source,
-                              const std::vector<std::size_t>& targets,
-                              DijkstraWorkspace& distance_ws,
-                              DijkstraWorkspace& risk_ws) {
-  SourceSums sums;
-  const RiskRouter router(graph, params);
-  // One pure-distance Dijkstra covers every target's shortest path.
-  distance_ws.Run(graph, source, DistanceWeight);
-  for (const std::size_t target : targets) {
-    if (target == source || !distance_ws.Reached(target)) continue;
-    const Path shortest = distance_ws.PathTo(target);
-    const double shortest_miles = distance_ws.DistanceTo(target);
-    const double shortest_bit_risk = router.PathBitRiskMiles(shortest);
-    if (shortest_bit_risk <= 0.0 || shortest_miles <= 0.0) continue;
-
-    const double alpha = router.Alpha(source, target);
-    risk_ws.Run(graph, source, BitRiskWeight{&graph, params, alpha}, target);
-    if (!risk_ws.Reached(target)) continue;
-    const double rr_bit_risk = risk_ws.DistanceTo(target);
-    const double rr_miles = router.PathMiles(risk_ws.PathTo(target));
-
-    sums.risk_ratio_sum += rr_bit_risk / shortest_bit_risk;
-    sums.distance_ratio_sum += rr_miles / shortest_miles;
-    sums.pairs += 1;
-  }
-  return sums;
-}
 
 }  // namespace
 
@@ -125,7 +87,7 @@ double RiskRouter::PathMiles(const Path& path) const {
 
 std::optional<RouteResult> RiskRouter::MinRiskRoute(std::size_t i,
                                                     std::size_t j) const {
-  DijkstraWorkspace workspace;
+  thread_local DijkstraWorkspace workspace;
   workspace.Run(graph_, i, BitRiskWeight{&graph_, params_, Alpha(i, j)}, j);
   if (!workspace.Reached(j)) return std::nullopt;
   RouteResult result;
@@ -137,7 +99,7 @@ std::optional<RouteResult> RiskRouter::MinRiskRoute(std::size_t i,
 
 std::optional<RouteResult> RiskRouter::ShortestRoute(std::size_t i,
                                                      std::size_t j) const {
-  DijkstraWorkspace workspace;
+  thread_local DijkstraWorkspace workspace;
   workspace.Run(graph_, i, DistanceWeight, j);
   if (!workspace.Reached(j)) return std::nullopt;
   RouteResult result;
@@ -147,37 +109,16 @@ std::optional<RouteResult> RiskRouter::ShortestRoute(std::size_t i,
   return result;
 }
 
+// The batched sweeps below freeze the graph once and run on the engine's
+// CSR planes; results are bitwise identical to the per-pair
+// DijkstraWorkspace loops they replaced (see route_engine.h).
+
 RatioReport ComputeRatios(const RiskGraph& graph, const RiskParams& params,
                           const std::vector<std::size_t>& sources,
                           const std::vector<std::size_t>& targets,
                           util::ThreadPool* pool) {
-  std::vector<SourceSums> per_source(sources.size());
-  const auto body = [&](std::size_t s) {
-    DijkstraWorkspace distance_ws;
-    DijkstraWorkspace risk_ws;
-    per_source[s] = RatioSumsForSource(graph, params, sources[s], targets,
-                                       distance_ws, risk_ws);
-  };
-  if (pool != nullptr) {
-    util::ParallelFor(*pool, sources.size(), body);
-  } else {
-    for (std::size_t s = 0; s < sources.size(); ++s) body(s);
-  }
-
-  RatioReport report;
-  double risk_sum = 0.0;
-  double distance_sum = 0.0;
-  for (const SourceSums& sums : per_source) {
-    risk_sum += sums.risk_ratio_sum;
-    distance_sum += sums.distance_ratio_sum;
-    report.pair_count += sums.pairs;
-  }
-  if (report.pair_count > 0) {
-    const auto n = static_cast<double>(report.pair_count);
-    report.risk_reduction_ratio = 1.0 - risk_sum / n;
-    report.distance_increase_ratio = distance_sum / n - 1.0;
-  }
-  return report;
+  const RouteEngine engine(graph, params);
+  return engine.ComputeRatios(sources, targets, pool);
 }
 
 RatioReport ComputeIntradomainRatios(const RiskGraph& graph,
@@ -192,53 +133,14 @@ double SumMinBitRisk(const RiskGraph& graph, const RiskParams& params,
                      const std::vector<std::size_t>& sources,
                      const std::vector<std::size_t>& targets,
                      util::ThreadPool* pool) {
-  std::vector<double> per_source(sources.size(), 0.0);
-  const auto body = [&](std::size_t s) {
-    DijkstraWorkspace workspace;
-    const std::size_t i = sources[s];
-    double sum = 0.0;
-    for (const std::size_t j : targets) {
-      if (j == i) continue;
-      const double alpha =
-          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
-      workspace.Run(graph, i, BitRiskWeight{&graph, params, alpha}, j);
-      if (workspace.Reached(j)) sum += workspace.DistanceTo(j);
-    }
-    per_source[s] = sum;
-  };
-  if (pool != nullptr) {
-    util::ParallelFor(*pool, sources.size(), body);
-  } else {
-    for (std::size_t s = 0; s < sources.size(); ++s) body(s);
-  }
-  double total = 0.0;
-  for (const double v : per_source) total += v;
-  return total;
+  const RouteEngine engine(graph, params);
+  return engine.SumMinBitRisk(sources, targets, pool);
 }
 
 double AggregateMinBitRisk(const RiskGraph& graph, const RiskParams& params,
                            util::ThreadPool* pool) {
-  const std::size_t n = graph.node_count();
-  std::vector<double> per_source(n, 0.0);
-  const auto body = [&](std::size_t i) {
-    DijkstraWorkspace workspace;
-    double sum = 0.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double alpha =
-          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
-      workspace.Run(graph, i, BitRiskWeight{&graph, params, alpha}, j);
-      if (workspace.Reached(j)) sum += workspace.DistanceTo(j);
-    }
-    per_source[i] = sum;
-  };
-  if (pool != nullptr) {
-    util::ParallelFor(*pool, n, body);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-  }
-  double total = 0.0;
-  for (const double v : per_source) total += v;
-  return total;
+  const RouteEngine engine(graph, params);
+  return engine.AggregateMinBitRisk(pool);
 }
 
 }  // namespace riskroute::core

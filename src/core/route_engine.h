@@ -1,0 +1,229 @@
+// RouteEngine: a RiskGraph frozen into immutable CSR form with
+// precomputed weight planes, plus pooled workspaces and batched parallel
+// sweeps. This is the routing substrate every Section 6/7 evaluation runs
+// on: relaxation is index arithmetic plus contiguous array loads — no
+// adjacency-list pointer chasing, no per-edge weight callbacks, no
+// per-call queue allocation.
+//
+// Layout. Freezing walks the adjacency lists once and records, per
+// directed edge e in row order: the head `EdgeHead(e)` and two weight
+// planes — `EdgeMiles(e)` (pure distance) and `EdgeRisk(e)` =
+// lambda_h * o_h(head) + lambda_f * o_f(head) (the Equation 1 node term
+// for the engine's RiskParams). A relaxation under pair scale alpha then
+// costs `miles[e] + alpha * risk[e]`; alpha = 0 is exactly the distance
+// metric. CSR rows preserve adjacency-list iteration order, so every
+// sweep is bitwise identical to the legacy DijkstraWorkspace loop over
+// the RiskGraph (same relaxation order, same heap evolution, same
+// distances, same parent chains).
+//
+// Forecast updates. SetForecastRisks/ClearForecastRisks rebuild the node
+// scores and the risk plane in place (O(N + E)) — the per-advisory path
+// of the disaster case studies — without re-freezing the topology.
+//
+// Overlays. Every sweep takes an optional EdgeOverlay: removed edges are
+// skipped in place, added edges relax after the frozen row in insertion
+// order, disabled nodes reject relaxation. See edge_overlay.h for why
+// that is bitwise identical to mutate-and-restore.
+//
+// Determinism. Batched sweeps parallelize over sources with disjoint
+// output slices and reduce in fixed index order, so results are bitwise
+// independent of thread count (the PR 1 contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/edge_overlay.h"
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/riskroute.h"
+#include "core/shortest_path.h"
+#include "geo/geo_point.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::core {
+
+/// Which weight plane a batched sweep relaxes under.
+enum class RouteMetric {
+  kDistance,  // pure bit-miles; one full Dijkstra per source
+  kBitRisk,   // Eq 1 with per-pair alpha_ij; one targeted Dijkstra per pair
+};
+
+/// Dense result of a batched sweep: dist(sources[r], targets[c]),
+/// +infinity when unreachable.
+struct PairMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> dist;  // row-major
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return dist[r * cols + c];
+  }
+};
+
+class RouteEngine {
+ public:
+  /// Freezes `graph` under `params`. The graph is fully copied into CSR
+  /// form; later mutations of `graph` do not affect the engine.
+  RouteEngine(const RiskGraph& graph, const RiskParams& params);
+
+  [[nodiscard]] std::size_t node_count() const { return node_score_.size(); }
+  [[nodiscard]] const RiskParams& params() const { return params_; }
+
+  /// lambda_h * o_h(v) + lambda_f * o_f(v) — bitwise equal to
+  /// RiskRouter::NodeScore.
+  [[nodiscard]] double NodeScore(std::size_t v) const {
+    return node_score_[v];
+  }
+  /// alpha_ij = c_i + c_j.
+  [[nodiscard]] double Alpha(std::size_t i, std::size_t j) const {
+    return impact_[i] + impact_[j];
+  }
+  [[nodiscard]] double impact_fraction(std::size_t v) const {
+    return impact_[v];
+  }
+  [[nodiscard]] const geo::GeoPoint& location(std::size_t v) const {
+    return location_[v];
+  }
+
+  /// CSR row bounds and per-edge planes (frozen edges only).
+  [[nodiscard]] std::size_t EdgeBegin(std::size_t u) const {
+    return row_offsets_[u];
+  }
+  [[nodiscard]] std::size_t EdgeEnd(std::size_t u) const {
+    return row_offsets_[u + 1];
+  }
+  [[nodiscard]] std::size_t EdgeHead(std::size_t e) const { return col_[e]; }
+  [[nodiscard]] double EdgeMiles(std::size_t e) const { return miles_[e]; }
+  [[nodiscard]] double EdgeRisk(std::size_t e) const { return risk_[e]; }
+
+  /// True when the frozen graph has the undirected edge (overlay-added
+  /// edges are the overlay's business).
+  [[nodiscard]] bool HasEdge(std::size_t a, std::size_t b) const;
+
+  /// Replaces/clears every node's forecast risk and rebuilds the risk
+  /// plane — the per-advisory update of the disaster case studies.
+  void SetForecastRisks(std::span<const double> risks);
+  void ClearForecastRisks();
+
+  // --- Single-source sweeps (DijkstraWorkspace is the scratch type) ---
+
+  /// Dijkstra under weight miles + alpha * risk; stops early once
+  /// `target` is settled. Results land in `ws` (DistanceTo / Reached /
+  /// PathTo), bitwise identical to DijkstraWorkspace::Run over the source
+  /// RiskGraph with the corresponding weight function.
+  void Run(DijkstraWorkspace& ws, std::size_t source, double alpha,
+           std::optional<std::size_t> target = std::nullopt,
+           const EdgeOverlay* overlay = nullptr) const;
+
+  /// Pure-distance Dijkstra (the miles plane only; bitwise identical to
+  /// Run with alpha = 0, and to DistanceWeight over the RiskGraph).
+  void RunDistance(DijkstraWorkspace& ws, std::size_t source,
+                   std::optional<std::size_t> target = std::nullopt,
+                   const EdgeOverlay* overlay = nullptr) const;
+
+  /// One full sweep's distance row (index = target node; +inf when
+  /// unreachable). Runs on a pooled thread-local workspace.
+  [[nodiscard]] std::vector<double> SingleSourceAllTargets(
+      std::size_t source, double alpha,
+      const EdgeOverlay* overlay = nullptr) const;
+
+  /// Single-shot path under weight miles + alpha * risk; nullopt when
+  /// unreachable. Pooled thread-local workspace.
+  [[nodiscard]] std::optional<Path> FindPath(
+      std::size_t source, std::size_t target, double alpha,
+      const EdgeOverlay* overlay = nullptr) const;
+
+  // --- Path metrics (bitwise equal to the RiskRouter evaluators) ---
+
+  /// Sum over hops of miles + alpha * NodeScore(head); throws
+  /// InvalidArgument on an empty path or a missing edge.
+  [[nodiscard]] double PathWeight(const Path& path, double alpha,
+                                  const EdgeOverlay* overlay = nullptr) const;
+  /// Eq 1 on an explicit path; endpoints define alpha.
+  [[nodiscard]] double PathBitRiskMiles(
+      const Path& path, const EdgeOverlay* overlay = nullptr) const;
+  [[nodiscard]] double PathMiles(const Path& path,
+                                 const EdgeOverlay* overlay = nullptr) const;
+
+  // --- Batched parallel sweeps (bitwise thread-count independent) ---
+
+  /// dist(sources[r], targets[c]) under the metric. kDistance runs one
+  /// full sweep per source; kBitRisk one targeted sweep per pair with
+  /// alpha = Alpha(source, target).
+  [[nodiscard]] PairMatrix ManyToMany(std::span<const std::size_t> sources,
+                                      std::span<const std::size_t> targets,
+                                      RouteMetric metric,
+                                      util::ThreadPool* pool = nullptr,
+                                      const EdgeOverlay* overlay = nullptr) const;
+
+  /// ManyToMany over every node as both source and target.
+  [[nodiscard]] PairMatrix AllPairs(RouteMetric metric,
+                                    util::ThreadPool* pool = nullptr,
+                                    const EdgeOverlay* overlay = nullptr) const;
+
+  // --- Aggregates (legacy-identical pair order and summation order) ---
+
+  /// Eq 5 / Eq 6 ratios over ordered (source, target) pairs; same skip
+  /// rules and accumulation order as core::ComputeRatios.
+  [[nodiscard]] RatioReport ComputeRatios(
+      std::span<const std::size_t> sources,
+      std::span<const std::size_t> targets, util::ThreadPool* pool = nullptr,
+      const EdgeOverlay* overlay = nullptr) const;
+
+  /// Eq 4 objective over unordered pairs (j > i), bitwise equal to
+  /// core::AggregateMinBitRisk. Without an overlay this runs the
+  /// parametric row sweep (see ParametricRowSum) instead of one targeted
+  /// Dijkstra per pair, which is several times faster on the Section 7
+  /// topologies while producing the identical sum.
+  [[nodiscard]] double AggregateMinBitRisk(
+      util::ThreadPool* pool = nullptr,
+      const EdgeOverlay* overlay = nullptr) const;
+
+  /// Generalized Eq 4 over ordered (source, target) pairs with
+  /// source != target, bitwise equal to core::SumMinBitRisk.
+  [[nodiscard]] double SumMinBitRisk(std::span<const std::size_t> sources,
+                                     std::span<const std::size_t> targets,
+                                     util::ThreadPool* pool = nullptr,
+                                     const EdgeOverlay* overlay = nullptr) const;
+
+ private:
+  template <bool kRisk, bool kOverlay>
+  void RunImpl(DijkstraWorkspace& ws, std::size_t source, double alpha,
+               std::size_t target, const EdgeOverlay* overlay) const;
+
+  /// Sum of min bit-risk-miles from source i to every j > i, bitwise
+  /// equal to running one targeted Dijkstra per pair. Exploits that the
+  /// pair weight is linear in alpha: path cost = miles(P) + alpha *
+  /// score(P), so per target the optimum over alpha is a lower envelope
+  /// of lines. Full sweeps at the row's extreme alphas bound the
+  /// envelope — a line that is minimal at both ends of an alpha interval
+  /// is minimal throughout it (two lines cross at most once) — so every
+  /// target whose endpoint parent chains coincide needs only an O(path)
+  /// re-walk at its own alpha; targets whose chains differ bisect the
+  /// interval at the median unresolved alpha, sharing each new sweep
+  /// across the row.
+  [[nodiscard]] double ParametricRowSum(std::size_t i) const;
+
+  void RebuildRiskPlane();
+
+  RiskParams params_;
+
+  // CSR topology + weight planes.
+  std::vector<std::uint32_t> row_offsets_;  // size N + 1
+  std::vector<std::uint32_t> col_;          // directed edge heads
+  std::vector<double> miles_;               // distance plane
+  std::vector<double> risk_;                // node-score plane, risk_[e] = node_score_[col_[e]]
+
+  // Frozen node attributes.
+  std::vector<double> impact_;      // c_i
+  std::vector<double> historical_;  // o_h
+  std::vector<double> forecast_;    // o_f
+  std::vector<double> node_score_;  // lambda_h * o_h + lambda_f * o_f
+  std::vector<geo::GeoPoint> location_;
+};
+
+}  // namespace riskroute::core

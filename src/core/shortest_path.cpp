@@ -53,7 +53,9 @@ Path DijkstraWorkspace::PathTo(std::size_t node) const {
 
 std::optional<Path> ShortestPath(const RiskGraph& graph, std::size_t source,
                                  std::size_t target, const EdgeWeightFn& weight) {
-  DijkstraWorkspace workspace;
+  // Pooled per-thread scratch: repeated convenience calls (examples, CLI,
+  // Yen's first path) stop paying a fresh workspace allocation each time.
+  thread_local DijkstraWorkspace workspace;
   workspace.Run(graph, source, weight, target);
   if (!workspace.Reached(target)) return std::nullopt;
   return workspace.PathTo(target);

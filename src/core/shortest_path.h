@@ -3,11 +3,11 @@
 // shortest-path problem on the risk graph).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <limits>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "core/risk_graph.h"
@@ -45,6 +45,10 @@ class DijkstraWorkspace {
   }
 
  private:
+  // RouteEngine drives the same scratch arrays from its frozen CSR planes,
+  // so engine sweeps and legacy sweeps share one workspace type.
+  friend class RouteEngine;
+
   struct QueueEntry {
     double dist;
     std::size_t node;
@@ -57,6 +61,7 @@ class DijkstraWorkspace {
   std::vector<double> dist_;
   std::vector<std::size_t> parent_;
   std::vector<bool> settled_;
+  std::vector<QueueEntry> heap_;  // persistent min-heap buffer
   std::size_t source_ = 0;
 };
 
@@ -65,11 +70,15 @@ void DijkstraWorkspace::Run(const RiskGraph& graph, std::size_t source,
                             WeightFn&& weight,
                             std::optional<std::size_t> target) {
   Prepare(graph, source, target);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
-  queue.push(QueueEntry{0.0, source});
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+  // The heap buffer persists across runs; push_heap/pop_heap with the same
+  // comparator evolve it exactly as the std::priority_queue this replaced,
+  // minus the per-call container allocation.
+  heap_.clear();
+  heap_.push_back(QueueEntry{0.0, source});
+  while (!heap_.empty()) {
+    const QueueEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     if (settled_[top.node]) continue;
     settled_[top.node] = true;
     if (target && top.node == *target) return;
@@ -79,7 +88,8 @@ void DijkstraWorkspace::Run(const RiskGraph& graph, std::size_t source,
       if (candidate < dist_[edge.to]) {
         dist_[edge.to] = candidate;
         parent_[edge.to] = top.node;
-        queue.push(QueueEntry{candidate, edge.to});
+        heap_.push_back(QueueEntry{candidate, edge.to});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }

@@ -1,38 +1,101 @@
 #include "provision/augmentation.h"
 
-#include <algorithm>
+#include <cmath>
 #include <limits>
 
-#include "core/riskroute.h"
 #include "util/error.h"
 
 namespace riskroute::provision {
 
-AugmentationResult GreedyAugment(const core::RiskGraph& graph,
-                                 const core::RiskParams& params,
+std::vector<double> ScanCandidateObjectives(
+    const core::RouteEngine& engine, const core::EdgeOverlay& accepted,
+    const std::vector<CandidateLink>& candidates, util::ThreadPool* pool) {
+  const std::size_t n = engine.node_count();
+  const std::size_t c_count = candidates.size();
+  const core::EdgeOverlay* overlay = accepted.empty() ? nullptr : &accepted;
+  std::vector<std::vector<double>> per_source(n);
+
+  const auto body = [&](std::size_t i) {
+    thread_local core::DijkstraWorkspace from_i;
+    thread_local core::DijkstraWorkspace from_j;
+    std::vector<double>& sums = per_source[i];
+    sums.assign(c_count, 0.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double alpha = engine.Alpha(i, j);
+      engine.Run(from_i, i, alpha, std::nullopt, overlay);
+      engine.Run(from_j, j, alpha, std::nullopt, overlay);
+      const double d_ij = from_i.DistanceTo(j);
+      const double score_j = engine.NodeScore(j);
+      for (std::size_t c = 0; c < c_count; ++c) {
+        const CandidateLink& link = candidates[c];
+        const double score_a = engine.NodeScore(link.a);
+        const double score_b = engine.NodeScore(link.b);
+        // d'(i,j) = min(d(i,j),
+        //               d(i,a) + [w + alpha*s(b)] + d(b,j),
+        //               d(i,b) + [w + alpha*s(a)] + d(a,j)),
+        // exact for a single added edge under non-negative weights. The
+        // reverse legs come from the j-rooted sweep via the node-score
+        // reversal identity d(x,j) = d(j,x) + alpha*(s(j) - s(x)).
+        const double via_ab = from_i.DistanceTo(link.a) + link.direct_miles +
+                              alpha * score_b + from_j.DistanceTo(link.b) +
+                              alpha * (score_j - score_b);
+        const double via_ba = from_i.DistanceTo(link.b) + link.direct_miles +
+                              alpha * score_a + from_j.DistanceTo(link.a) +
+                              alpha * (score_j - score_a);
+        const double best = std::min({d_ij, via_ab, via_ba});
+        // Candidates are intra-component, so a pair unreachable today
+        // stays unreachable — skip it exactly as the Eq 4 sum does.
+        if (std::isfinite(best)) sums[c] += best;
+      }
+    }
+  };
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+
+  std::vector<double> objectives(c_count, 0.0);
+  for (const std::vector<double>& sums : per_source) {
+    for (std::size_t c = 0; c < sums.size(); ++c) objectives[c] += sums[c];
+  }
+  return objectives;
+}
+
+AugmentationResult GreedyAugment(const core::RouteEngine& engine,
                                  const AugmentationOptions& options,
                                  util::ThreadPool* pool) {
   if (options.links_to_add == 0) {
     throw InvalidArgument("GreedyAugment: links_to_add must be positive");
   }
-  core::RiskGraph working = graph;
   AugmentationResult result;
-  result.original_objective = core::AggregateMinBitRisk(working, params, pool);
+  core::EdgeOverlay accepted;  // links chosen in earlier greedy steps
+  result.original_objective = engine.AggregateMinBitRisk(pool);
 
   std::vector<CandidateLink> candidates =
-      EnumerateCandidateLinks(working, options.candidates, pool);
+      EnumerateCandidateLinks(engine, options.candidates, pool);
 
   for (std::size_t step = 0; step < options.links_to_add; ++step) {
+    if (candidates.empty()) break;
+    // Rank every candidate with the incremental scan, then settle the
+    // winner by exact overlay evaluation over the scan's near-ties. The
+    // slack is orders of magnitude above the scan's association-order
+    // error, and ties in the exact objective fall to the lowest candidate
+    // index — the legacy full-sweep evaluation order.
+    const std::vector<double> scan =
+        ScanCandidateObjectives(engine, accepted, candidates, pool);
+    double best_scan = std::numeric_limits<double>::infinity();
+    for (const double value : scan) best_scan = std::min(best_scan, value);
+    const double slack = std::abs(best_scan) * 1e-6 + 1e-9;
+
     double best_objective = std::numeric_limits<double>::infinity();
     std::size_t best_index = candidates.size();
-    // Evaluate Eq 4 exactly for every remaining candidate. The inner
-    // AggregateMinBitRisk is itself parallel over sources, so the sweep
-    // stays sequential here to avoid nested pools.
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      const CandidateLink& link = candidates[c];
-      working.AddEdge(link.a, link.b, link.direct_miles);
-      const double objective = core::AggregateMinBitRisk(working, params, pool);
-      working.RemoveEdge(link.a, link.b);
+      if (scan[c] > best_scan + slack) continue;
+      core::EdgeOverlay trial = accepted;
+      trial.AddEdge(candidates[c].a, candidates[c].b,
+                    candidates[c].direct_miles);
+      const double objective = engine.AggregateMinBitRisk(pool, &trial);
       if (objective < best_objective) {
         best_objective = objective;
         best_index = c;
@@ -45,7 +108,7 @@ AugmentationResult GreedyAugment(const core::RiskGraph& graph,
       break;  // no candidate helps any more
     }
     const CandidateLink chosen = candidates[best_index];
-    working.AddEdge(chosen.a, chosen.b, chosen.direct_miles);
+    accepted.AddEdge(chosen.a, chosen.b, chosen.direct_miles);
     candidates.erase(candidates.begin() +
                      static_cast<std::ptrdiff_t>(best_index));
     result.steps.push_back(AugmentationStep{
@@ -53,6 +116,14 @@ AugmentationResult GreedyAugment(const core::RiskGraph& graph,
         best_objective / result.original_objective});
   }
   return result;
+}
+
+AugmentationResult GreedyAugment(const core::RiskGraph& graph,
+                                 const core::RiskParams& params,
+                                 const AugmentationOptions& options,
+                                 util::ThreadPool* pool) {
+  const core::RouteEngine engine(graph, params);
+  return GreedyAugment(engine, options, pool);
 }
 
 }  // namespace riskroute::provision

@@ -11,6 +11,7 @@
 
 #include "core/risk_graph.h"
 #include "core/risk_params.h"
+#include "core/route_engine.h"
 #include "provision/candidate_links.h"
 #include "util/thread_pool.h"
 
@@ -38,9 +39,27 @@ struct AugmentationOptions {
   CandidateOptions candidates;
 };
 
-/// Runs greedy augmentation. The graph is copied and mutated internally;
-/// the caller's graph is unchanged. Stops early if candidates run out or
-/// no candidate improves the objective.
+/// Eq 4 objective of every candidate, each scored as if added alone on top
+/// of the `accepted` overlay. Uses the exact single-edge incremental
+/// identity — two full bit-risk sweeps per PoP pair, then every candidate
+/// is d'(i,j) = min(d(i,j), via-candidate) in O(1) — instead of one
+/// all-pairs sweep per candidate. Values match a full re-sweep up to
+/// floating-point association order, so callers re-check near-ties with
+/// the exact overlay objective before committing to a winner.
+[[nodiscard]] std::vector<double> ScanCandidateObjectives(
+    const core::RouteEngine& engine, const core::EdgeOverlay& accepted,
+    const std::vector<CandidateLink>& candidates,
+    util::ThreadPool* pool = nullptr);
+
+/// Runs greedy augmentation against a frozen engine. Candidates are
+/// evaluated as overlays — zero graph copies, zero mutations. Stops early
+/// if candidates run out or no candidate improves the objective.
+[[nodiscard]] AugmentationResult GreedyAugment(
+    const core::RouteEngine& engine, const AugmentationOptions& options,
+    util::ThreadPool* pool = nullptr);
+
+/// Convenience overload: freezes `graph` under `params` first. The
+/// caller's graph is never copied or mutated.
 [[nodiscard]] AugmentationResult GreedyAugment(
     const core::RiskGraph& graph, const core::RiskParams& params,
     const AugmentationOptions& options, util::ThreadPool* pool = nullptr);

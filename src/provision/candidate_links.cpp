@@ -8,19 +8,19 @@
 namespace riskroute::provision {
 
 std::vector<CandidateLink> EnumerateCandidateLinks(
-    const core::RiskGraph& graph, const CandidateOptions& options,
+    const core::RouteEngine& engine, const CandidateOptions& options,
     util::ThreadPool* pool) {
-  const std::size_t n = graph.node_count();
+  const std::size_t n = engine.node_count();
   std::vector<std::vector<CandidateLink>> per_source(n);
 
   const auto body = [&](std::size_t i) {
-    core::DijkstraWorkspace workspace;
-    workspace.Run(graph, i, core::DistanceWeight);
+    thread_local core::DijkstraWorkspace workspace;
+    engine.RunDistance(workspace, i);
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (graph.HasEdge(i, j) || !workspace.Reached(j)) continue;
+      if (engine.HasEdge(i, j) || !workspace.Reached(j)) continue;
       const double current = workspace.DistanceTo(j);
       const double direct =
-          geo::GreatCircleMiles(graph.node(i).location, graph.node(j).location);
+          geo::GreatCircleMiles(engine.location(i), engine.location(j));
       if (direct < (1.0 - options.min_mile_reduction) * current) {
         per_source[i].push_back(CandidateLink{i, j, direct, current});
       }
@@ -54,6 +54,15 @@ std::vector<CandidateLink> EnumerateCandidateLinks(
               return x.b < y.b;
             });
   return candidates;
+}
+
+std::vector<CandidateLink> EnumerateCandidateLinks(
+    const core::RiskGraph& graph, const CandidateOptions& options,
+    util::ThreadPool* pool) {
+  // The enumeration only touches the distance plane, so any valid params
+  // do; the freeze is O(N + E) against an O(N^2 log N) sweep.
+  const core::RouteEngine engine(graph, core::RiskParams{});
+  return EnumerateCandidateLinks(engine, options, pool);
 }
 
 }  // namespace riskroute::provision

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/risk_graph.h"
+#include "core/route_engine.h"
 #include "util/thread_pool.h"
 
 namespace riskroute::provision {
@@ -33,9 +34,14 @@ struct CandidateOptions {
   std::size_t max_candidates = 0;
 };
 
-/// Enumerates E_C over the graph (unordered pairs, a < b). Pairs in
+/// Enumerates E_C over a frozen engine (unordered pairs, a < b). Pairs in
 /// different connected components are skipped. A thread pool parallelizes
 /// the underlying all-pairs shortest-path sweep.
+[[nodiscard]] std::vector<CandidateLink> EnumerateCandidateLinks(
+    const core::RouteEngine& engine, const CandidateOptions& options = {},
+    util::ThreadPool* pool = nullptr);
+
+/// Convenience overload: freezes `graph` (distance plane only) first.
 [[nodiscard]] std::vector<CandidateLink> EnumerateCandidateLinks(
     const core::RiskGraph& graph, const CandidateOptions& options = {},
     util::ThreadPool* pool = nullptr);

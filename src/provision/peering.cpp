@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/riskroute.h"
 #include "geo/distance.h"
 #include "util/error.h"
 
@@ -40,10 +39,10 @@ std::vector<CandidatePeer> EnumerateCandidatePeers(
   return candidates;
 }
 
-PeeringRecommendation RecommendPeering(core::MergedGraph& merged,
+PeeringRecommendation RecommendPeering(const core::RouteEngine& engine,
+                                       const core::MergedGraph& merged,
                                        const topology::Corpus& corpus,
                                        std::size_t network_index,
-                                       const core::RiskParams& params,
                                        double colocation_radius_miles,
                                        util::ThreadPool* pool,
                                        PeerScope scope) {
@@ -53,32 +52,43 @@ PeeringRecommendation RecommendPeering(core::MergedGraph& merged,
 
   PeeringRecommendation recommendation;
   recommendation.baseline_objective =
-      core::SumMinBitRisk(merged.graph, params, sources, targets, pool);
+      engine.SumMinBitRisk(sources, targets, pool);
 
   for (CandidatePeer& candidate : EnumerateCandidatePeers(
            corpus, network_index, colocation_radius_miles, scope)) {
-    // Temporarily realize the peering at every co-location point.
-    std::vector<std::pair<std::size_t, std::size_t>> added;
+    // Realize the peering at every co-location point as an overlay on the
+    // frozen graph — no mutation, no restore.
+    core::EdgeOverlay overlay;
     for (const ColocatedPair& pair : candidate.pairs) {
       const std::size_t ga = merged.GlobalId(network_index, pair.pop_a);
       const std::size_t gb = merged.GlobalId(candidate.network, pair.pop_b);
-      if (!merged.graph.HasEdge(ga, gb)) {
-        merged.graph.AddEdge(ga, gb, pair.miles);
-        added.emplace_back(ga, gb);
+      if (!engine.HasEdge(ga, gb) && !overlay.HasAddedEdge(ga, gb)) {
+        overlay.AddEdge(ga, gb, pair.miles);
       }
     }
-    const double objective =
-        core::SumMinBitRisk(merged.graph, params, sources, targets, pool);
-    for (const auto& [ga, gb] : added) merged.graph.RemoveEdge(ga, gb);
+    const double objective = engine.SumMinBitRisk(
+        sources, targets, pool, overlay.empty() ? nullptr : &overlay);
     recommendation.evaluations.push_back(
         PeeringEvaluation{std::move(candidate), objective});
   }
-  std::sort(recommendation.evaluations.begin(),
+  std::stable_sort(recommendation.evaluations.begin(),
             recommendation.evaluations.end(),
             [](const PeeringEvaluation& x, const PeeringEvaluation& y) {
               return x.objective < y.objective;
             });
   return recommendation;
+}
+
+PeeringRecommendation RecommendPeering(const core::MergedGraph& merged,
+                                       const topology::Corpus& corpus,
+                                       std::size_t network_index,
+                                       const core::RiskParams& params,
+                                       double colocation_radius_miles,
+                                       util::ThreadPool* pool,
+                                       PeerScope scope) {
+  const core::RouteEngine engine(merged.graph, params);
+  return RecommendPeering(engine, merged, corpus, network_index,
+                          colocation_radius_miles, pool, scope);
 }
 
 }  // namespace riskroute::provision

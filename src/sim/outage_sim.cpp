@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "core/shortest_path.h"
 #include "geo/distance.h"
 #include "util/error.h"
@@ -18,18 +18,16 @@ struct PathSets {
   std::vector<std::uint32_t> transit_nodes;
 };
 
-PathSets PrecomputePaths(const core::RiskGraph& graph,
-                         const core::RiskParams& params, bool risk_aware,
+PathSets PrecomputePaths(const core::RouteEngine& engine, bool risk_aware,
                          util::ThreadPool* pool) {
-  const std::size_t n = graph.node_count();
+  const std::size_t n = engine.node_count();
   std::vector<std::vector<std::uint32_t>> per_pair(n * n);
-  const core::RiskRouter router(graph, params);
 
   const auto body = [&](std::size_t i) {
-    core::DijkstraWorkspace workspace;
+    thread_local core::DijkstraWorkspace workspace;
     if (!risk_aware) {
-      // One distance Dijkstra covers every destination.
-      workspace.Run(graph, i, core::DistanceWeight);
+      // One distance sweep covers every destination.
+      engine.RunDistance(workspace, i);
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i || !workspace.Reached(j)) continue;
         const core::Path path = workspace.PathTo(j);
@@ -42,11 +40,7 @@ PathSets PrecomputePaths(const core::RiskGraph& graph,
     }
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      const double alpha = router.Alpha(i, j);
-      const auto weight = [&](std::size_t, const core::RiskEdge& edge) {
-        return edge.miles + alpha * router.NodeScore(edge.to);
-      };
-      workspace.Run(graph, i, weight, j);
+      engine.Run(workspace, i, engine.Alpha(i, j), j);
       if (!workspace.Reached(j)) continue;
       const core::Path path = workspace.PathTo(j);
       auto& nodes = per_pair[i * n + j];
@@ -114,10 +108,10 @@ OutageSimReport RunOutageSimulation(const core::RiskGraph& graph,
   }
 
   const std::size_t n = graph.node_count();
-  const PathSets shortest =
-      PrecomputePaths(graph, options.params, /*risk_aware=*/false, pool);
-  const PathSets risky =
-      PrecomputePaths(graph, options.params, /*risk_aware=*/true, pool);
+  // One freeze serves both routing schemes' precomputation sweeps.
+  const core::RouteEngine engine(graph, options.params);
+  const PathSets shortest = PrecomputePaths(engine, /*risk_aware=*/false, pool);
+  const PathSets risky = PrecomputePaths(engine, /*risk_aware=*/true, pool);
 
   // Catalog pick weights proportional to event counts: the simulated event
   // mix matches the historical archive mix.

@@ -6,10 +6,13 @@
 #include <algorithm>
 #include <set>
 
+#include "core/edge_overlay.h"
 #include "core/k_shortest.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "core/shortest_path.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace riskroute::core {
 namespace {
@@ -165,6 +168,121 @@ TEST_P(RandomGraphSweep, RatiosWellFormed) {
   EXPECT_GE(report.risk_reduction_ratio, -1e-9);
   EXPECT_LT(report.risk_reduction_ratio, 1.0);
   EXPECT_GE(report.distance_increase_ratio, -1e-9);
+}
+
+/// Legacy all-pairs matrices via the per-pair DijkstraWorkspace loop: one
+/// full distance sweep per source, one targeted bit-risk run per pair.
+struct LegacyMatrices {
+  std::vector<double> distance;  // row-major n x n
+  std::vector<double> bit_risk;
+};
+
+LegacyMatrices LegacyAllPairs(const RiskGraph& graph, const RiskParams& params) {
+  const std::size_t n = graph.node_count();
+  const RiskRouter router(graph, params);
+  const auto weight = [&](double alpha) {
+    return [&, alpha](std::size_t, const RiskEdge& edge) {
+      return edge.miles + alpha * router.NodeScore(edge.to);
+    };
+  };
+  LegacyMatrices m;
+  m.distance.assign(n * n, 0.0);
+  m.bit_risk.assign(n * n, 0.0);
+  DijkstraWorkspace workspace;
+  for (std::size_t s = 0; s < n; ++s) {
+    workspace.Run(graph, s, DistanceWeight);
+    for (std::size_t d = 0; d < n; ++d) {
+      m.distance[s * n + d] = workspace.DistanceTo(d);
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d == s) continue;
+      workspace.Run(graph, s, weight(router.Alpha(s, d)), d);
+      m.bit_risk[s * n + d] = workspace.DistanceTo(d);
+    }
+  }
+  return m;
+}
+
+void ExpectAllPairsBitwiseEqual(const RouteEngine& engine,
+                                const EdgeOverlay* overlay,
+                                const LegacyMatrices& expected,
+                                util::ThreadPool* pool, std::size_t threads) {
+  const std::size_t n = engine.node_count();
+  const PairMatrix distance =
+      engine.AllPairs(RouteMetric::kDistance, pool, overlay);
+  const PairMatrix bit_risk =
+      engine.AllPairs(RouteMetric::kBitRisk, pool, overlay);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      ASSERT_EQ(distance.at(s, d), expected.distance[s * n + d])
+          << "distance " << s << "->" << d << " threads " << threads;
+      const double want = (d == s) ? 0.0 : expected.bit_risk[s * n + d];
+      ASSERT_EQ(bit_risk.at(s, d), want)
+          << "bit-risk " << s << "->" << d << " threads " << threads;
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, EngineAllPairsBitwiseMatchesLegacyAcrossThreads) {
+  util::Rng rng(GetParam() + 4000);
+  const RiskGraph graph = RandomGraph(16, 0.15, rng);
+  const RiskParams params{rng.Uniform(10, 1e4), rng.Uniform(0, 10)};
+  const RouteEngine engine(graph, params);
+  const LegacyMatrices expected = LegacyAllPairs(graph, params);
+
+  ExpectAllPairsBitwiseEqual(engine, nullptr, expected, nullptr, 0);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    ExpectAllPairsBitwiseEqual(engine, nullptr, expected, &pool, threads);
+  }
+}
+
+TEST_P(RandomGraphSweep, EngineOverlayBitwiseMatchesMutateAndRestore) {
+  util::Rng rng(GetParam() + 5000);
+  RiskGraph graph = RandomGraph(16, 0.2, rng);
+  const RiskParams params{rng.Uniform(10, 1e4), rng.Uniform(0, 10)};
+  // The engine freezes the pristine graph; all edits ride the overlay.
+  const RouteEngine engine(graph, params);
+
+  EdgeOverlay overlay;
+  // Remove a couple of existing edges...
+  std::size_t removed = 0;
+  for (std::size_t a = 0; a < graph.node_count() && removed < 2; a += 3) {
+    const auto& edges = graph.OutEdges(a);
+    if (edges.empty()) continue;
+    const std::size_t b = edges.back().to;
+    if (overlay.IsRemoved(a, b)) continue;
+    overlay.RemoveEdge(a, b);
+    graph.RemoveEdge(a, b);
+    ++removed;
+  }
+  // ...and add a couple of absent ones (absent pairs are disjoint from the
+  // removed pairs, which existed).
+  std::size_t added = 0;
+  for (std::size_t a = 0; a < graph.node_count() && added < 2; ++a) {
+    for (std::size_t b = a + 2; b < graph.node_count() && added < 2; b += 5) {
+      if (graph.HasEdge(a, b) || overlay.IsRemoved(a, b)) continue;
+      const double miles = rng.Uniform(50, 900);
+      overlay.AddEdge(a, b, miles);
+      graph.AddEdge(a, b, miles);
+      ++added;
+    }
+  }
+  ASSERT_GT(removed + added, 0u);
+
+  // `graph` is now the mutate-and-restore target state; the legacy sweep
+  // over it is the oracle for engine + overlay.
+  const LegacyMatrices expected = LegacyAllPairs(graph, params);
+  ExpectAllPairsBitwiseEqual(engine, &overlay, expected, nullptr, 0);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    ExpectAllPairsBitwiseEqual(engine, &overlay, expected, &pool, threads);
+  }
+
+  // A freshly frozen engine over the mutated graph agrees with the
+  // overlay too (mutation and overlay are interchangeable).
+  const RouteEngine refrozen(graph, params);
+  ExpectAllPairsBitwiseEqual(refrozen, nullptr, expected, nullptr, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,

@@ -8,7 +8,8 @@ so they are insensitive to absolute machine speed and background load.
 
 The tool then:
   1. writes a ``BENCH_perf.json`` report (raw times + speedups),
-  2. fails if any speedup is below ``--min-speedup``,
+  2. fails if any speedup is below its pair's target floor scaled by
+     ``--floor-scale`` (or the uniform ``--min-speedup`` override),
   3. if a baseline report exists (``--baseline``), fails if any speedup
      regressed by more than ``--regression-threshold`` relative to it.
 
@@ -26,11 +27,19 @@ import subprocess
 import sys
 import tempfile
 
-# Legacy benchmark -> optimized benchmark it is the baseline for.
+# Pair key -> (legacy benchmark, optimized benchmark, development-target
+# speedup floor). Floors differ per pair: the KDE pairs replaced trig-heavy
+# inner loops (3x), the all-pairs route sweep replaced an already-lean
+# templated Dijkstra with the CSR engine (2x), and the greedy scan replaced
+# a full re-sweep per candidate with the incremental identity (3x). The
+# ctest wiring scales every floor by --floor-scale to tolerate noisy
+# shared hosts; run standalone for the strict targets.
 PAIRS = {
-    "evaluate": ("BM_KdeEvaluateLegacy", "BM_KdeEvaluateBatch"),
-    "raster": ("BM_KdeRasterLegacy", "BM_KdeRasterParallel"),
-    "bandwidth_cv": ("BM_BandwidthCVLegacy", "BM_BandwidthCV"),
+    "evaluate": ("BM_KdeEvaluateLegacy", "BM_KdeEvaluateBatch", 3.0),
+    "raster": ("BM_KdeRasterLegacy", "BM_KdeRasterParallel", 3.0),
+    "bandwidth_cv": ("BM_BandwidthCVLegacy", "BM_BandwidthCV", 3.0),
+    "route_allpairs": ("BM_RouteAllPairsLegacy", "BM_RouteAllPairsEngine", 2.0),
+    "greedy_scan": ("BM_GreedyScanLegacy", "BM_GreedyScanEngine", 3.0),
 }
 
 
@@ -40,7 +49,8 @@ def run_benchmarks(binary: pathlib.Path, min_time: float) -> dict:
     # through --benchmark_out rather than --benchmark_format=json.
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = pathlib.Path(tmp.name)
-    names = sorted({name for pair in PAIRS.values() for name in pair})
+    names = sorted({name for legacy, new, _ in PAIRS.values()
+                    for name in (legacy, new)})
     cmd = [
         str(binary),
         f"--benchmark_filter=^({'|'.join(names)})$",
@@ -69,7 +79,7 @@ def real_times(report: dict) -> dict[str, float]:
 
 def build_report(times: dict[str, float]) -> dict:
     report = {"pairs": {}}
-    for key, (legacy, new) in PAIRS.items():
+    for key, (legacy, new, floor) in PAIRS.items():
         if legacy not in times or new not in times:
             raise SystemExit(
                 f"bench_compare: missing benchmark(s) for pair '{key}': "
@@ -81,17 +91,21 @@ def build_report(times: dict[str, float]) -> dict:
             "legacy_ns": times[legacy],
             "new_ns": times[new],
             "speedup": times[legacy] / times[new],
+            "target_speedup": floor,
         }
     return report
 
 
-def check_floor(report: dict, min_speedup: float) -> list[str]:
+def check_floor(report: dict, floor_scale: float,
+                min_speedup: float | None) -> list[str]:
     failures = []
     for key, pair in report["pairs"].items():
-        if pair["speedup"] < min_speedup:
+        floor = (min_speedup if min_speedup is not None
+                 else PAIRS[key][2] * floor_scale)
+        if pair["speedup"] < floor:
             failures.append(
                 f"{key}: speedup {pair['speedup']:.2f}x is below the "
-                f"required {min_speedup:.2f}x floor"
+                f"required {floor:.2f}x floor"
             )
     return failures
 
@@ -121,8 +135,13 @@ def main() -> int:
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="prior BENCH_perf.json to diff against "
                              "(skipped if the file does not exist)")
-    parser.add_argument("--min-speedup", type=float, default=3.0,
-                        help="hard floor on every legacy/new speedup ratio")
+    parser.add_argument("--floor-scale", type=float, default=1.0,
+                        help="multiplier applied to every pair's development-"
+                             "target floor (ctest uses < 1 to tolerate noisy "
+                             "shared hosts)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="uniform floor overriding the per-pair targets "
+                             "(legacy option; prefer --floor-scale)")
     parser.add_argument("--regression-threshold", type=float, default=0.25,
                         help="allowed fractional speedup drop vs the baseline")
     parser.add_argument("--min-time", type=float, default=0.2,
@@ -141,7 +160,7 @@ def main() -> int:
               f"{pair['new_ns'] / 1e6:8.2f} ms  ({pair['speedup']:.2f}x)")
     print(f"report written to {args.output}")
 
-    failures = check_floor(report, args.min_speedup)
+    failures = check_floor(report, args.floor_scale, args.min_speedup)
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         failures += check_baseline(report, baseline,

@@ -24,6 +24,7 @@
 #include "core/multi_objective.h"
 #include "core/ospf_export.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "core/study.h"
 #include "forecast/forecast_risk.h"
 #include "forecast/projection.h"
@@ -94,10 +95,11 @@ int CmdRoute(const Args& args) {
   const std::size_t dst = RequirePop(graph, args.GetOr("to", "Boston, MA"));
   const core::RiskParams params = ParamsFrom(args);
 
-  const core::RiskRouter router(graph, params);
-  const auto shortest = router.ShortestRoute(src, dst);
-  const auto risky = router.MinRiskRoute(src, dst);
-  if (!shortest || !risky) {
+  const core::RouteEngine engine(graph, params);
+  const double alpha = engine.Alpha(src, dst);
+  const auto shortest_path = engine.FindPath(src, dst, 0.0);
+  const auto risky_path = engine.FindPath(src, dst, alpha);
+  if (!shortest_path || !risky_path) {
     std::fprintf(stderr, "PoPs are not connected\n");
     return 1;
   }
@@ -110,10 +112,34 @@ int CmdRoute(const Args& args) {
                   i + 1 == path.size() ? "\n" : " -> ");
     }
   };
-  print_route("shortest ", shortest->path, shortest->bit_miles,
-              shortest->bit_risk_miles);
-  print_route("riskroute", risky->path, risky->bit_miles,
-              risky->bit_risk_miles);
+  print_route("shortest ", *shortest_path, engine.PathMiles(*shortest_path),
+              engine.PathBitRiskMiles(*shortest_path));
+  print_route("riskroute", *risky_path, engine.PathMiles(*risky_path),
+              engine.PathBitRiskMiles(*risky_path));
+
+  // Per-hop Eq 1 decomposition of the chosen route: every hop pays its
+  // mileage plus alpha_ij * score(head).
+  std::printf("\nper-hop bit-risk miles (alpha_ij = %.4g):\n", alpha);
+  std::printf("  %-44s %10s %12s %12s %12s\n", "hop", "miles", "risk term",
+              "hop total", "cumulative");
+  double cumulative = 0.0;
+  for (std::size_t k = 1; k < risky_path->size(); ++k) {
+    const std::size_t u = (*risky_path)[k - 1];
+    const std::size_t v = (*risky_path)[k];
+    double hop_miles = 0.0;
+    for (std::size_t e = engine.EdgeBegin(u); e < engine.EdgeEnd(u); ++e) {
+      if (engine.EdgeHead(e) == v) {
+        hop_miles = engine.EdgeMiles(e);
+        break;
+      }
+    }
+    const double risk_term = alpha * engine.NodeScore(v);
+    cumulative += hop_miles + risk_term;
+    const std::string hop =
+        graph.node(u).name + " -> " + graph.node(v).name;
+    std::printf("  %-44s %10.1f %12.1f %12.1f %12.1f\n", hop.c_str(),
+                hop_miles, risk_term, hop_miles + risk_term, cumulative);
+  }
 
   if (args.Has("latency-budget")) {
     const double budget = args.GetDouble("latency-budget", 1e9);
@@ -129,7 +155,7 @@ int CmdRoute(const Args& args) {
   }
   if (args.Has("geojson")) {
     const auto& net = study.corpus().network(study.NetworkIndex(network));
-    std::puts(topology::PathToGeoJson(net, risky->path, "riskroute").c_str());
+    std::puts(topology::PathToGeoJson(net, *risky_path, "riskroute").c_str());
   }
   return 0;
 }
