@@ -18,7 +18,7 @@ using namespace riskroute;
 void PrintRoute(const core::RiskGraph& graph, const char* label,
                 const core::RouteResult& route) {
   std::cout << label << util::Format(" (%zu hops, %.0f mi, %.0f bit-risk mi):\n",
-                                     route.path.size() - 1, route.bit_miles,
+                                     route.path.size() - 1, route.miles,
                                      route.bit_risk_miles);
   for (std::size_t i = 0; i < route.path.size(); ++i) {
     std::cout << "    " << graph.node(route.path[i]).name

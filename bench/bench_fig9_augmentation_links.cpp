@@ -33,7 +33,7 @@ void Reproduce() {
 
     std::cout << "\n" << name
               << util::Format(" (original aggregate bit-risk %.3g):\n",
-                              result.original_objective);
+                              result.original_bit_risk_miles);
     util::Table table({"#", "New Link", "Link Miles",
                        "Fraction of Original Bit-Risk"});
     for (std::size_t s = 0; s < result.steps.size(); ++s) {

@@ -10,9 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/study.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -37,8 +39,22 @@ inline void PrintHeader(const std::string& title) {
   std::printf("================================================================\n");
 }
 
+/// Writes the obs:: metrics accumulated over the whole bench run to a JSON
+/// sidecar: $RISKROUTE_METRICS_OUT if set (bench_compare.py points it next
+/// to BENCH_perf.json), else "<binary>_metrics.json" beside the binary.
+inline void WriteMetricsSidecar(const char* argv0) {
+  const char* env = std::getenv("RISKROUTE_METRICS_OUT");
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : std::string(argv0) + "_metrics.json";
+  if (!obs::MetricsRegistry::Global().WriteJsonFile(path)) {
+    std::fprintf(stderr, "warning: cannot write metrics sidecar %s\n",
+                 path.c_str());
+  }
+}
+
 /// Standard main: print the reproduction first, then run registered
-/// google-benchmark timings.
+/// google-benchmark timings, then drop the metrics sidecar.
 #define RISKROUTE_BENCH_MAIN(title, reproduce_fn)              \
   int main(int argc, char** argv) {                            \
     ::riskroute::bench::PrintHeader(title);                    \
@@ -48,6 +64,7 @@ inline void PrintHeader(const std::string& title) {
       return 1;                                                \
     ::benchmark::RunSpecifiedBenchmarks();                     \
     ::benchmark::Shutdown();                                   \
+    ::riskroute::bench::WriteMetricsSidecar(argv[0]);          \
     return 0;                                                  \
   }
 

@@ -14,11 +14,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/backup_paths.h"
-#include "core/disjoint_paths.h"
-#include "core/ospf_export.h"
-#include "core/riskroute.h"
-#include "core/study.h"
+#include "riskroute_api.h"
 
 using namespace riskroute;
 

@@ -11,13 +11,9 @@
 #include <cstdio>
 #include <string>
 
-#include "core/riskroute.h"
-#include "core/study.h"
-#include "forecast/forecast_risk.h"
 #include "forecast/parser.h"
-#include "forecast/tracks.h"
+#include "riskroute_api.h"
 #include "util/strings.h"
-#include "util/thread_pool.h"
 
 using namespace riskroute;
 

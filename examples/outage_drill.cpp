@@ -10,11 +10,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/study.h"
 #include "hazard/synthesis.h"
-#include "sim/outage_sim.h"
-#include "sim/traffic.h"
-#include "util/thread_pool.h"
+#include "riskroute_api.h"
 
 using namespace riskroute;
 

@@ -10,11 +10,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/study.h"
-#include "provision/augmentation.h"
-#include "provision/peering.h"
+#include "riskroute_api.h"
 #include "util/strings.h"
-#include "util/thread_pool.h"
 
 using namespace riskroute;
 
@@ -42,7 +39,7 @@ int main(int argc, char** argv) {
   const provision::AugmentationResult result =
       provision::GreedyAugment(graph, params, options, &pool);
   std::printf("Aggregate min bit-risk today: %.4g\n",
-              result.original_objective);
+              result.original_bit_risk_miles);
   for (std::size_t s = 0; s < result.steps.size(); ++s) {
     const auto& step = result.steps[s];
     std::printf("  %zu. %s <-> %s  (%.0f mi)  -> %.2f%% of original risk\n",

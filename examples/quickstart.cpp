@@ -8,11 +8,9 @@
 #include <iostream>
 #include <string>
 
-#include "core/riskroute.h"
-#include "core/study.h"
 #include "geo/distance.h"
+#include "riskroute_api.h"
 #include "util/strings.h"
-#include "util/thread_pool.h"
 
 using namespace riskroute;
 
@@ -21,7 +19,7 @@ namespace {
 void PrintRoute(const core::RiskGraph& graph, const char* label,
                 const core::RouteResult& route) {
   std::printf("%s: %.0f miles, %.0f bit-risk miles\n  ", label,
-              route.bit_miles, route.bit_risk_miles);
+              route.miles, route.bit_risk_miles);
   for (std::size_t i = 0; i < route.path.size(); ++i) {
     std::printf("%s%s", graph.node(route.path[i]).name.c_str(),
                 i + 1 == route.path.size() ? "\n" : " -> ");
@@ -82,7 +80,7 @@ int main(int argc, char** argv) {
   std::printf("\nBit-risk saved: %.1f%%, extra distance paid: %.1f%%\n",
               100.0 * (1.0 - risk_aware->bit_risk_miles /
                                  shortest->bit_risk_miles),
-              100.0 * (risk_aware->bit_miles / shortest->bit_miles - 1.0));
+              100.0 * (risk_aware->miles / shortest->miles - 1.0));
 
   util::ThreadPool pool;
   const core::RatioReport report = core::ComputeIntradomainRatios(

@@ -14,9 +14,8 @@
 #include <string>
 #include <vector>
 
-#include "core/study.h"
 #include "geo/bounding_box.h"
-#include "hazard/risk_field.h"
+#include "riskroute_api.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

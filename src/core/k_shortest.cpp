@@ -53,7 +53,7 @@ std::vector<WeightedPath> KShortestPaths(const RiskGraph& graph,
     throw InvalidArgument("KShortestPaths: node out of range");
   }
   if (source == target) {
-    return {WeightedPath{Path{source}, 0.0}};
+    return {WeightedPath{{}, Path{source}, 0.0}};
   }
 
   std::vector<WeightedPath> accepted;
@@ -65,9 +65,9 @@ std::vector<WeightedPath> KShortestPaths(const RiskGraph& graph,
   std::set<WeightedPath, decltype(compare)> candidates(compare);
 
   {
-    const auto first = ShortestPath(graph, source, target, weight);
+    const auto first = ShortestPathWith(graph, source, target, weight);
     if (!first) return {};
-    accepted.push_back(WeightedPath{*first, PathWeight(graph, *first, weight)});
+    accepted.push_back(WeightedPath{{}, *first, PathWeight(graph, *first, weight)});
   }
 
   std::vector<bool> removed_nodes(graph.node_count(), false);
@@ -103,7 +103,7 @@ std::vector<WeightedPath> KShortestPaths(const RiskGraph& graph,
                        spur_path.end());
       const double w = PathWeight(graph, candidate, weight);
       if (!std::isfinite(w)) continue;  // used a masked edge
-      candidates.insert(WeightedPath{std::move(candidate), w});
+      candidates.insert(WeightedPath{{}, std::move(candidate), w});
     }
     if (candidates.empty()) break;
     // Promote the best unseen candidate.
@@ -127,7 +127,7 @@ std::vector<WeightedPath> KShortestPaths(const RouteEngine& engine,
     throw InvalidArgument("KShortestPaths: node out of range");
   }
   if (source == target) {
-    return {WeightedPath{Path{source}, 0.0}};
+    return {WeightedPath{{}, Path{source}, 0.0}};
   }
 
   std::vector<WeightedPath> accepted;
@@ -141,7 +141,7 @@ std::vector<WeightedPath> KShortestPaths(const RouteEngine& engine,
     const auto first = engine.FindPath(source, target, alpha, base);
     if (!first) return {};
     accepted.push_back(
-        WeightedPath{*first, engine.PathWeight(*first, alpha, base)});
+        WeightedPath{{}, *first, engine.PathWeight(*first, alpha, base)});
   }
 
   EdgeOverlay masked;
@@ -174,7 +174,7 @@ std::vector<WeightedPath> KShortestPaths(const RouteEngine& engine,
                        spur_path.end());
       const double w = engine.PathWeight(candidate, alpha, base);
       if (!std::isfinite(w)) continue;
-      candidates.insert(WeightedPath{std::move(candidate), w});
+      candidates.insert(WeightedPath{{}, std::move(candidate), w});
     }
     if (candidates.empty()) break;
     // Promote the best unseen candidate.
@@ -184,6 +184,12 @@ std::vector<WeightedPath> KShortestPaths(const RouteEngine& engine,
         std::any_of(accepted.begin(), accepted.end(),
                     [&](const WeightedPath& wp) { return wp.path == best.path; });
     if (!duplicate) accepted.push_back(std::move(best));
+  }
+  // Fill the shared PathMetrics from the frozen planes; a k-path caller
+  // reads the same field names as every other routing surface.
+  for (WeightedPath& wp : accepted) {
+    wp.miles = engine.PathMiles(wp.path, base);
+    wp.bit_risk_miles = engine.PathBitRiskMiles(wp.path, base);
   }
   return accepted;
 }

@@ -12,14 +12,18 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/path_metrics.h"
 #include "core/risk_graph.h"
 #include "core/route_engine.h"
 #include "core/shortest_path.h"
 
 namespace riskroute::core {
 
-/// One enumerated path with its weight under the enumeration objective.
-struct WeightedPath {
+/// One enumerated path with its weight under the enumeration objective,
+/// plus the shared PathMetrics. The engine variant fills miles and
+/// bit_risk_miles from the frozen planes; the EdgeWeightFn variant has no
+/// risk model, so there the PathMetrics base stays zero.
+struct WeightedPath : PathMetrics {
   Path path;
   double weight = 0.0;
 };

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/k_shortest.h"
+#include "core/path_metrics.h"
 #include "core/risk_graph.h"
 #include "core/risk_params.h"
 
@@ -31,12 +32,11 @@ inline constexpr double kLatencyMsPerMile = 0.0082;
   return miles * kLatencyMsPerMile;
 }
 
-/// A candidate route scored under every objective.
-struct RouteObjectives {
+/// A candidate route scored under every objective: the shared PathMetrics
+/// (miles, bit_risk_miles) plus the latency this module trades off.
+struct RouteObjectives : PathMetrics {
   Path path;
-  double miles = 0.0;
   double latency_ms = 0.0;
-  double bit_risk_miles = 0.0;
 };
 
 /// Pareto-front router over (latency, bit-risk).

@@ -93,7 +93,7 @@ std::optional<RouteResult> RiskRouter::MinRiskRoute(std::size_t i,
   RouteResult result;
   result.path = workspace.PathTo(j);
   result.bit_risk_miles = workspace.DistanceTo(j);
-  result.bit_miles = PathMiles(result.path);
+  result.miles = PathMiles(result.path);
   return result;
 }
 
@@ -104,7 +104,7 @@ std::optional<RouteResult> RiskRouter::ShortestRoute(std::size_t i,
   if (!workspace.Reached(j)) return std::nullopt;
   RouteResult result;
   result.path = workspace.PathTo(j);
-  result.bit_miles = workspace.DistanceTo(j);
+  result.miles = workspace.DistanceTo(j);
   result.bit_risk_miles = PathBitRiskMiles(result.path);
   return result;
 }

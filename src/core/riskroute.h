@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/path_metrics.h"
 #include "core/risk_graph.h"
 #include "core/risk_params.h"
 #include "core/shortest_path.h"
@@ -24,11 +25,13 @@
 
 namespace riskroute::core {
 
-/// A routed pair: the chosen path plus its metrics.
-struct RouteResult {
+/// A routed pair: the chosen path plus its PathMetrics (miles and Eq 1
+/// bit_risk_miles).
+struct RouteResult : PathMetrics {
   Path path;
-  double bit_risk_miles = 0.0;  // Eq 1 value of the path
-  double bit_miles = 0.0;       // plain mileage of the path
+
+  /// Deprecated: pre-PathMetrics spelling of `miles`.
+  [[nodiscard]] double bit_miles() const { return miles; }
 };
 
 /// Aggregated Eq 5 / Eq 6 ratios over a pair population.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -14,6 +15,44 @@ namespace {
 constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Engine metrics, resolved once per process. Hot loops accumulate in
+/// locals and flush with a handful of sharded adds per sweep, so the
+/// per-relaxation cost is a register increment. All counters except
+/// workspace_reuses record algorithmic work that is identical for any
+/// thread count (sweeps are dispatched per source with fixed per-source
+/// work), so they are Stability::kStable; workspace reuse depends on how
+/// sources land on pooled threads.
+struct EngineMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& freezes = reg.GetCounter("core.route_engine.freezes");
+  obs::Histogram& freeze_ns = reg.GetTiming("core.route_engine.freeze_ns");
+  obs::Counter& sweeps = reg.GetCounter("core.route_engine.sweeps");
+  obs::Counter& overlay_sweeps =
+      reg.GetCounter("core.route_engine.overlay_sweeps");
+  obs::Counter& heap_pops = reg.GetCounter("core.route_engine.heap_pops");
+  obs::Counter& relaxations = reg.GetCounter("core.route_engine.relaxations");
+  obs::Histogram& relaxations_per_sweep = reg.GetHistogram(
+      "core.route_engine.relaxations_per_sweep", SweepBounds());
+  obs::Counter& envelope_sweeps =
+      reg.GetCounter("core.route_engine.envelope_sweeps");
+  obs::Counter& envelope_bisections =
+      reg.GetCounter("core.route_engine.envelope_bisections");
+  obs::Counter& envelope_rewalks =
+      reg.GetCounter("core.route_engine.envelope_rewalks");
+  obs::Counter& workspace_reuses = reg.GetCounter(
+      "core.route_engine.workspace_reuses", obs::Stability::kVolatile);
+
+  static const std::vector<std::uint64_t>& SweepBounds() {
+    static const std::vector<std::uint64_t> bounds =
+        obs::ExponentialBounds(16, 4, 12);
+    return bounds;
+  }
+  static EngineMetrics& Get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Per-source accumulation for the ratio sweep (mirrors riskroute.cpp).
 struct SourceSums {
@@ -35,6 +74,9 @@ void Dispatch(util::ThreadPool* pool, std::size_t count,
 
 RouteEngine::RouteEngine(const RiskGraph& graph, const RiskParams& params)
     : params_(params) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.freezes.Add(1);
+  obs::ScopedTimer freeze_timer(metrics.freeze_ns);
   if (params.lambda_historical < 0.0 || params.lambda_forecast < 0.0) {
     throw InvalidArgument("RouteEngine: lambdas must be non-negative");
   }
@@ -120,6 +162,8 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
     throw InvalidArgument(
         util::Format("RouteEngine: target %zu out of range", target));
   }
+  EngineMetrics& metrics = EngineMetrics::Get();
+  if (ws.dist_.size() == n) metrics.workspace_reuses.Add(1);
   ws.source_ = source;
   ws.dist_.assign(n, kInf);
   ws.parent_.assign(n, n);
@@ -135,13 +179,18 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
   const double* const risk = risk_.data();
   double* const dist = ws.dist_.data();
   std::size_t* const parent = ws.parent_.data();
+  // Counted in registers here, flushed to sharded atomics once per sweep
+  // — the hot loop itself carries no atomic traffic.
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
   while (!heap.empty()) {
     const DijkstraWorkspace::QueueEntry top = heap.front();
     std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
     heap.pop_back();
     if (ws.settled_[top.node]) continue;
     ws.settled_[top.node] = true;
-    if (top.node == target) return;
+    ++pops;
+    if (top.node == target) break;
     const double base = dist[top.node];
     const std::uint32_t row_end = rows[top.node + 1];
     for (std::uint32_t e = rows[top.node]; e < row_end; ++e) {
@@ -150,6 +199,7 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
       if constexpr (kOverlay) {
         if (overlay->Masks(top.node, to)) continue;
       }
+      ++relaxations;
       double weight = miles[e];
       if constexpr (kRisk) weight += alpha * risk[e];
       const double candidate = base + weight;
@@ -169,6 +219,7 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
         // an overlay-added edge — Yen's spur masking removes edges of
         // accepted paths that may themselves be overlay additions.
         if (ws.settled_[to] || overlay->Masks(top.node, to)) continue;
+        ++relaxations;
         double weight = oe.miles;
         if constexpr (kRisk) weight += alpha * node_score_[to];
         const double candidate = base + weight;
@@ -181,6 +232,11 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
       }
     }
   }
+  metrics.sweeps.Add(1);
+  if constexpr (kOverlay) metrics.overlay_sweeps.Add(1);
+  metrics.heap_pops.Add(pops);
+  metrics.relaxations.Add(relaxations);
+  metrics.relaxations_per_sweep.Record(relaxations);
 }
 
 void RouteEngine::Run(DijkstraWorkspace& ws, std::size_t source, double alpha,
@@ -393,9 +449,13 @@ double RouteEngine::ParametricRowSum(std::size_t i) const {
   // The fold of hop weights along the sweep's argmin path, evaluated at
   // this pair's alpha — the same source-to-target accumulation the
   // targeted Dijkstra performs (dist[v] = dist[u] + weight at each hop).
+  std::uint64_t rewalks = 0;
+  std::uint64_t bisections = 0;
+
   thread_local std::vector<std::size_t> chain;
   const auto rewalk = [&](std::size_t j, double alpha,
                           const DijkstraWorkspace& tree) {
+    ++rewalks;
     chain.clear();
     for (std::size_t v = j; v != i; v = tree.parent_[v]) chain.push_back(v);
     double value = 0.0;
@@ -457,6 +517,7 @@ double RouteEngine::ParametricRowSum(std::size_t i) const {
       }
     }
     if (unresolved.empty()) return;
+    ++bisections;
     const double mid_alpha = Alpha(i, unresolved[unresolved.size() / 2]);
     const DijkstraWorkspace* mid = sweep_at(mid_alpha);
     std::vector<std::size_t> left;
@@ -484,6 +545,11 @@ double RouteEngine::ParametricRowSum(std::size_t i) const {
   const DijkstraWorkspace* hi =
       alpha_lo == alpha_hi ? lo : sweep_at(alpha_hi);
   resolve(resolve, lo, alpha_lo, hi, alpha_hi, targets);
+
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.envelope_sweeps.Add(sweeps_used);
+  metrics.envelope_bisections.Add(bisections);
+  metrics.envelope_rewalks.Add(rewalks);
 
   double sum = 0.0;
   for (std::size_t j = i + 1; j < n; ++j) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/edge_overlay.h"
+#include "core/path_metrics.h"
 #include "core/risk_graph.h"
 #include "core/risk_params.h"
 #include "core/riskroute.h"
@@ -148,6 +149,13 @@ class RouteEngine {
       const Path& path, const EdgeOverlay* overlay = nullptr) const;
   [[nodiscard]] double PathMiles(const Path& path,
                                  const EdgeOverlay* overlay = nullptr) const;
+  /// Both shared metrics of a path in one call — the PathMetrics every
+  /// result struct carries.
+  [[nodiscard]] PathMetrics Measure(const Path& path,
+                                    const EdgeOverlay* overlay = nullptr) const {
+    return PathMetrics{PathMiles(path, overlay),
+                       PathBitRiskMiles(path, overlay)};
+  }
 
   // --- Batched parallel sweeps (bitwise thread-count independent) ---
 

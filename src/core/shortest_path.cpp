@@ -51,7 +51,7 @@ Path DijkstraWorkspace::PathTo(std::size_t node) const {
   return path;
 }
 
-std::optional<Path> ShortestPath(const RiskGraph& graph, std::size_t source,
+std::optional<Path> ShortestPathWith(const RiskGraph& graph, std::size_t source,
                                  std::size_t target, const EdgeWeightFn& weight) {
   // Pooled per-thread scratch: repeated convenience calls (examples, CLI,
   // Yen's first path) stop paying a fresh workspace allocation each time.

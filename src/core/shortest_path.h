@@ -95,11 +95,29 @@ void DijkstraWorkspace::Run(const RiskGraph& graph, std::size_t source,
   }
 }
 
-/// Convenience single-shot shortest path; returns nullopt if unreachable.
-[[nodiscard]] std::optional<Path> ShortestPath(const RiskGraph& graph,
-                                               std::size_t source,
-                                               std::size_t target,
-                                               const EdgeWeightFn& weight);
+/// Convenience single-shot shortest path under an arbitrary edge-weight
+/// callback; returns nullopt if unreachable. This is the slow path: each
+/// call walks adjacency lists through a type-erased std::function. Keep it
+/// only for weights the frozen planes cannot express (composite or
+/// stateful callbacks).
+[[nodiscard]] std::optional<Path> ShortestPathWith(const RiskGraph& graph,
+                                                   std::size_t source,
+                                                   std::size_t target,
+                                                   const EdgeWeightFn& weight);
+
+/// Deprecated single-shot shortest path. For the distance or bit-risk
+/// metrics, freeze a core::RouteEngine once and call FindPath — it runs on
+/// the CSR planes, reuses pooled workspaces, and is several times faster
+/// per query. Use ShortestPathWith when an exotic weight callback really
+/// is required.
+[[deprecated(
+    "freeze a core::RouteEngine and call FindPath (or use ShortestPathWith "
+    "for exotic weight callbacks)")]]
+[[nodiscard]] inline std::optional<Path> ShortestPath(
+    const RiskGraph& graph, std::size_t source, std::size_t target,
+    const EdgeWeightFn& weight) {
+  return ShortestPathWith(graph, source, target, weight);
+}
 
 /// Pure-distance edge weight (bit-miles).
 [[nodiscard]] inline double DistanceWeight(std::size_t /*from*/,

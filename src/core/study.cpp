@@ -1,37 +1,74 @@
 #include "core/study.h"
 
 #include "hazard/synthesis.h"
+#include "obs/metrics.h"
 #include "topology/generator.h"
 #include "util/error.h"
 
 namespace riskroute::core {
+namespace {
+
+/// Per-stage build tracing: each stage records wall-clock total and self
+/// time (total minus nested spans) under core.study.<stage>.{total,self}_ns.
+struct StudyTrace {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& builds = reg.GetCounter("core.study.builds");
+  obs::TraceScope build{reg, "core.study.build"};
+  obs::TraceScope corpus{reg, "core.study.corpus"};
+  obs::TraceScope census{reg, "core.study.census"};
+  obs::TraceScope hazard{reg, "core.study.hazard"};
+  obs::TraceScope impacts{reg, "core.study.impacts"};
+
+  static StudyTrace& Get() {
+    static StudyTrace trace;
+    return trace;
+  }
+};
+
+}  // namespace
 
 Study Study::Build(const StudyOptions& options) {
+  StudyTrace& trace = StudyTrace::Get();
+  trace.builds.Add(1);
+  obs::TraceSpan build_span(trace.build);
+
   Study study;
-  study.corpus_ = topology::GeneratePaperCorpus(options.corpus_seed);
-  study.census_ = std::make_unique<population::CensusModel>(
-      population::CensusModel::Synthesize(options.census));
+  {
+    obs::TraceSpan span(trace.corpus);
+    study.corpus_ = topology::GeneratePaperCorpus(options.corpus_seed);
+  }
+  {
+    obs::TraceSpan span(trace.census);
+    study.census_ = std::make_unique<population::CensusModel>(
+        population::CensusModel::Synthesize(options.census));
+  }
 
-  const std::vector<hazard::Catalog> catalogs =
-      hazard::SynthesizeAllCatalogs(options.hazard_seed);
-  const std::vector<double> bandwidths =
-      options.bandwidths.empty() ? hazard::PaperBandwidths()
-                                 : options.bandwidths;
-  study.hazard_field_ =
-      std::make_unique<hazard::HistoricalRiskField>(catalogs, bandwidths);
-  const std::vector<geo::GeoPoint> pop_locations = study.AllPopLocations();
-  study.hazard_field_->CalibrateTo(pop_locations,
-                                   options.calibration_target);
-  // Memoize the calibrated per-PoP risks once; every BuildGraph /
-  // BuildMerged afterwards is a pure cache read.
-  study.risk_cache_ =
-      std::make_unique<hazard::RiskFieldCache>(*study.hazard_field_);
-  study.risk_cache_->Warm(pop_locations);
+  {
+    obs::TraceSpan span(trace.hazard);
+    const std::vector<hazard::Catalog> catalogs =
+        hazard::SynthesizeAllCatalogs(options.hazard_seed);
+    const std::vector<double> bandwidths =
+        options.bandwidths.empty() ? hazard::PaperBandwidths()
+                                   : options.bandwidths;
+    study.hazard_field_ =
+        std::make_unique<hazard::HistoricalRiskField>(catalogs, bandwidths);
+    const std::vector<geo::GeoPoint> pop_locations = study.AllPopLocations();
+    study.hazard_field_->CalibrateTo(pop_locations,
+                                     options.calibration_target);
+    // Memoize the calibrated per-PoP risks once; every BuildGraph /
+    // BuildMerged afterwards is a pure cache read.
+    study.risk_cache_ =
+        std::make_unique<hazard::RiskFieldCache>(*study.hazard_field_);
+    study.risk_cache_->Warm(pop_locations);
+  }
 
-  study.impacts_.reserve(study.corpus_.network_count());
-  for (std::size_t n = 0; n < study.corpus_.network_count(); ++n) {
-    study.impacts_.push_back(population::ImpactModel::Build(
-        study.corpus_.network(n), *study.census_));
+  {
+    obs::TraceSpan span(trace.impacts);
+    study.impacts_.reserve(study.corpus_.network_count());
+    for (std::size_t n = 0; n < study.corpus_.network_count(); ++n) {
+      study.impacts_.push_back(population::ImpactModel::Build(
+          study.corpus_.network(n), *study.census_));
+    }
   }
   return study;
 }

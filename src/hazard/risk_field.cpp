@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace riskroute::hazard {
+namespace {
+
+/// Cache accounting. Every consumer in the pipeline queries the cache
+/// from one thread (Study warms it before the parallel sweeps run), so
+/// hit/miss totals are a pure function of the query stream — stable.
+struct CacheMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& hits = reg.GetCounter("hazard.risk_cache.hits");
+  obs::Counter& misses = reg.GetCounter("hazard.risk_cache.misses");
+  obs::Gauge& size = reg.GetGauge("hazard.risk_cache.size");
+
+  static CacheMetrics& Get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::vector<double> PaperBandwidths() {
   // Table 1 of the paper, in AllHazardTypes() order.
@@ -169,15 +188,21 @@ std::size_t RiskFieldCache::KeyHash::operator()(const Key& k) const noexcept {
 }
 
 double RiskFieldCache::RiskAt(const geo::GeoPoint& p) const {
+  CacheMetrics& metrics = CacheMetrics::Get();
   const Key key = KeyOf(p);
   {
     std::lock_guard lock(mutex_);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      metrics.hits.Add(1);
+      return it->second;
+    }
   }
+  metrics.misses.Add(1);
   const double risk = field_->RiskAt(p);
   std::lock_guard lock(mutex_);
   cache_.emplace(key, risk);
+  metrics.size.Set(static_cast<std::int64_t>(cache_.size()));
   return risk;
 }
 
@@ -200,6 +225,9 @@ void RiskFieldCache::RisksAt(std::span<const geo::GeoPoint> points,
       }
     }
   }
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.hits.Add(points.size() - misses.size());
+  metrics.misses.Add(misses.size());
   if (misses.empty()) return;
   std::vector<geo::GeoPoint> miss_points;
   miss_points.reserve(misses.size());
@@ -210,6 +238,7 @@ void RiskFieldCache::RisksAt(std::span<const geo::GeoPoint> points,
     out[misses[m]] = risks[m];
     cache_.emplace(KeyOf(miss_points[m]), risks[m]);
   }
+  metrics.size.Set(static_cast<std::int64_t>(cache_.size()));
 }
 
 std::vector<double> RiskFieldCache::PopRisks(

@@ -1,0 +1,350 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace riskroute::obs {
+
+namespace {
+
+// Slots per histogram shard beyond the buckets: count, sum, min, max.
+constexpr std::size_t kMetaSlots = 4;
+constexpr std::uint64_t kMinSentinel = std::numeric_limits<std::uint64_t>::max();
+
+std::size_t RoundUpToCacheLine(std::size_t slots) {
+  constexpr std::size_t kSlotsPerLine =
+      detail::kCacheLineBytes / sizeof(std::atomic<std::uint64_t>);
+  return (slots + kSlotsPerLine - 1) / kSlotsPerLine * kSlotsPerLine;
+}
+
+}  // namespace
+
+// --- Counter ---
+
+Counter::Counter(std::string name, Stability stability,
+                 const std::atomic<bool>* enabled)
+    : name_(std::move(name)),
+      stability_(stability),
+      enabled_(enabled),
+      shards_(new detail::CounterShard[detail::kShardCount]) {}
+
+std::uint64_t Counter::Total() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < detail::kShardCount; ++s) {
+    total += shards_[s].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (std::size_t s = 0; s < detail::kShardCount; ++s) {
+    shards_[s].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge ---
+
+Gauge::Gauge(std::string name, Stability stability,
+             const std::atomic<bool>* enabled)
+    : name_(std::move(name)), stability_(stability), enabled_(enabled) {}
+
+void Gauge::Reset() { value_.store(0, std::memory_order_relaxed); }
+
+// --- Histogram ---
+
+Histogram::Histogram(std::string name, std::span<const std::uint64_t> bounds,
+                     Stability stability, const std::atomic<bool>* enabled)
+    : name_(std::move(name)),
+      stability_(stability),
+      enabled_(enabled),
+      bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1),
+      stride_(RoundUpToCacheLine(buckets_ + kMetaSlots)),
+      slots_(new std::atomic<std::uint64_t>[stride_ * detail::kShardCount]) {
+  for (std::size_t i = 0; i < stride_ * detail::kShardCount; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < detail::kShardCount; ++s) {
+    slots_[s * stride_ + buckets_ + 2].store(kMinSentinel,
+                                             std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::BucketOf(std::uint64_t value) const {
+  // First bound >= value; the overflow bucket is bounds_.size().
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::RecordImpl(std::uint64_t value) {
+  std::atomic<std::uint64_t>* shard =
+      slots_.get() + detail::ThisThreadShard() * stride_;
+  shard[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  shard[buckets_].fetch_add(1, std::memory_order_relaxed);       // count
+  shard[buckets_ + 1].fetch_add(value, std::memory_order_relaxed);  // sum
+  std::atomic<std::uint64_t>& min_slot = shard[buckets_ + 2];
+  std::uint64_t seen = min_slot.load(std::memory_order_relaxed);
+  while (value < seen && !min_slot.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  std::atomic<std::uint64_t>& max_slot = shard[buckets_ + 3];
+  seen = max_slot.load(std::memory_order_relaxed);
+  while (value > seen && !max_slot.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Totals Histogram::Snapshot() const {
+  Totals t;
+  t.counts.assign(buckets_, 0);
+  std::uint64_t min = kMinSentinel;
+  for (std::size_t s = 0; s < detail::kShardCount; ++s) {
+    const std::atomic<std::uint64_t>* shard = slots_.get() + s * stride_;
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      t.counts[b] += shard[b].load(std::memory_order_relaxed);
+    }
+    t.count += shard[buckets_].load(std::memory_order_relaxed);
+    t.sum += shard[buckets_ + 1].load(std::memory_order_relaxed);
+    min = std::min(min, shard[buckets_ + 2].load(std::memory_order_relaxed));
+    t.max = std::max(t.max, shard[buckets_ + 3].load(std::memory_order_relaxed));
+  }
+  t.min = (t.count == 0) ? 0 : min;
+  return t;
+}
+
+void Histogram::Reset() {
+  for (std::size_t s = 0; s < detail::kShardCount; ++s) {
+    std::atomic<std::uint64_t>* shard = slots_.get() + s * stride_;
+    for (std::size_t b = 0; b < buckets_ + kMetaSlots; ++b) {
+      shard[b].store(0, std::memory_order_relaxed);
+    }
+    shard[buckets_ + 2].store(kMinSentinel, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> ExponentialBounds(std::uint64_t start,
+                                             std::uint64_t factor,
+                                             std::size_t count) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  std::uint64_t v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(
+                          new Counter(std::string(name), stability, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(
+                          new Gauge(std::string(name), stability, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const std::uint64_t> bounds,
+                                         Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::string(name), bounds, stability, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetTiming(std::string_view name) {
+  // 1us .. ~17min in x4 steps; values are steady_clock nanoseconds.
+  static const std::vector<std::uint64_t> kTimingBounds =
+      ExponentialBounds(1'000, 4, 15);
+  return GetHistogram(name, kTimingBounds, Stability::kVolatile);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+bool IsTimingName(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+void AppendIndent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void AppendUintArray(std::string& out,
+                     const std::vector<std::uint64_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+void AppendHistogram(std::string& out, const Histogram& h, int depth) {
+  const Histogram::Totals t = h.Snapshot();
+  out += "{\n";
+  AppendIndent(out, depth + 1);
+  out += "\"bounds\": ";
+  AppendUintArray(out, h.bounds());
+  out += ",\n";
+  AppendIndent(out, depth + 1);
+  out += "\"counts\": ";
+  AppendUintArray(out, t.counts);
+  out += ",\n";
+  AppendIndent(out, depth + 1);
+  out += "\"count\": " + std::to_string(t.count) + ",\n";
+  AppendIndent(out, depth + 1);
+  out += "\"sum\": " + std::to_string(t.sum) + ",\n";
+  AppendIndent(out, depth + 1);
+  out += "\"min\": " + std::to_string(t.min) + ",\n";
+  AppendIndent(out, depth + 1);
+  out += "\"max\": " + std::to_string(t.max) + "\n";
+  AppendIndent(out, depth);
+  out += '}';
+}
+
+// Emits `"section": {entries}` where each entry appends itself; Emit is
+// called once per matching metric, already comma/indent managed.
+template <typename Map, typename Pred, typename Emit>
+void AppendSection(std::string& out, const char* section, const Map& map,
+                   int depth, Pred pred, Emit emit) {
+  AppendIndent(out, depth);
+  out += '"';
+  out += section;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!pred(*metric)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    AppendIndent(out, depth + 1);
+    out += '"' + name + "\": ";
+    emit(*metric);
+  }
+  if (!first) {
+    out += '\n';
+    AppendIndent(out, depth);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpJson(bool include_volatile) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
+
+  const auto emit_for = [&](Stability want, bool emit_values) {
+    const auto stable_pred = [&](const auto& m) {
+      return m.stability() == want && emit_values;
+    };
+    AppendSection(out, "counters", counters_, 2, stable_pred,
+                  [&](const Counter& c) {
+                    out += std::to_string(c.Total());
+                  });
+    out += ",\n";
+    AppendSection(out, "gauges", gauges_, 2, stable_pred, [&](const Gauge& g) {
+      out += std::to_string(g.Value());
+    });
+    out += ",\n";
+    AppendSection(out, "histograms", histograms_, 2,
+                  [&](const Histogram& h) {
+                    return stable_pred(h) && !IsTimingName(h.name());
+                  },
+                  [&](const Histogram& h) { AppendHistogram(out, h, 3); });
+  };
+
+  out += "  \"stable\": {\n";
+  emit_for(Stability::kStable, true);
+  out += "\n  },\n";
+
+  out += "  \"volatile\": {\n";
+  emit_for(Stability::kVolatile, include_volatile);
+  out += ",\n";
+  AppendSection(out, "timings", histograms_, 2,
+                [&](const Histogram& h) {
+                  return h.stability() == Stability::kVolatile &&
+                         IsTimingName(h.name()) && include_volatile;
+                },
+                [&](const Histogram& h) { AppendHistogram(out, h, 3); });
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path,
+                                    bool include_volatile) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << DumpJson(include_volatile);
+  return static_cast<bool>(out);
+}
+
+// --- TraceScope / TraceSpan ---
+
+TraceScope::TraceScope(MetricsRegistry& registry, std::string_view name)
+    : total_(registry.GetTiming(std::string(name) + ".total_ns")),
+      self_(registry.GetTiming(std::string(name) + ".self_ns")) {}
+
+thread_local TraceSpan* TraceSpan::current_ = nullptr;
+
+TraceSpan::TraceSpan(TraceScope& scope)
+    : scope_(scope.total_.recording() ? &scope : nullptr) {
+  if (scope_ == nullptr) return;
+  parent_ = current_;
+  current_ = this;
+  start_ns_ = detail::NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (scope_ == nullptr) return;
+  const std::uint64_t total = detail::NowNs() - start_ns_;
+  current_ = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += total;
+  scope_->total_.Record(total);
+  scope_->self_.Record(total >= child_ns_ ? total - child_ns_ : 0);
+}
+
+}  // namespace riskroute::obs

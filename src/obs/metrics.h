@@ -1,0 +1,331 @@
+// Low-overhead observability: a process-wide registry of named counters,
+// gauges and fixed-bucket histograms, plus RAII scoped timers and trace
+// spans for per-stage wall-clock accounting.
+//
+// Design constraints (see DESIGN.md, "Observability"):
+//
+//  * Hot-path cost. Every record call is one branch on the registry's
+//    enabled flag plus, when enabled, a relaxed fetch_add on a sharded
+//    cache-line-aligned atomic. Threads are spread round-robin over the
+//    shards, so concurrent recorders on different threads almost never
+//    touch the same cache line. A disabled registry costs exactly the
+//    branch: no clock reads, no atomics, no allocation.
+//
+//  * Deterministic export. All recorded quantities are integers
+//    (event counts, work units, nanoseconds), and export merges shards by
+//    integer addition / min / max — order-independent operations — so a
+//    dump is a pure function of the multiset of recorded values. Metrics
+//    registered as Stability::kStable record algorithmic work (relaxation
+//    counts, cache hits, KDE batch sizes) that is identical for any
+//    worker-thread count; DumpJson groups them under "stable" so that
+//    section is bitwise reproducible across thread counts. Wall-clock
+//    timings and scheduling-dependent counts (thread-pool queue depth,
+//    workspace reuse) register as Stability::kVolatile and land under
+//    "volatile".
+//
+//  * Naming. Metric names follow `subsystem.object.metric`, e.g.
+//    `core.route_engine.relaxations` or `stats.kde.batch_points`; timing
+//    metrics end in `_ns`.
+//
+// Handles returned by the registry are stable for the registry's lifetime;
+// call sites resolve them once (typically via a function-local static
+// struct) and record through the reference afterwards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riskroute::obs {
+
+/// Version stamp of the DumpJson layout (see tools/metrics_schema.json).
+inline constexpr int kSchemaVersion = 1;
+
+/// Whether a metric's aggregate is bitwise independent of thread count and
+/// scheduling (kStable) or wall-clock / scheduling dependent (kVolatile).
+enum class Stability { kStable, kVolatile };
+
+namespace detail {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+/// Power of two; threads are assigned shards round-robin, so contention
+/// only appears beyond kShardCount concurrent recorders.
+inline constexpr std::size_t kShardCount = 16;
+
+/// This thread's shard slot (assigned once, on first use).
+inline std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShardCount - 1);
+  return shard;
+}
+
+struct alignas(kCacheLineBytes) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Monotonic nanosecond clock for ScopedTimer/TraceSpan.
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace detail
+
+class MetricsRegistry;
+
+/// Monotonic event counter. Add is wait-free: one enabled branch plus one
+/// relaxed fetch_add on this thread's shard.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[detail::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (exact: integer addition is order-independent).
+  [[nodiscard]] std::uint64_t Total() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Stability stability() const { return stability_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, Stability stability,
+          const std::atomic<bool>* enabled);
+  void Reset();
+
+  std::string name_;
+  Stability stability_;
+  const std::atomic<bool>* enabled_;
+  std::unique_ptr<detail::CounterShard[]> shards_;
+};
+
+/// Last-value / running-level gauge (signed). Not sharded: gauges sit on
+/// cold paths (cache sizes, pool configuration), and Set semantics do not
+/// merge. SetMax keeps a running maximum (peak queue depth).
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t n) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// value = max(value, v), atomically.
+  void SetMax(std::int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Stability stability() const { return stability_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, Stability stability,
+        const std::atomic<bool>* enabled);
+  void Reset();
+
+  std::string name_;
+  Stability stability_;
+  const std::atomic<bool>* enabled_;
+  alignas(detail::kCacheLineBytes) std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over unsigned integer values (work units or
+/// nanoseconds). Bucket b counts values v with v <= bounds[b]; the last
+/// bucket (index bounds.size()) is the overflow bucket. Also tracks
+/// count / sum / min / max. All aggregation is order-independent, so the
+/// merged totals are a pure function of the recorded multiset.
+class Histogram {
+ public:
+  void Record(std::uint64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    RecordImpl(value);
+  }
+
+  /// Merged snapshot (shards summed; min/max folded).
+  struct Totals {
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // 0 when count == 0
+    std::uint64_t max = 0;
+  };
+  [[nodiscard]] Totals Snapshot() const;
+
+  /// Whether the owning registry is currently recording (one load).
+  [[nodiscard]] bool recording() const {
+    return enabled_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Stability stability() const { return stability_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::span<const std::uint64_t> bounds,
+            Stability stability, const std::atomic<bool>* enabled);
+  void RecordImpl(std::uint64_t value);
+  void Reset();
+
+  [[nodiscard]] std::size_t BucketOf(std::uint64_t value) const;
+
+  // Per-shard slot layout: [0, buckets) bucket counts, then count, sum,
+  // min, max; stride_ rounds the slot count up to whole cache lines.
+  std::string name_;
+  Stability stability_;
+  const std::atomic<bool>* enabled_;
+  std::vector<std::uint64_t> bounds_;
+  std::size_t buckets_ = 0;  // bounds_.size() + 1
+  std::size_t stride_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+};
+
+/// Exponential bucket bounds: {start, start*factor, ...} (count entries).
+[[nodiscard]] std::vector<std::uint64_t> ExponentialBounds(
+    std::uint64_t start, std::uint64_t factor, std::size_t count);
+
+/// Process-wide metrics registry. Get* calls are mutex-guarded and return
+/// references that stay valid for the registry's lifetime; re-requesting a
+/// name returns the existing metric (the first registration's buckets and
+/// stability win). Record calls on the returned handles are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every library call site records into.
+  [[nodiscard]] static MetricsRegistry& Global();
+
+  /// A private registry (unit tests).
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Enabled by default. While disabled, every record call returns after
+  /// one branch; values already recorded are retained.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Counter& GetCounter(std::string_view name,
+                                    Stability stability = Stability::kStable);
+  [[nodiscard]] Gauge& GetGauge(std::string_view name,
+                                Stability stability = Stability::kStable);
+  [[nodiscard]] Histogram& GetHistogram(
+      std::string_view name, std::span<const std::uint64_t> bounds,
+      Stability stability = Stability::kStable);
+  /// Histogram in nanoseconds with the default latency bounds; always
+  /// kVolatile (wall-clock is never reproducible).
+  [[nodiscard]] Histogram& GetTiming(std::string_view name);
+
+  /// Zeroes every metric's value; registrations (and handles) survive.
+  void Reset();
+
+  /// JSON document (see tools/metrics_schema.json):
+  ///   { "schema_version": 1,
+  ///     "stable":   {"counters": {...}, "gauges": {...}, "histograms": {...}},
+  ///     "volatile": {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///                  "timings": {...}} }
+  /// Keys are sorted, all values are integers, and shard merging is
+  /// order-independent, so the "stable" section is bitwise identical for
+  /// any thread count; with include_volatile = false the volatile section
+  /// is emitted empty and the whole document is bitwise reproducible.
+  [[nodiscard]] std::string DumpJson(bool include_volatile = true) const;
+
+  /// DumpJson straight to a file; returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path,
+                     bool include_volatile = true) const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// One branch: is the global registry recording?
+[[nodiscard]] inline bool Enabled() {
+  return MetricsRegistry::Global().enabled();
+}
+
+/// RAII wall-clock timer recording elapsed nanoseconds into a timing
+/// histogram on destruction. When the registry is disabled at construction
+/// the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& timing)
+      : timing_(timing.recording() ? &timing : nullptr),
+        start_ns_(timing_ != nullptr ? detail::NowNs() : 0) {}
+  ~ScopedTimer() {
+    if (timing_ != nullptr) timing_->Record(detail::NowNs() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* timing_;
+  std::uint64_t start_ns_;
+};
+
+/// A named trace scope: the pair of timing histograms (`<name>.total_ns`,
+/// `<name>.self_ns`) that TraceSpan records into. Resolve once per site.
+class TraceScope {
+ public:
+  TraceScope(MetricsRegistry& registry, std::string_view name);
+
+ private:
+  friend class TraceSpan;
+  Histogram& total_;
+  Histogram& self_;
+};
+
+/// RAII span for nested per-stage tracing. Spans on one thread form a
+/// stack; on destruction a span records its total duration and its self
+/// time (total minus enclosed child spans) into the scope's histograms,
+/// and credits its total to the parent span's child time. Buffers are
+/// thread-local (the span object itself), and the recorded nanoseconds
+/// merge deterministically at export like any histogram.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceScope& scope);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceScope* scope_;  // null when the registry was disabled at entry
+  TraceSpan* parent_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+
+  static thread_local TraceSpan* current_;
+};
+
+}  // namespace riskroute::obs

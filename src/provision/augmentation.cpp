@@ -3,15 +3,40 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace riskroute::provision {
+namespace {
+
+/// Provisioning scan accounting. Call/candidate counts are fixed by the
+/// greedy schedule (stable); the scan latency is wall-clock (volatile).
+struct AugmentMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& scan_calls = reg.GetCounter("provision.augment.scan_calls");
+  obs::Counter& scan_candidates =
+      reg.GetCounter("provision.augment.scan_candidates");
+  obs::Histogram& scan_ns = reg.GetTiming("provision.augment.scan_ns");
+  obs::Counter& exact_rechecks =
+      reg.GetCounter("provision.augment.exact_rechecks");
+
+  static AugmentMetrics& Get() {
+    static AugmentMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::vector<double> ScanCandidateObjectives(
     const core::RouteEngine& engine, const core::EdgeOverlay& accepted,
     const std::vector<CandidateLink>& candidates, util::ThreadPool* pool) {
   const std::size_t n = engine.node_count();
   const std::size_t c_count = candidates.size();
+  AugmentMetrics& metrics = AugmentMetrics::Get();
+  metrics.scan_calls.Add(1);
+  metrics.scan_candidates.Add(c_count);
+  obs::ScopedTimer scan_timer(metrics.scan_ns);
   const core::EdgeOverlay* overlay = accepted.empty() ? nullptr : &accepted;
   std::vector<std::vector<double>> per_source(n);
 
@@ -70,7 +95,7 @@ AugmentationResult GreedyAugment(const core::RouteEngine& engine,
   }
   AugmentationResult result;
   core::EdgeOverlay accepted;  // links chosen in earlier greedy steps
-  result.original_objective = engine.AggregateMinBitRisk(pool);
+  result.original_bit_risk_miles = engine.AggregateMinBitRisk(pool);
 
   std::vector<CandidateLink> candidates =
       EnumerateCandidateLinks(engine, options.candidates, pool);
@@ -92,6 +117,7 @@ AugmentationResult GreedyAugment(const core::RouteEngine& engine,
     std::size_t best_index = candidates.size();
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       if (scan[c] > best_scan + slack) continue;
+      AugmentMetrics::Get().exact_rechecks.Add(1);
       core::EdgeOverlay trial = accepted;
       trial.AddEdge(candidates[c].a, candidates[c].b,
                     candidates[c].direct_miles);
@@ -102,8 +128,8 @@ AugmentationResult GreedyAugment(const core::RouteEngine& engine,
       }
     }
     const double previous = result.steps.empty()
-                                ? result.original_objective
-                                : result.steps.back().objective;
+                                ? result.original_bit_risk_miles
+                                : result.steps.back().bit_risk_miles;
     if (best_index == candidates.size() || best_objective >= previous) {
       break;  // no candidate helps any more
     }
@@ -113,7 +139,7 @@ AugmentationResult GreedyAugment(const core::RouteEngine& engine,
                      static_cast<std::ptrdiff_t>(best_index));
     result.steps.push_back(AugmentationStep{
         chosen, best_objective,
-        best_objective / result.original_objective});
+        best_objective / result.original_bit_risk_miles});
   }
   return result;
 }

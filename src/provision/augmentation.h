@@ -20,17 +20,28 @@ namespace riskroute::provision {
 /// One greedy step's outcome.
 struct AugmentationStep {
   CandidateLink link;
-  /// Eq 4 objective after adding this link (and all previous steps').
-  double objective = 0.0;
-  /// objective / original objective — the paper's Figure 10 y-axis
+  /// Eq 4 objective after adding this link (and all previous steps'):
+  /// the aggregate of per-pair bit_risk_miles, in the shared PathMetrics
+  /// spelling.
+  double bit_risk_miles = 0.0;
+  /// bit_risk_miles / original — the paper's Figure 10 y-axis
   /// ("fraction of original bit-risk miles").
   double fraction_of_original = 0.0;
+
+  /// Deprecated: pre-PathMetrics name; use bit_risk_miles.
+  [[nodiscard]] double objective() const { return bit_risk_miles; }
 };
 
 /// Full greedy augmentation result.
 struct AugmentationResult {
-  double original_objective = 0.0;
+  /// Eq 4 aggregate bit_risk_miles of the unaugmented network.
+  double original_bit_risk_miles = 0.0;
   std::vector<AugmentationStep> steps;  // in greedy order (best first)
+
+  /// Deprecated: pre-PathMetrics name; use original_bit_risk_miles.
+  [[nodiscard]] double original_objective() const {
+    return original_bit_risk_miles;
+  }
 };
 
 /// Augmentation options.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "geo/distance.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -12,6 +13,28 @@ namespace riskroute::stats {
 namespace {
 constexpr double kTwoPi = 6.28318530717958647692;
 constexpr double kTruncationSigmas = 5.0;
+
+/// KDE metrics, one registry lookup per process. Work counters (points,
+/// cells) are per-call properties independent of scheduling, so stable;
+/// wall-clock timings are volatile. Raster dispatches each row through
+/// EvaluateBatch, so a Raster call also advances the batch counters.
+struct KdeMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& builds = reg.GetCounter("stats.kde.builds");
+  obs::Histogram& build_ns = reg.GetTiming("stats.kde.build_ns");
+  obs::Counter& point_evals = reg.GetCounter("stats.kde.point_evals");
+  obs::Counter& batch_calls = reg.GetCounter("stats.kde.batch_calls");
+  obs::Counter& batch_points = reg.GetCounter("stats.kde.batch_points");
+  obs::Histogram& batch_ns = reg.GetTiming("stats.kde.batch_ns");
+  obs::Counter& raster_calls = reg.GetCounter("stats.kde.raster_calls");
+  obs::Counter& raster_cells = reg.GetCounter("stats.kde.raster_cells");
+  obs::Histogram& raster_ns = reg.GetTiming("stats.kde.raster_ns");
+
+  static KdeMetrics& Get() {
+    static KdeMetrics metrics;
+    return metrics;
+  }
+};
 }  // namespace
 
 KernelDensity2D::KernelDensity2D(std::vector<geo::GeoPoint> events,
@@ -21,6 +44,9 @@ KernelDensity2D::KernelDensity2D(std::vector<geo::GeoPoint> events,
       truncation_miles_(kTruncationSigmas * bandwidth_miles),
       norm_(0.0),
       inv_two_sigma2_(0.0) {
+  KdeMetrics& metrics = KdeMetrics::Get();
+  metrics.builds.Add(1);
+  obs::ScopedTimer build_timer(metrics.build_ns);
   if (events_.empty()) {
     throw InvalidArgument("KernelDensity2D: empty event set");
   }
@@ -89,6 +115,7 @@ double KernelDensity2D::KernelSum(const geo::GeoPoint& y,
 }
 
 double KernelDensity2D::Evaluate(const geo::GeoPoint& y) const {
+  KdeMetrics::Get().point_evals.Add(1);
   return norm_ * KernelSum(y, Project(y));
 }
 
@@ -97,6 +124,10 @@ void KernelDensity2D::EvaluateBatch(std::span<const geo::GeoPoint> ys,
   if (ys.size() != out.size()) {
     throw InvalidArgument("EvaluateBatch: output span size mismatch");
   }
+  KdeMetrics& metrics = KdeMetrics::Get();
+  metrics.batch_calls.Add(1);
+  metrics.batch_points.Add(ys.size());
+  obs::ScopedTimer batch_timer(metrics.batch_ns);
   // Process queries grouped by grid cell: consecutive queries then stream
   // the same event ranges, which keeps the SoA slices hot in cache. The
   // per-query arithmetic is identical to Evaluate, so out[i] is bitwise
@@ -139,6 +170,10 @@ std::vector<double> KernelDensity2D::Raster(const geo::BoundingBox& bounds,
   if (rows == 0 || cols == 0) {
     throw InvalidArgument("Raster: rows and cols must be positive");
   }
+  KdeMetrics& metrics = KdeMetrics::Get();
+  metrics.raster_calls.Add(1);
+  metrics.raster_cells.Add(rows * cols);
+  obs::ScopedTimer raster_timer(metrics.raster_ns);
   std::vector<double> grid(rows * cols, 0.0);
   const double lat_step = (bounds.max_lat() - bounds.min_lat()) /
                           static_cast<double>(rows);

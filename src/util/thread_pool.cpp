@@ -4,7 +4,37 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace riskroute::util {
+namespace {
+
+/// Pool metrics — all volatile: task counts, queue depth, and latencies
+/// depend on thread count and scheduling by nature.
+struct PoolMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& tasks =
+      reg.GetCounter("util.thread_pool.tasks", obs::Stability::kVolatile);
+  obs::Gauge& queue_depth_peak = reg.GetGauge("util.thread_pool.queue_depth_peak",
+                                              obs::Stability::kVolatile);
+  obs::Gauge& workers =
+      reg.GetGauge("util.thread_pool.workers", obs::Stability::kVolatile);
+  obs::Histogram& task_ns = reg.GetTiming("util.thread_pool.task_ns");
+  obs::Histogram& busy_ns = reg.GetTiming("util.thread_pool.worker_busy_ns");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void ThreadPool::NoteSubmit(std::size_t queued) {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks.Add(1);
+  metrics.queue_depth_peak.SetMax(static_cast<std::int64_t>(queued));
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,6 +44,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  PoolMetrics::Get().workers.Set(static_cast<std::int64_t>(threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,20 +57,30 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  std::uint64_t busy_ns = 0;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
-        if (stopping_) return;
+        if (stopping_) break;
         continue;
       }
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const std::uint64_t t0 = obs::Enabled() ? obs::detail::NowNs() : 0;
     task();
+    if (t0 != 0) {
+      const std::uint64_t elapsed = obs::detail::NowNs() - t0;
+      metrics.task_ns.Record(elapsed);
+      busy_ns += elapsed;
+    }
   }
+  // Per-worker busy time, recorded once at shutdown.
+  if (busy_ns != 0) metrics.busy_ns.Record(busy_ns);
 }
 
 void ParallelFor(ThreadPool& pool, std::size_t count,

@@ -36,10 +36,13 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
+    std::size_t queued = 0;
     {
       std::lock_guard lock(mutex_);
       queue_.emplace([task] { (*task)(); });
+      queued = queue_.size();
     }
+    NoteSubmit(queued);
     cv_.notify_one();
     return result;
   }
@@ -48,6 +51,8 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Metrics hook for Submit (task count + peak queue depth `queued`).
+  static void NoteSubmit(std::size_t queued);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -73,7 +73,7 @@ TEST(KShortest, FirstPathMatchesDijkstra) {
   const RiskGraph graph = Diamond();
   const auto paths =
       KShortestPaths(graph, 0, 4, 1, EdgeWeightFn(DistanceWeight));
-  const auto direct = ShortestPath(graph, 0, 4, EdgeWeightFn(DistanceWeight));
+  const auto direct = RouteEngine(graph, RiskParams{0, 0}).FindPath(0, 4, 0.0);
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].path, *direct);
 }
@@ -305,10 +305,10 @@ TEST(OspfExport, CompositeWeightShiftsShortestPaths) {
   options.params = RiskParams{1e6, 0};
   options.alpha = 0.5;
   const auto composite = CompositeWeight(graph, options);
-  const auto risk_path = ShortestPath(graph, 0, 3, composite);
+  const auto risk_path = ShortestPathWith(graph, 0, 3, composite);
   ASSERT_TRUE(risk_path.has_value());
   EXPECT_EQ(*risk_path, (Path{0, 2, 3}));
-  const auto plain = ShortestPath(graph, 0, 3, EdgeWeightFn(DistanceWeight));
+  const auto plain = ShortestPathWith(graph, 0, 3, EdgeWeightFn(DistanceWeight));
   EXPECT_EQ(*plain, (Path{0, 1, 3}));
 }
 

@@ -130,7 +130,7 @@ TEST(RiskGraph, AddEdgesUncheckedValidation) {
 
 TEST(Dijkstra, FindsShortestDistancePath) {
   const RiskGraph graph = DetourGraph();
-  const auto path = ShortestPath(graph, 0, 3, EdgeWeightFn(DistanceWeight));
+  const auto path = ShortestPathWith(graph, 0, 3, EdgeWeightFn(DistanceWeight));
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->front(), 0u);
   EXPECT_EQ(path->back(), 3u);
@@ -142,7 +142,7 @@ TEST(Dijkstra, UnreachableReturnsNullopt) {
   graph.AddNode(RiskNode{"A", geo::GeoPoint(30, -90), 0.5, 0, 0});
   graph.AddNode(RiskNode{"B", geo::GeoPoint(40, -100), 0.5, 0, 0});
   EXPECT_FALSE(
-      ShortestPath(graph, 0, 1, EdgeWeightFn(DistanceWeight)).has_value());
+      ShortestPathWith(graph, 0, 1, EdgeWeightFn(DistanceWeight)).has_value());
 }
 
 TEST(Dijkstra, SourceEqualsTarget) {
@@ -251,7 +251,7 @@ TEST(RiskRouter, MinRiskNeverExceedsShortestBitRisk) {
         const auto sp = router.ShortestRoute(i, j);
         ASSERT_TRUE(rr && sp);
         EXPECT_LE(rr->bit_risk_miles, sp->bit_risk_miles + 1e-9);
-        EXPECT_GE(rr->bit_miles, sp->bit_miles - 1e-9);
+        EXPECT_GE(rr->miles, sp->miles - 1e-9);
       }
     }
   }

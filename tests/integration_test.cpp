@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "core/study.h"
 #include "forecast/forecast_risk.h"
 #include "forecast/parser.h"
@@ -168,9 +169,9 @@ TEST(Integration, MergedGraphConnectsMostOfTheCorpus) {
   // tier-1 mesh: Telepak (Mississippi) to Gridnet (New England).
   const std::size_t telepak = study.NetworkIndex("Telepak");
   const std::size_t gridnet = study.NetworkIndex("Gridnet");
-  const auto path = ShortestPath(
-      merged.graph, merged.GlobalId(telepak, 0), merged.GlobalId(gridnet, 0),
-      EdgeWeightFn(DistanceWeight));
+  const core::RouteEngine merged_engine(merged.graph, core::RiskParams{0, 0});
+  const auto path = merged_engine.FindPath(merged.GlobalId(telepak, 0),
+                                           merged.GlobalId(gridnet, 0), 0.0);
   EXPECT_TRUE(path.has_value());
 }
 

@@ -6,6 +6,7 @@
 #include "core/interdomain.h"
 #include "core/risk_graph.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "geo/distance.h"
 #include "hazard/risk_field.h"
 #include "hazard/synthesis.h"
@@ -149,8 +150,8 @@ TEST(MergedGraph, CrossNetworkRoutingWorksThroughPeering) {
   // Houston (TexNet) can reach Denver (Backbone) via the Dallas peering.
   const std::size_t houston = merged.GlobalId(1, 1);
   const std::size_t denver = merged.GlobalId(0, 1);
-  const auto path = ShortestPath(merged.graph, houston, denver,
-                                 EdgeWeightFn(DistanceWeight));
+  const core::RouteEngine engine(merged.graph, core::RiskParams{0, 0});
+  const auto path = engine.FindPath(houston, denver, 0.0);
   ASSERT_TRUE(path.has_value());
   EXPECT_GE(path->size(), 4u);  // Houston -> Dallas_T -> Dallas_B -> Denver
 }
@@ -160,9 +161,8 @@ TEST(MergedGraph, IsolatedNetworkUnreachable) {
   const MergedGraph merged = BuildMergedGraph(f.corpus, f.impacts, *f.field);
   const std::size_t houston = merged.GlobalId(1, 1);
   const std::size_t austin = merged.GlobalId(2, 0);
-  EXPECT_FALSE(ShortestPath(merged.graph, houston, austin,
-                            EdgeWeightFn(DistanceWeight))
-                   .has_value());
+  const core::RouteEngine engine(merged.graph, core::RiskParams{0, 0});
+  EXPECT_FALSE(engine.FindPath(houston, austin, 0.0).has_value());
 }
 
 TEST(MergedGraph, Validation) {

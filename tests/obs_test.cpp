@@ -1,0 +1,241 @@
+// obs:: registry tests: sharded counters and histograms must merge to the
+// exact multiset aggregate under any thread count, the JSON export's
+// deterministic sections must be bitwise identical across thread counts,
+// and a disabled registry must cost one branch — no allocation, no
+// mutation — per record call.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Global allocation counter for the disabled-registry test. The default
+// operator new[] forwards to operator new, so counting here covers both.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace riskroute::obs {
+namespace {
+
+/// Runs work(t) on `threads` concurrent threads.
+void RunOnThreads(std::size_t threads,
+                  const std::function<void(std::size_t)>& work) {
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&work, t] { work(t); });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+TEST(ObsCounter, TotalExactUnderConcurrency) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MetricsRegistry registry;
+    Counter& counter = registry.GetCounter("test.counter");
+    constexpr std::uint64_t kPerThread = 100000;
+    RunOnThreads(threads, [&](std::size_t) {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+    EXPECT_EQ(counter.Total(), kPerThread * threads) << threads;
+  }
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  const std::vector<std::uint64_t> bounds{10, 100, 1000};
+  Histogram& h = registry.GetHistogram("test.hist", bounds);
+  // Bucket b counts v <= bounds[b]; bounds.size() is the overflow bucket.
+  for (const std::uint64_t v : {0, 10, 11, 100, 999, 1000, 1001, 5000}) {
+    h.Record(v);
+  }
+  const Histogram::Totals t = h.Snapshot();
+  ASSERT_EQ(t.counts.size(), 4u);
+  EXPECT_EQ(t.counts[0], 2u);  // 0, 10
+  EXPECT_EQ(t.counts[1], 2u);  // 11, 100
+  EXPECT_EQ(t.counts[2], 2u);  // 999, 1000
+  EXPECT_EQ(t.counts[3], 2u);  // 1001, 5000
+  EXPECT_EQ(t.count, 8u);
+  EXPECT_EQ(t.sum, 0u + 10 + 11 + 100 + 999 + 1000 + 1001 + 5000);
+  EXPECT_EQ(t.min, 0u);
+  EXPECT_EQ(t.max, 5000u);
+}
+
+TEST(ObsHistogram, SnapshotIsPureFunctionOfRecordedMultiset) {
+  // The same multiset of values, partitioned across 1/2/8 threads, must
+  // produce identical merged totals (order-independent integer merges).
+  constexpr std::size_t kValues = 4096;
+  std::vector<std::uint64_t> values(kValues);
+  for (std::size_t i = 0; i < kValues; ++i) {
+    values[i] = (i * 2654435761u) % 100000;  // deterministic spread
+  }
+  Histogram::Totals reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MetricsRegistry registry;
+    Histogram& h =
+        registry.GetHistogram("test.hist", ExponentialBounds(1, 4, 10));
+    RunOnThreads(threads, [&](std::size_t t) {
+      for (std::size_t i = t; i < kValues; i += threads) h.Record(values[i]);
+    });
+    const Histogram::Totals totals = h.Snapshot();
+    if (threads == 1) {
+      reference = totals;
+      continue;
+    }
+    EXPECT_EQ(totals.counts, reference.counts) << threads;
+    EXPECT_EQ(totals.count, reference.count) << threads;
+    EXPECT_EQ(totals.sum, reference.sum) << threads;
+    EXPECT_EQ(totals.min, reference.min) << threads;
+    EXPECT_EQ(totals.max, reference.max) << threads;
+  }
+}
+
+TEST(ObsRegistry, DumpJsonBitwiseIdenticalAcrossThreadCounts) {
+  // Stable counters/histograms plus a volatile wall-clock timing: the
+  // include_volatile=false document must come out byte-for-byte identical
+  // regardless of how many threads did the (same) work.
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MetricsRegistry registry;
+    Counter& items = registry.GetCounter("work.items");
+    Histogram& sizes =
+        registry.GetHistogram("work.sizes", ExponentialBounds(1, 2, 12));
+    Histogram& step_ns = registry.GetTiming("work.step_ns");
+    RunOnThreads(threads, [&](std::size_t t) {
+      for (std::size_t i = t; i < 1000; i += threads) {
+        const ScopedTimer timer(step_ns);  // volatile: excluded from dump
+        items.Add(i % 7);
+        sizes.Record(i);
+      }
+    });
+    const std::string dump = registry.DumpJson(/*include_volatile=*/false);
+    EXPECT_NE(dump.find("\"work.items\""), std::string::npos);
+    EXPECT_NE(dump.find("\"work.sizes\""), std::string::npos);
+    // The timing was recorded but must not appear in a deterministic dump.
+    EXPECT_EQ(dump.find("\"work.step_ns"), std::string::npos);
+    if (threads == 1) {
+      reference = dump;
+      continue;
+    }
+    EXPECT_EQ(dump, reference) << "thread count " << threads;
+  }
+}
+
+TEST(ObsRegistry, VolatileMetricsLandInVolatileSections) {
+  MetricsRegistry registry;
+  (void)registry.GetCounter("a.stable_counter");
+  Counter& vol = registry.GetCounter("a.volatile_counter",
+                                     Stability::kVolatile);
+  vol.Add(3);
+  Histogram& timing = registry.GetTiming("a.stage.total_ns");
+  timing.Record(42);
+  const std::string dump = registry.DumpJson(/*include_volatile=*/true);
+  const std::size_t stable_at = dump.find("\"stable\"");
+  const std::size_t volatile_at = dump.find("\"volatile\"");
+  ASSERT_NE(stable_at, std::string::npos);
+  ASSERT_NE(volatile_at, std::string::npos);
+  EXPECT_LT(dump.find("\"a.stable_counter\""), volatile_at);
+  EXPECT_GT(dump.find("\"a.volatile_counter\""), volatile_at);
+  // Timings (name ends in _ns) get their own section after the volatile
+  // counters, regardless of registration order.
+  EXPECT_GT(dump.find("\"a.stage.total_ns\""), dump.find("\"timings\""));
+}
+
+TEST(ObsRegistry, HandlesAreStableAndNamesDeduplicate) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.y.z");
+  Counter& b = registry.GetCounter("x.y.z");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Total(), 5u);
+  registry.Reset();
+  EXPECT_EQ(a.Total(), 0u);  // handles survive Reset
+}
+
+TEST(ObsRegistry, DisabledRegistryRecordsNothingAndNeverAllocates) {
+  MetricsRegistry registry;
+  // Resolve every handle (and the trace scope's name strings) up front;
+  // registration is the only part of the API allowed to allocate.
+  Counter& counter = registry.GetCounter("d.counter");
+  Gauge& gauge = registry.GetGauge("d.gauge");
+  Histogram& hist =
+      registry.GetHistogram("d.hist", ExponentialBounds(1, 2, 8));
+  Histogram& timing = registry.GetTiming("d.step_ns");
+  TraceScope scope(registry, "d.stage");
+  counter.Add(7);
+  gauge.Set(7);
+  hist.Record(7);
+
+  registry.SetEnabled(false);
+  const std::uint64_t allocations_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter.Add(1);
+    gauge.Set(99);
+    gauge.SetMax(99);
+    hist.Record(123456);
+    const ScopedTimer timer(timing);
+    const TraceSpan span(scope);
+  }
+  const std::uint64_t allocations_after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocations_after - allocations_before, 0u);
+
+  // Nothing recorded while disabled; prior values retained.
+  EXPECT_EQ(counter.Total(), 7u);
+  EXPECT_EQ(gauge.Value(), 7);
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+  EXPECT_EQ(timing.Snapshot().count, 0u);
+
+  registry.SetEnabled(true);
+  counter.Add(1);
+  EXPECT_EQ(counter.Total(), 8u);
+}
+
+TEST(ObsTrace, NestedSpansSplitSelfAndTotalTime) {
+  MetricsRegistry registry;
+  TraceScope outer(registry, "t.outer");
+  TraceScope inner(registry, "t.inner");
+  {
+    const TraceSpan outer_span(outer);
+    const TraceSpan inner_span(inner);
+  }
+  const Histogram::Totals outer_total =
+      registry.GetTiming("t.outer.total_ns").Snapshot();
+  const Histogram::Totals outer_self =
+      registry.GetTiming("t.outer.self_ns").Snapshot();
+  const Histogram::Totals inner_total =
+      registry.GetTiming("t.inner.total_ns").Snapshot();
+  EXPECT_EQ(outer_total.count, 1u);
+  EXPECT_EQ(outer_self.count, 1u);
+  EXPECT_EQ(inner_total.count, 1u);
+  // Self time excludes the nested span: self = total - child <= total,
+  // and the outer span fully contains the inner one.
+  EXPECT_LE(outer_self.sum, outer_total.sum);
+  EXPECT_LE(inner_total.sum, outer_total.sum);
+}
+
+TEST(ObsBounds, ExponentialBoundsGrowByFactor) {
+  const auto bounds = ExponentialBounds(16, 4, 5);
+  const std::vector<std::uint64_t> expected{16, 64, 256, 1024, 4096};
+  EXPECT_EQ(bounds, expected);
+}
+
+}  // namespace
+}  // namespace riskroute::obs

@@ -93,7 +93,7 @@ TEST(Augmentation, SingleLinkReducesObjective) {
   const AugmentationResult result =
       GreedyAugment(graph, RiskParams{1e4, 0}, options);
   ASSERT_EQ(result.steps.size(), 1u);
-  EXPECT_LT(result.steps[0].objective, result.original_objective);
+  EXPECT_LT(result.steps[0].bit_risk_miles, result.original_bit_risk_miles);
   EXPECT_LT(result.steps[0].fraction_of_original, 1.0);
   EXPECT_GT(result.steps[0].fraction_of_original, 0.0);
 }
@@ -105,10 +105,10 @@ TEST(Augmentation, GreedyStepsMonotoneDecreasing) {
   options.candidates.min_mile_reduction = 0.2;
   const AugmentationResult result =
       GreedyAugment(graph, RiskParams{1e4, 0}, options);
-  double previous = result.original_objective;
+  double previous = result.original_bit_risk_miles;
   for (const AugmentationStep& step : result.steps) {
-    EXPECT_LT(step.objective, previous + 1e-9);
-    previous = step.objective;
+    EXPECT_LT(step.bit_risk_miles, previous + 1e-9);
+    previous = step.bit_risk_miles;
   }
 }
 
@@ -126,7 +126,7 @@ TEST(Augmentation, FirstLinkIsTheBestSingleAddition) {
     RiskGraph probe = graph;
     probe.AddEdge(c.a, c.b, c.direct_miles);
     EXPECT_GE(core::AggregateMinBitRisk(probe, params),
-              result.steps[0].objective - 1e-9);
+              result.steps[0].bit_risk_miles - 1e-9);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/riskroute.h"
 #include "core/route_engine.h"
 #include "core/shortest_path.h"
+#include "obs/metrics.h"
 #include "provision/augmentation.h"
 #include "provision/candidate_links.h"
 #include "util/error.h"
@@ -462,6 +464,27 @@ TEST(RouteEngineTest, AggregatesBitwiseMatchSeedReplicaAcrossThreadCounts) {
   }
 }
 
+TEST(RouteEngineTest, AllPairsAdvancesRelaxationAndReuseCounters) {
+  // The obs:: instrumentation must see the work: an all-pairs aggregate
+  // performs n sweeps, each relaxing edges, and every sweep after a
+  // thread's first reuses that thread's thread_local workspace.
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter& relaxations =
+      registry.GetCounter("core.route_engine.relaxations");
+  obs::Counter& reuses = registry.GetCounter(
+      "core.route_engine.workspace_reuses", obs::Stability::kVolatile);
+
+  util::Rng rng(23);
+  const RiskGraph graph = RandomGraph(16, 0.2, rng);
+  const RouteEngine engine(graph, RiskParams{1e4, 1e2});
+
+  const std::uint64_t relaxations_before = relaxations.Total();
+  const std::uint64_t reuses_before = reuses.Total();
+  (void)engine.AggregateMinBitRisk();  // serial: 16 sweeps on this thread
+  EXPECT_GT(relaxations.Total(), relaxations_before);
+  EXPECT_GT(reuses.Total(), reuses_before);
+}
+
 /// Seed-verbatim greedy augmentation: graph copy, AddEdge/RemoveEdge per
 /// candidate, full Eq 4 re-sweep — the mutate-and-restore loop the engine
 /// overlay path replaced. Used as the parity oracle.
@@ -470,7 +493,7 @@ provision::AugmentationResult LegacyGreedyAugment(
     const provision::AugmentationOptions& options) {
   RiskGraph working = graph;
   provision::AugmentationResult result;
-  result.original_objective = LegacyAggregateMinBitRisk(working, params);
+  result.original_bit_risk_miles = LegacyAggregateMinBitRisk(working, params);
   std::vector<provision::CandidateLink> candidates =
       provision::EnumerateCandidateLinks(working, options.candidates);
   for (std::size_t step = 0; step < options.links_to_add; ++step) {
@@ -487,15 +510,15 @@ provision::AugmentationResult LegacyGreedyAugment(
       }
     }
     const double previous = result.steps.empty()
-                                ? result.original_objective
-                                : result.steps.back().objective;
+                                ? result.original_bit_risk_miles
+                                : result.steps.back().bit_risk_miles;
     if (best_index == candidates.size() || best_objective >= previous) break;
     const provision::CandidateLink chosen = candidates[best_index];
     working.AddEdge(chosen.a, chosen.b, chosen.direct_miles);
     candidates.erase(candidates.begin() +
                      static_cast<std::ptrdiff_t>(best_index));
     result.steps.push_back(provision::AugmentationStep{
-        chosen, best_objective, best_objective / result.original_objective});
+        chosen, best_objective, best_objective / result.original_bit_risk_miles});
   }
   return result;
 }
@@ -515,7 +538,7 @@ TEST(RouteEngineTest, GreedyAugmentMatchesSeedMutateAndRestoreLoop) {
   const RouteEngine engine(graph, params);
   const auto mine = provision::GreedyAugment(engine, options);
 
-  EXPECT_EQ(mine.original_objective, legacy.original_objective);
+  EXPECT_EQ(mine.original_bit_risk_miles, legacy.original_bit_risk_miles);
   ASSERT_EQ(mine.steps.size(), legacy.steps.size());
   ASSERT_FALSE(legacy.steps.empty())
       << "fixture must exercise at least one greedy step";
@@ -523,17 +546,17 @@ TEST(RouteEngineTest, GreedyAugmentMatchesSeedMutateAndRestoreLoop) {
     EXPECT_EQ(mine.steps[i].link.a, legacy.steps[i].link.a) << "step " << i;
     EXPECT_EQ(mine.steps[i].link.b, legacy.steps[i].link.b) << "step " << i;
     EXPECT_EQ(mine.steps[i].link.direct_miles, legacy.steps[i].link.direct_miles);
-    EXPECT_EQ(mine.steps[i].objective, legacy.steps[i].objective) << "step " << i;
+    EXPECT_EQ(mine.steps[i].bit_risk_miles, legacy.steps[i].bit_risk_miles) << "step " << i;
     EXPECT_EQ(mine.steps[i].fraction_of_original,
               legacy.steps[i].fraction_of_original);
   }
 
   // The graph-convenience overload (which freezes internally) agrees too.
   const auto via_graph = provision::GreedyAugment(graph, params, options);
-  EXPECT_EQ(via_graph.original_objective, legacy.original_objective);
+  EXPECT_EQ(via_graph.original_bit_risk_miles, legacy.original_bit_risk_miles);
   ASSERT_EQ(via_graph.steps.size(), legacy.steps.size());
   for (std::size_t i = 0; i < via_graph.steps.size(); ++i) {
-    EXPECT_EQ(via_graph.steps[i].objective, legacy.steps[i].objective);
+    EXPECT_EQ(via_graph.steps[i].bit_risk_miles, legacy.steps[i].bit_risk_miles);
   }
 }
 

@@ -11,7 +11,16 @@ The tool then:
   2. fails if any speedup is below its pair's target floor scaled by
      ``--floor-scale`` (or the uniform ``--min-speedup`` override),
   3. if a baseline report exists (``--baseline``), fails if any speedup
-     regressed by more than ``--regression-threshold`` relative to it.
+     regressed by more than ``--regression-threshold`` relative to it,
+  4. collects the obs:: metrics sidecar the bench harness drops (via
+     ``RISKROUTE_METRICS_OUT``) next to the report as
+     ``<output stem>_metrics.json`` and fails if it is missing or does not
+     validate against ``tools/metrics_schema.json``.
+
+Because the benchmarked binaries carry the obs:: instrumentation compiled
+in, the speedup floors in step 2 double as the instrumentation-overhead
+gate: if metric sites ever slow a hot loop enough to push a pair below its
+floor, this tool fails.
 
 Wired as the ``bench_compare`` CTest target; also usable standalone:
 
@@ -22,10 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
 import tempfile
+
+import validate_metrics
 
 # Pair key -> (legacy benchmark, optimized benchmark, development-target
 # speedup floor). Floors differ per pair: the KDE pairs replaced trig-heavy
@@ -43,8 +55,13 @@ PAIRS = {
 }
 
 
-def run_benchmarks(binary: pathlib.Path, min_time: float) -> dict:
-    """Runs the benchmark binary, returns the parsed google-benchmark JSON."""
+def run_benchmarks(binary: pathlib.Path, min_time: float,
+                   metrics_out: pathlib.Path) -> dict:
+    """Runs the benchmark binary, returns the parsed google-benchmark JSON.
+
+    The bench harness writes its obs:: metrics sidecar to ``metrics_out``
+    (pointed there via the RISKROUTE_METRICS_OUT environment variable).
+    """
     # The bench harness prints a human banner to stdout, so the JSON must go
     # through --benchmark_out rather than --benchmark_format=json.
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -58,11 +75,27 @@ def run_benchmarks(binary: pathlib.Path, min_time: float) -> dict:
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
     ]
+    env = dict(os.environ, RISKROUTE_METRICS_OUT=str(metrics_out))
     try:
-        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL, env=env)
         return json.loads(out_path.read_text())
     finally:
         out_path.unlink(missing_ok=True)
+
+
+def check_metrics_sidecar(sidecar: pathlib.Path) -> list[str]:
+    """Validates the bench metrics sidecar against the checked-in schema."""
+    if not sidecar.exists():
+        return [f"metrics sidecar {sidecar} was not written by the bench "
+                f"harness (RISKROUTE_METRICS_OUT plumbing broken?)"]
+    schema = json.loads(validate_metrics.default_schema_path().read_text())
+    doc = json.loads(sidecar.read_text())
+    errors = [f"metrics sidecar: {e}"
+              for e in validate_metrics.validate(doc, schema)]
+    if not doc.get("stable", {}).get("counters"):
+        errors.append("metrics sidecar: stable counter section is empty — "
+                      "the instrumented hot paths recorded nothing")
+    return errors
 
 
 def real_times(report: dict) -> dict[str, float]:
@@ -152,8 +185,10 @@ def main() -> int:
         print(f"bench_compare: no such binary: {args.binary}", file=sys.stderr)
         return 2
 
+    sidecar = args.output.with_name(args.output.stem + "_metrics.json")
     report = build_report(real_times(run_benchmarks(args.binary,
-                                                    args.min_time)))
+                                                    args.min_time,
+                                                    sidecar)))
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for key, pair in report["pairs"].items():
         print(f"{key:>12}: {pair['legacy_ns'] / 1e6:8.2f} ms -> "
@@ -161,6 +196,9 @@ def main() -> int:
     print(f"report written to {args.output}")
 
     failures = check_floor(report, args.floor_scale, args.min_speedup)
+    failures += check_metrics_sidecar(sidecar)
+    if sidecar.exists():
+        print(f"metrics sidecar written to {sidecar}")
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         failures += check_baseline(report, baseline,

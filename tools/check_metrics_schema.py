@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CTest gate for the obs:: metrics export (the ``metrics_schema`` target).
+
+Runs the riskroute CLI once per worker-thread count (1, 2, 8) with
+``--metrics-out``, then checks the exports:
+
+  1. every export validates against tools/metrics_schema.json
+     (via the hand-rolled validator in tools/validate_metrics.py),
+  2. the "stable" subtree — deterministic work counters, gauges, and
+     histograms — is bitwise identical across all thread counts,
+  3. the export is non-trivial: the route engine's sweep counters and the
+     KDE batch counters actually recorded work.
+
+Volatile metrics (wall-clock timings, queue depths, workspace reuse) are
+allowed to differ; that split is the whole point of the layout.
+
+    python3 tools/check_metrics_schema.py --binary build/tools/riskroute
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+import validate_metrics
+
+THREAD_COUNTS = (1, 2, 8)
+
+# Counters that must be nonzero after a `ratios` run — the instrumented hot
+# paths all execute during study build + the all-pairs ratio sweep.
+REQUIRED_NONZERO = (
+    "core.route_engine.freezes",
+    "core.route_engine.sweeps",
+    "core.route_engine.relaxations",
+    "stats.kde.batch_points",
+)
+
+
+def run_cli(binary: pathlib.Path, out: pathlib.Path, threads: int,
+            blocks: int) -> None:
+    cmd = [
+        str(binary), "ratios", "--network", "Sprint",
+        "--blocks", str(blocks),
+        "--threads", str(threads),
+        "--metrics-out", str(out),
+    ]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", type=pathlib.Path, required=True,
+                        help="path to the riskroute CLI executable")
+    parser.add_argument("--schema", type=pathlib.Path,
+                        default=validate_metrics.default_schema_path())
+    parser.add_argument("--blocks", type=int, default=4000,
+                        help="census blocks for the reduced study")
+    args = parser.parse_args()
+
+    if not args.binary.exists():
+        print(f"check_metrics_schema: no such binary: {args.binary}",
+              file=sys.stderr)
+        return 2
+    schema = json.loads(args.schema.read_text())
+
+    docs: dict[int, dict] = {}
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="riskroute_metrics_") as tmp:
+        for threads in THREAD_COUNTS:
+            out = pathlib.Path(tmp) / f"metrics_t{threads}.json"
+            run_cli(args.binary, out, threads, args.blocks)
+            doc = json.loads(out.read_text())
+            docs[threads] = doc
+            errors = validate_metrics.validate(doc, schema)
+            failures += [f"threads={threads}: {e}" for e in errors]
+            print(f"threads={threads}: "
+                  f"{len(doc['stable']['counters'])} stable counters, "
+                  f"{len(doc['stable']['histograms'])} stable histograms, "
+                  f"{len(errors)} schema errors")
+
+    reference = docs[THREAD_COUNTS[0]]
+    # Canonical serialization makes "bitwise identical" well-defined even
+    # though the subtree passed through a parse (all values are integers).
+    ref_bytes = json.dumps(reference["stable"], sort_keys=True)
+    for threads in THREAD_COUNTS[1:]:
+        if json.dumps(docs[threads]["stable"], sort_keys=True) != ref_bytes:
+            for section in ("counters", "gauges", "histograms"):
+                a = reference["stable"][section]
+                b = docs[threads]["stable"][section]
+                for name in sorted(set(a) | set(b)):
+                    if a.get(name) != b.get(name):
+                        failures.append(
+                            f"stable {section} '{name}' differs between "
+                            f"threads=1 ({a.get(name)}) and "
+                            f"threads={threads} ({b.get(name)})")
+
+    for name in REQUIRED_NONZERO:
+        if not reference["stable"]["counters"].get(name):
+            failures.append(f"expected nonzero stable counter '{name}', "
+                            f"got {reference['stable']['counters'].get(name)}")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"stable sections bitwise identical across threads="
+              f"{'/'.join(map(str, THREAD_COUNTS))}; schema valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

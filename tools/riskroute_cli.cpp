@@ -20,26 +20,14 @@
 #include "bgp/path_vector.h"
 #include "bgp/relationships.h"
 #include "bgp/risk_selection.h"
-#include "core/backup_paths.h"
-#include "core/multi_objective.h"
-#include "core/ospf_export.h"
-#include "core/riskroute.h"
-#include "core/route_engine.h"
-#include "core/study.h"
-#include "forecast/forecast_risk.h"
 #include "forecast/projection.h"
-#include "forecast/tracks.h"
 #include "hazard/synthesis.h"
-#include "provision/augmentation.h"
-#include "provision/peering.h"
-#include "sim/outage_sim.h"
-#include "sim/traffic.h"
+#include "riskroute_api.h"
 #include "topology/geojson.h"
 #include "topology/serialize.h"
 #include "tools/args.h"
 #include "util/strings.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace riskroute::cli {
 namespace {
@@ -61,8 +49,15 @@ int Usage() {
       "  ospf      --network N [--lambda-h X]\n"
       "  bgp       --dest N [--risk-aware]\n"
       "\n"
-      "common options: --seed S (corpus seed), --blocks B (census blocks)");
+      "common options: --seed S (corpus seed), --blocks B (census blocks),\n"
+      "                --threads T (worker pool size, 0 = hardware),\n"
+      "                --metrics-out FILE (dump obs:: metrics JSON on exit)");
   return 2;
+}
+
+/// Worker count for subcommands that parallelize (0 = hardware concurrency).
+std::size_t PoolThreads(const Args& args) {
+  return args.GetSize("threads", 0);
 }
 
 core::Study BuildStudy(const Args& args) {
@@ -163,7 +158,7 @@ int CmdRoute(const Args& args) {
 int CmdRatios(const Args& args) {
   const core::Study study = BuildStudy(args);
   const core::RiskParams params = ParamsFrom(args);
-  util::ThreadPool pool;
+  util::ThreadPool pool(PoolThreads(args));
   util::Table table({"Network", "# PoPs", "Risk Reduction", "Distance Increase"});
   std::vector<std::string> names;
   if (const auto one = args.Get("network")) {
@@ -190,13 +185,13 @@ int CmdAugment(const Args& args) {
   const core::Study study = BuildStudy(args);
   const std::string network = args.GetOr("network", "Sprint");
   const core::RiskGraph graph = study.BuildGraphFor(network);
-  util::ThreadPool pool;
+  util::ThreadPool pool(PoolThreads(args));
   provision::AugmentationOptions options;
   options.links_to_add = args.GetSize("links", 5);
   options.candidates.max_candidates = graph.node_count() > 100 ? 120 : 400;
   const auto result =
       provision::GreedyAugment(graph, ParamsFrom(args), options, &pool);
-  std::printf("aggregate bit-risk today: %.4g\n", result.original_objective);
+  std::printf("aggregate bit-risk today: %.4g\n", result.original_bit_risk_miles);
   for (std::size_t s = 0; s < result.steps.size(); ++s) {
     std::printf("%zu. %s <-> %s (%.0f mi) -> %.2f%% of original\n", s + 1,
                 graph.node(result.steps[s].link.a).name.c_str(),
@@ -210,7 +205,7 @@ int CmdAugment(const Args& args) {
 int CmdPeering(const Args& args) {
   const core::Study study = BuildStudy(args);
   const std::string network = args.GetOr("network", "Digex");
-  util::ThreadPool pool;
+  util::ThreadPool pool(PoolThreads(args));
   core::MergedGraph merged = study.BuildMerged();
   const auto scope = args.Has("any-peer") ? provision::PeerScope::kAnyNetwork
                                           : provision::PeerScope::kTier1Only;
@@ -239,7 +234,7 @@ int CmdStorm(const Args& args) {
   if (storm == "KATRINA") track = &forecast::KatrinaTrack();
 
   core::RiskGraph graph = study.BuildGraphFor(network);
-  util::ThreadPool pool;
+  util::ThreadPool pool(PoolThreads(args));
   const core::RiskParams params = ParamsFrom(args);
   const double project_hours = args.GetDouble("project", 0.0);
 
@@ -276,7 +271,7 @@ int CmdSimulate(const Args& args) {
   const std::string network = args.GetOr("network", "Tinet");
   const core::RiskGraph graph = study.BuildGraphFor(network);
   const sim::TrafficMatrix traffic = sim::TrafficMatrix::Gravity(graph);
-  util::ThreadPool pool;
+  util::ThreadPool pool(PoolThreads(args));
   sim::OutageSimOptions options;
   options.trials = args.GetSize("trials", 2000);
   options.params = core::RiskParams{args.GetDouble("lambda-h", 1e5), 0.0};
@@ -359,10 +354,7 @@ int CmdOspf(const Args& args) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const Args args(argc, argv, 2);
+int Dispatch(const std::string& command, const Args& args) {
   if (command == "route") return CmdRoute(args);
   if (command == "ratios") return CmdRatios(args);
   if (command == "augment") return CmdAugment(args);
@@ -375,6 +367,24 @@ int Run(int argc, char** argv) {
   if (command == "help" || command == "--help") return Usage();
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  const int rc = Dispatch(command, args);
+  // Dump after the command so the export covers its whole run. The stable
+  // section is bitwise independent of --threads; see tools/metrics_schema.json.
+  if (const auto path = args.Get("metrics-out")) {
+    if (!obs::MetricsRegistry::Global().WriteJsonFile(*path)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   path->c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", path->c_str());
+  }
+  return rc;
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate an obs:: metrics JSON export against tools/metrics_schema.json.
+
+The container ships no third-party jsonschema package, so this implements
+the small JSON-Schema subset the schema actually uses: ``type`` (single name
+or list), ``enum``, ``minimum``, ``required``, ``properties``,
+``additionalProperties`` (boolean or schema), ``items``, and ``$ref`` into
+``#/definitions``. Unknown keywords are an error — the schema must stay
+inside the subset this validator understands.
+
+Usage:
+
+    python3 tools/validate_metrics.py metrics.json [schema.json]
+
+Exit status 0 if the document validates; 1 with one line per error
+otherwise. Importable: ``validate(doc, schema) -> list[str]``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_KNOWN_KEYWORDS = {
+    "$ref", "type", "enum", "minimum", "required", "properties",
+    "additionalProperties", "items",
+    # Annotations carried for humans, ignored by validation.
+    "description", "definitions",
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is a subclass of int in Python; JSON booleans are not integers.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref (only '#/...' pointers): {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise ValueError(f"dangling $ref: {ref}")
+        node = node[part]
+    return node
+
+
+def _validate(value, schema: dict, root: dict, path: str,
+              errors: list[str]) -> None:
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(
+            f"schema at {path or '$'} uses unsupported keywords: "
+            f"{sorted(unknown)}")
+
+    if "$ref" in schema:
+        _validate(value, _resolve_ref(schema["$ref"], root), root, path,
+                  errors)
+        return
+
+    where = path or "$"
+    if "type" in schema:
+        names = schema["type"]
+        names = [names] if isinstance(names, str) else names
+        if not any(_TYPE_CHECKS[n](value) for n in names):
+            errors.append(f"{where}: expected {' or '.join(names)}, "
+                          f"got {type(value).__name__}")
+            return  # structural keywords below assume the type matched
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{where}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{where}: missing required property '{key}'")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child = f"{path}.{key}" if path else key
+            if key in properties:
+                _validate(item, properties[key], root, child, errors)
+            elif additional is False:
+                errors.append(f"{where}: unexpected property '{key}'")
+            elif isinstance(additional, dict):
+                _validate(item, additional, root, child, errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], root, f"{where}[{i}]", errors)
+
+
+def validate(doc, schema: dict) -> list[str]:
+    """Returns a list of human-readable validation errors (empty = valid)."""
+    errors: list[str] = []
+    _validate(doc, schema, schema, "", errors)
+    return errors
+
+
+def default_schema_path() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent / "metrics_schema.json"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    doc = json.loads(pathlib.Path(argv[1]).read_text())
+    schema_path = pathlib.Path(argv[2]) if len(argv) == 3 \
+        else default_schema_path()
+    schema = json.loads(schema_path.read_text())
+    errors = validate(doc, schema)
+    for error in errors:
+        print(f"INVALID {error}", file=sys.stderr)
+    if not errors:
+        print(f"{argv[1]}: valid (schema_version "
+              f"{doc.get('schema_version')})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
