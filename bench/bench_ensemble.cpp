@@ -1,0 +1,231 @@
+// Monte Carlo ensemble evaluation: sim::EnsembleEngine's batched overlay
+// sweeps vs the pre-engine outage-evaluation path, preserved in the style
+// of bench_perf_core's legacy pairs: adjacency-list iteration, a freshly
+// allocated std::priority_queue per pair, per-edge Eq 1 recomputation
+// through graph.node() lookups, and hash-set failure checks inside the
+// relaxation loop (what scoring a failure set meant before EdgeOverlay).
+// Both sides score the identical pre-drawn scenario set against the same
+// baseline, so the wall-clock ratio is the speedup bench_compare.py
+// records for the "ensemble" pair (floor 3x).
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/common.h"
+#include "hazard/synthesis.h"
+#include "sim/ensemble.h"
+
+namespace {
+
+using namespace riskroute;
+
+constexpr core::RiskParams kEnsembleBenchParams{1e5, 1e3};
+constexpr std::size_t kBenchScenarios = 6;
+
+sim::EnsembleOptions BenchEnsembleOptions() {
+  sim::EnsembleOptions options;
+  options.seed = 2026;
+  // Widen the footprints so the sampled events actually intersect the
+  // bench topology: every kept scenario must do real overlay work.
+  options.damage_radius_scale = 3.0;
+  return options;
+}
+
+/// Shared fixture: the Digex graph, its frozen engine, the ensemble
+/// engine (baseline triangle precomputed at construction, untimed), and
+/// the first kBenchScenarios draws with a non-empty failure set.
+struct EnsembleBenchFixture {
+  core::RiskGraph graph;
+  core::RouteEngine engine;
+  std::vector<hazard::Catalog> catalogs;
+  sim::EnsembleEngine ensemble;
+  std::vector<sim::Scenario> scenarios;
+  std::vector<double> baseline;  // flat upper triangle, +inf unreachable
+
+  EnsembleBenchFixture()
+      : graph(bench::SharedStudy().BuildGraphFor("Digex")),
+        engine(graph, kEnsembleBenchParams),
+        catalogs(hazard::SynthesizeAllCatalogs()),
+        ensemble(engine, catalogs, BenchEnsembleOptions()) {
+    for (std::uint64_t k = 0; scenarios.size() < kBenchScenarios; ++k) {
+      sim::Scenario scenario = ensemble.Draw(k);
+      if (scenario.failed_nodes.empty() && scenario.severed_edges.empty()) {
+        continue;
+      }
+      scenarios.push_back(std::move(scenario));
+    }
+    const std::size_t n = graph.node_count();
+    baseline.assign(n * (n - 1) / 2, std::numeric_limits<double>::infinity());
+    core::DijkstraWorkspace ws;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        engine.Run(ws, i, engine.Alpha(i, j), j);
+        if (ws.Reached(j)) {
+          baseline[i * (2 * n - i - 1) / 2 + (j - i - 1)] = ws.DistanceTo(j);
+        }
+      }
+    }
+  }
+};
+
+const EnsembleBenchFixture& SharedEnsembleFixture() {
+  static const EnsembleBenchFixture fixture;
+  return fixture;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-engine scenario scoring.
+
+class LegacyOutageDijkstra {
+ public:
+  template <typename WeightFn>
+  void Run(const core::RiskGraph& graph, std::size_t source,
+           const std::vector<bool>& dead,
+           const std::unordered_set<std::uint64_t>& severed, WeightFn&& weight,
+           std::size_t target) {
+    const std::size_t n = graph.node_count();
+    dist_.assign(n, std::numeric_limits<double>::infinity());
+    settled_.assign(n, false);
+    dist_[source] = 0.0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    queue.push(Entry{0.0, source});
+    while (!queue.empty()) {
+      const Entry top = queue.top();
+      queue.pop();
+      if (settled_[top.node]) continue;
+      settled_[top.node] = true;
+      if (top.node == target) return;
+      for (const core::RiskEdge& edge : graph.OutEdges(top.node)) {
+        if (settled_[edge.to] || dead[edge.to]) continue;
+        if (severed.count(EdgeKey(top.node, edge.to)) != 0) continue;
+        const double candidate = dist_[top.node] + weight(top.node, edge);
+        if (candidate < dist_[edge.to]) {
+          dist_[edge.to] = candidate;
+          queue.push(Entry{candidate, edge.to});
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double DistanceTo(std::size_t node) const {
+    return dist_[node];
+  }
+  [[nodiscard]] bool Reached(std::size_t node) const {
+    return dist_[node] < std::numeric_limits<double>::infinity();
+  }
+
+  static std::uint64_t EdgeKey(std::size_t u, std::size_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+ private:
+  struct Entry {
+    double dist;
+    std::size_t node;
+    bool operator>(const Entry& other) const { return dist > other.dist; }
+  };
+
+  std::vector<double> dist_;
+  std::vector<bool> settled_;
+};
+
+struct LegacyEnsembleWeight {
+  const core::RiskGraph* graph;
+  double alpha;
+
+  double operator()(std::size_t, const core::RiskEdge& edge) const {
+    const core::RiskNode& to = graph->node(edge.to);
+    return edge.miles +
+           alpha * (kEnsembleBenchParams.lambda_historical *
+                        to.historical_risk +
+                    kEnsembleBenchParams.lambda_forecast * to.forecast_risk);
+  }
+};
+
+double LegacyScenarioDelta(const EnsembleBenchFixture& fixture,
+                           const sim::Scenario& scenario,
+                           LegacyOutageDijkstra& workspace) {
+  const core::RiskGraph& graph = fixture.graph;
+  const std::size_t n = graph.node_count();
+  std::vector<bool> dead(n, false);
+  for (const std::size_t v : scenario.failed_nodes) dead[v] = true;
+  std::unordered_set<std::uint64_t> severed;
+  for (const std::uint32_t id : scenario.severed_edges) {
+    const auto& edge = fixture.ensemble.edge(id);
+    severed.insert(LegacyOutageDijkstra::EdgeKey(edge.a, edge.b));
+  }
+  double delta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double base = fixture.baseline[i * (2 * n - i - 1) / 2 + (j - i - 1)];
+      if (base == std::numeric_limits<double>::infinity()) continue;
+      if (dead[i] || dead[j]) continue;
+      const double alpha =
+          graph.node(i).impact_fraction + graph.node(j).impact_fraction;
+      workspace.Run(graph, i, dead, severed,
+                    LegacyEnsembleWeight{&graph, alpha}, j);
+      if (workspace.Reached(j)) delta += workspace.DistanceTo(j) - base;
+    }
+  }
+  return delta;
+}
+
+double BatchedScenarioDelta(const EnsembleBenchFixture& fixture,
+                            const sim::Scenario& scenario) {
+  return fixture.ensemble.Evaluate(scenario).delta_bit_risk_miles;
+}
+
+void Reproduce() {
+  const EnsembleBenchFixture& fixture = SharedEnsembleFixture();
+  std::printf("ensemble bench fixture: Digex, %zu scenarios, "
+              "%zu baseline pairs\n",
+              fixture.scenarios.size(), fixture.ensemble.baseline_pairs());
+  // The pair is only meaningful if both sides score scenarios identically.
+  LegacyOutageDijkstra workspace;
+  for (const sim::Scenario& scenario : fixture.scenarios) {
+    const double legacy = LegacyScenarioDelta(fixture, scenario, workspace);
+    const double batched = BatchedScenarioDelta(fixture, scenario);
+    if (legacy != batched) {
+      std::printf("MISMATCH scenario %zu: legacy delta %.17g != "
+                  "batched delta %.17g\n",
+                  static_cast<std::size_t>(scenario.index), legacy, batched);
+    }
+  }
+}
+
+void BM_EnsembleLegacy(benchmark::State& state) {
+  const EnsembleBenchFixture& fixture = SharedEnsembleFixture();
+  LegacyOutageDijkstra workspace;
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (const sim::Scenario& scenario : fixture.scenarios) {
+      sink += LegacyScenarioDelta(fixture, scenario, workspace);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.scenarios.size()));
+}
+BENCHMARK(BM_EnsembleLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_EnsembleBatched(benchmark::State& state) {
+  const EnsembleBenchFixture& fixture = SharedEnsembleFixture();
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (const sim::Scenario& scenario : fixture.scenarios) {
+      sink += BatchedScenarioDelta(fixture, scenario);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.scenarios.size()));
+}
+BENCHMARK(BM_EnsembleBatched)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RISKROUTE_BENCH_MAIN("Ensemble evaluation benchmarks", Reproduce)

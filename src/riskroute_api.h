@@ -44,7 +44,8 @@
 #include "provision/augmentation.h"
 #include "provision/peering.h"
 
-// Outage simulation.
+// Outage simulation + Monte Carlo ensemble.
+#include "sim/ensemble.h"
 #include "sim/outage_sim.h"
 #include "sim/traffic.h"
 

@@ -1,0 +1,507 @@
+#include "sim/ensemble.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "core/shortest_path.h"
+#include "geo/distance.h"
+#include "hazard/seasonal.h"
+#include "obs/metrics.h"
+#include "sim/outage_sim.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/philox.h"
+
+namespace riskroute::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Ensemble metrics, resolved once per process. Everything except the
+/// wall-clock timings counts work that is a pure function of
+/// (seed, scenario set), so the counters are Stability::kStable and land
+/// in the export's bitwise-reproducible section.
+struct EnsembleMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& scenarios = reg.GetCounter("sim.ensemble.scenarios");
+  obs::Counter& empty_scenarios =
+      reg.GetCounter("sim.ensemble.empty_scenarios");
+  obs::Counter& failed_pops = reg.GetCounter("sim.ensemble.failed_pops");
+  obs::Counter& severed_links = reg.GetCounter("sim.ensemble.severed_links");
+  obs::Counter& endpoint_pairs =
+      reg.GetCounter("sim.ensemble.endpoint_pairs");
+  obs::Counter& disconnected_pairs =
+      reg.GetCounter("sim.ensemble.disconnected_pairs");
+  /// Overlays built (one per non-empty scenario) vs pair sweeps run
+  /// through them: the overlay-reuse ratio of the batched path. Skipped
+  /// sweeps are pairs whose baseline path missed the failure set, proven
+  /// unchanged by the path-mask test alone.
+  obs::Counter& overlay_builds = reg.GetCounter("sim.ensemble.overlay_builds");
+  obs::Counter& overlay_pair_sweeps =
+      reg.GetCounter("sim.ensemble.overlay_pair_sweeps");
+  obs::Counter& skipped_pair_sweeps =
+      reg.GetCounter("sim.ensemble.skipped_pair_sweeps");
+  obs::Histogram& draw_ns = reg.GetTiming("sim.ensemble.draw_ns");
+  obs::Histogram& evaluate_ns = reg.GetTiming("sim.ensemble.evaluate_ns");
+  obs::Histogram& run_ns = reg.GetTiming("sim.ensemble.run_ns");
+
+  static EnsembleMetrics& Get() {
+    static EnsembleMetrics metrics;
+    return metrics;
+  }
+};
+
+void Dispatch(util::ThreadPool* pool, std::size_t count,
+              const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    util::ParallelFor(*pool, count, body);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  }
+}
+
+/// Shortest-double round trip: every finite double survives %.17g.
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+EnsembleEngine::EnsembleEngine(const core::RouteEngine& engine,
+                               const std::vector<hazard::Catalog>& catalogs,
+                               const EnsembleOptions& options,
+                               util::ThreadPool* pool)
+    : engine_(&engine), catalogs_(&catalogs), options_(options) {
+  if (catalogs.empty()) {
+    throw InvalidArgument("EnsembleEngine: no catalogs");
+  }
+  if (options_.scenarios == 0) {
+    throw InvalidArgument("EnsembleEngine: scenarios must be positive");
+  }
+  if (options_.month < 0 || options_.month > 12) {
+    throw InvalidArgument("EnsembleEngine: month must be 0 (annual) or 1-12");
+  }
+  if (options_.fringe_factor < 1.0) {
+    throw InvalidArgument("EnsembleEngine: fringe_factor must be >= 1");
+  }
+
+  // Eligible event tables: with a month, only events in that month's
+  // meteorological season (the seasonal model's slicing); weights follow
+  // the historical archive mix, exactly as RunOutageSimulation's
+  // count-proportional catalog pick.
+  for (std::size_t c = 0; c < catalogs.size(); ++c) {
+    CatalogSlice slice;
+    slice.catalog = c;
+    const auto& events = catalogs[c].events();
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (options_.month != 0 &&
+          hazard::SeasonOfMonth(events[e].month) !=
+              hazard::SeasonOfMonth(options_.month)) {
+        continue;
+      }
+      slice.events.push_back(e);
+    }
+    if (!slice.events.empty()) slices_.push_back(std::move(slice));
+  }
+  if (slices_.empty()) {
+    throw InvalidArgument(
+        "EnsembleEngine: season filter leaves no eligible events");
+  }
+  double cumulative = 0.0;
+  slice_cdf_.reserve(slices_.size());
+  for (const CatalogSlice& slice : slices_) {
+    cumulative += static_cast<double>(slice.events.size());
+    slice_cdf_.push_back(cumulative);
+  }
+
+  // Undirected edge table, ascending (a, b), with the per-tail row index
+  // that maps failed nodes to incident edge ids.
+  const std::size_t n = engine.node_count();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t e = engine.EdgeBegin(u); e < engine.EdgeEnd(u); ++e) {
+      const std::size_t head = engine.EdgeHead(e);
+      if (head > u) edges_.push_back({u, head, engine.EdgeMiles(e)});
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const UndirectedEdge& x, const UndirectedEdge& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  edge_row_.assign(n + 1, 0);
+  for (const UndirectedEdge& edge : edges_) {
+    ++edge_row_[edge.a + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) edge_row_[u + 1] += edge_row_[u];
+
+  for (std::size_t v = 0; v < n; ++v) {
+    max_node_score_ = std::max(max_node_score_, engine.NodeScore(v));
+  }
+
+  // Baseline upper-triangle bit-risk distances and path-edge masks: one
+  // targeted sweep per pair, parallel over sources with disjoint row
+  // slices (pair slots, so the mask slices are disjoint too).
+  const std::size_t pairs = n * (n - 1) / 2;
+  baseline_dist_.assign(pairs, kInf);
+  mask_words_ = (edges_.size() + 63) / 64;
+  pair_path_mask_.assign(pairs * mask_words_, 0);
+  Dispatch(pool, n, [&](std::size_t i) {
+    thread_local core::DijkstraWorkspace workspace;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      engine.Run(workspace, i, engine.Alpha(i, j), j);
+      if (!workspace.Reached(j)) continue;
+      const std::size_t slot = PairSlot(i, j);
+      baseline_dist_[slot] = workspace.DistanceTo(j);
+      const core::Path path = workspace.PathTo(j);
+      std::uint64_t* mask = &pair_path_mask_[slot * mask_words_];
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        const std::uint32_t id = EdgeIdFor(path[h - 1], path[h]);
+        mask[id / 64] |= std::uint64_t{1} << (id % 64);
+      }
+    }
+  });
+  for (const double d : baseline_dist_) {
+    if (d < kInf) {
+      baseline_ += d;
+      ++baseline_pairs_;
+    }
+  }
+}
+
+std::size_t EnsembleEngine::PairSlot(std::size_t i, std::size_t j) const {
+  // Row i starts after the triangle above it: i rows of (n-1), (n-2), ...
+  const std::size_t n = engine_->node_count();
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+std::uint32_t EnsembleEngine::EdgeIdFor(std::size_t u, std::size_t v) const {
+  if (u > v) std::swap(u, v);
+  for (std::uint32_t id = edge_row_[u]; id < edge_row_[u + 1]; ++id) {
+    if (edges_[id].b == v) return id;
+  }
+  throw InvalidArgument("EnsembleEngine: path hop is not a frozen edge");
+}
+
+Scenario EnsembleEngine::Draw(std::uint64_t k) const {
+  EnsembleMetrics& metrics = EnsembleMetrics::Get();
+  obs::ScopedTimer timer(metrics.draw_ns);
+
+  util::PhiloxRng rng(options_.seed, k);
+  Scenario scenario;
+  scenario.index = k;
+
+  // Event pick: catalog by archive-mix CDF, then uniform within the
+  // eligible slice.
+  const CatalogSlice& slice = slices_[rng.NextWeightedIndex(slice_cdf_)];
+  const hazard::Catalog& catalog = (*catalogs_)[slice.catalog];
+  const hazard::Event& event =
+      catalog.events()[slice.events[rng.NextIndex(slice.events.size())]];
+  scenario.type = catalog.type();
+  scenario.radius_miles =
+      DefaultDamageRadiusMiles(catalog.type()) * options_.damage_radius_scale;
+  scenario.center = event.location;
+  if (options_.center_jitter > 0.0) {
+    const double bearing = rng.NextUniform(0.0, 360.0);
+    const double distance =
+        rng.NextUniform() * options_.center_jitter * scenario.radius_miles;
+    scenario.center = geo::Destination(event.location, bearing, distance);
+  }
+
+  // Node failures: hard inside the radius; fragility coin flips in the
+  // fringe, weighted by the engine's Eq 1 node score (the risk field) and
+  // a linear falloff. Draws are consumed in ascending node order, so the
+  // sequence is pinned by (seed, k) alone.
+  const std::size_t n = engine_->node_count();
+  const double radius = scenario.radius_miles;
+  const double fringe = options_.fringe_factor * radius;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double d = geo::GreatCircleMiles(engine_->location(v),
+                                           scenario.center);
+    if (d <= radius) {
+      scenario.failed_nodes.push_back(v);
+    } else if (d <= fringe && options_.fringe_fail_scale > 0.0 &&
+               max_node_score_ > 0.0) {
+      const double falloff = 1.0 - (d - radius) / (fringe - radius);
+      const double p = options_.fringe_fail_scale *
+                       (engine_->NodeScore(v) / max_node_score_) * falloff;
+      if (rng.NextUniform() < p) scenario.failed_nodes.push_back(v);
+    }
+  }
+
+  // Long-haul cuts: a surviving link whose span crosses the footprint is
+  // severed with link_cut_prob. Edge ids ascend, so draw order is fixed.
+  if (options_.link_cut_prob > 0.0) {
+    std::vector<bool> dead(n, false);
+    for (const std::size_t v : scenario.failed_nodes) dead[v] = true;
+    for (std::uint32_t id = 0; id < edges_.size(); ++id) {
+      const UndirectedEdge& edge = edges_[id];
+      if (dead[edge.a] || dead[edge.b]) continue;
+      double min_d = kInf;
+      for (const double t : {0.25, 0.5, 0.75}) {
+        min_d = std::min(
+            min_d, geo::GreatCircleMiles(
+                       geo::Interpolate(engine_->location(edge.a),
+                                        engine_->location(edge.b), t),
+                       scenario.center));
+      }
+      if (min_d <= radius && rng.NextUniform() < options_.link_cut_prob) {
+        scenario.severed_edges.push_back(id);
+      }
+    }
+  }
+  return scenario;
+}
+
+core::EdgeOverlay EnsembleEngine::OverlayFor(const Scenario& scenario) const {
+  core::EdgeOverlay overlay;
+  for (const std::size_t v : scenario.failed_nodes) overlay.DisableNode(v);
+  for (const std::uint32_t id : scenario.severed_edges) {
+    overlay.RemoveEdge(edges_[id].a, edges_[id].b);
+  }
+  return overlay;
+}
+
+ScenarioOutcome EnsembleEngine::Evaluate(const Scenario& scenario) const {
+  EnsembleMetrics& metrics = EnsembleMetrics::Get();
+  obs::ScopedTimer timer(metrics.evaluate_ns);
+
+  ScenarioOutcome outcome;
+  outcome.failed_pops = static_cast<std::uint32_t>(scenario.failed_nodes.size());
+  outcome.severed_links =
+      static_cast<std::uint32_t>(scenario.severed_edges.size());
+
+  metrics.scenarios.Add();
+  metrics.failed_pops.Add(outcome.failed_pops);
+  metrics.severed_links.Add(outcome.severed_links);
+
+  // The failed frozen links this scenario takes out of service: severed
+  // spans plus every edge incident to a failed node.
+  for (const std::size_t v : scenario.failed_nodes) {
+    for (std::uint32_t id = edge_row_[v]; id < edge_row_[v + 1]; ++id) {
+      outcome.failed_edge_ids.push_back(id);
+    }
+    // Edges where v is the higher endpoint live in other rows.
+    for (std::uint32_t id = 0; id < edge_row_[v]; ++id) {
+      if (edges_[id].b == v) outcome.failed_edge_ids.push_back(id);
+    }
+  }
+  outcome.failed_edge_ids.insert(outcome.failed_edge_ids.end(),
+                                 scenario.severed_edges.begin(),
+                                 scenario.severed_edges.end());
+  std::sort(outcome.failed_edge_ids.begin(), outcome.failed_edge_ids.end());
+  outcome.failed_edge_ids.erase(std::unique(outcome.failed_edge_ids.begin(),
+                                            outcome.failed_edge_ids.end()),
+                                outcome.failed_edge_ids.end());
+
+  // An empty failure set perturbs nothing: the overlay sweeps would
+  // reproduce the baseline bitwise, so skip them.
+  if (scenario.failed_nodes.empty() && scenario.severed_edges.empty()) {
+    metrics.empty_scenarios.Add();
+    return outcome;
+  }
+
+  const std::size_t n = engine_->node_count();
+  std::vector<bool> dead(n, false);
+  for (const std::size_t v : scenario.failed_nodes) dead[v] = true;
+  const core::EdgeOverlay overlay = OverlayFor(scenario);
+  metrics.overlay_builds.Add();
+
+  // The scenario's failed edges as a bitmask: a pair whose baseline path
+  // is disjoint from it keeps that path (failures only remove capacity),
+  // so its distance is bitwise unchanged and the sweep can be skipped —
+  // the delta contribution is exactly 0.0 either way.
+  std::vector<std::uint64_t> failed_mask(mask_words_, 0);
+  for (const std::uint32_t id : outcome.failed_edge_ids) {
+    failed_mask[id / 64] |= std::uint64_t{1} << (id % 64);
+  }
+
+  thread_local core::DijkstraWorkspace workspace;
+  std::uint64_t sweeps = 0;
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t slot = PairSlot(i, j);
+      const double base = baseline_dist_[slot];
+      if (base == kInf) continue;  // never connected; out of universe
+      if (dead[i] || dead[j]) {
+        ++outcome.endpoint_pairs;
+        continue;
+      }
+      const std::uint64_t* mask = &pair_path_mask_[slot * mask_words_];
+      bool touched = false;
+      for (std::size_t w = 0; w < mask_words_; ++w) {
+        if ((mask[w] & failed_mask[w]) != 0) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) {
+        ++skipped;
+        continue;
+      }
+      engine_->Run(workspace, i, engine_->Alpha(i, j), j, &overlay);
+      ++sweeps;
+      if (workspace.Reached(j)) {
+        outcome.delta_bit_risk_miles += workspace.DistanceTo(j) - base;
+      } else {
+        ++outcome.disconnected_pairs;
+      }
+    }
+  }
+  metrics.overlay_pair_sweeps.Add(sweeps);
+  metrics.skipped_pair_sweeps.Add(skipped);
+  metrics.endpoint_pairs.Add(outcome.endpoint_pairs);
+  metrics.disconnected_pairs.Add(outcome.disconnected_pairs);
+  return outcome;
+}
+
+std::vector<ScenarioOutcome> EnsembleEngine::EvaluateScenarios(
+    std::span<const std::uint64_t> ids, util::ThreadPool* pool) const {
+  std::vector<ScenarioOutcome> outcomes(ids.size());
+  Dispatch(pool, ids.size(), [&](std::size_t s) {
+    outcomes[s] = Evaluate(Draw(ids[s]));
+  });
+  return outcomes;
+}
+
+EnsembleReport EnsembleEngine::Run(util::ThreadPool* pool) const {
+  EnsembleMetrics& metrics = EnsembleMetrics::Get();
+  obs::ScopedTimer timer(metrics.run_ns);
+
+  std::vector<std::uint64_t> ids(options_.scenarios);
+  for (std::size_t k = 0; k < ids.size(); ++k) ids[k] = k;
+  const std::vector<ScenarioOutcome> outcomes = EvaluateScenarios(ids, pool);
+
+  EnsembleReport report;
+  report.seed = options_.seed;
+  report.scenarios = options_.scenarios;
+  report.baseline_pairs = baseline_pairs_;
+  report.baseline_bit_risk_miles = baseline_;
+
+  // Fixed-order reductions over the scenario slots: Welford for
+  // mean/variance, running extrema, per-link criticality sums. Quantiles
+  // come from the exact sorted deltas below — with every scenario's value
+  // present, sorting is the exact merge of any per-thread partials.
+  double mean = 0.0;
+  double m2 = 0.0;
+  report.delta_min = kInf;
+  report.delta_max = -kInf;
+  std::vector<LinkCriticality> links(edges_.size());
+  for (std::size_t id = 0; id < edges_.size(); ++id) {
+    links[id].a = edges_[id].a;
+    links[id].b = edges_[id].b;
+    links[id].miles = edges_[id].miles;
+  }
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    const ScenarioOutcome& outcome = outcomes[s];
+    const double x = outcome.delta_bit_risk_miles;
+    const double d = x - mean;
+    mean += d / static_cast<double>(s + 1);
+    m2 += d * (x - mean);
+    report.delta_min = std::min(report.delta_min, x);
+    report.delta_max = std::max(report.delta_max, x);
+    report.mean_failed_pops += outcome.failed_pops;
+    report.mean_severed_links += outcome.severed_links;
+    report.mean_endpoint_pairs += outcome.endpoint_pairs;
+    report.mean_disconnected_pairs += outcome.disconnected_pairs;
+    for (const std::uint32_t id : outcome.failed_edge_ids) {
+      ++links[id].failures;
+      links[id].delta_sum += x;
+    }
+  }
+  const auto count = static_cast<double>(outcomes.size());
+  report.delta_mean = mean;
+  report.delta_variance = outcomes.size() > 1
+                              ? m2 / static_cast<double>(outcomes.size() - 1)
+                              : 0.0;
+  report.mean_failed_pops /= count;
+  report.mean_severed_links /= count;
+  report.mean_endpoint_pairs /= count;
+  report.mean_disconnected_pairs /= count;
+
+  std::vector<double> deltas;
+  deltas.reserve(outcomes.size());
+  for (const ScenarioOutcome& outcome : outcomes) {
+    deltas.push_back(outcome.delta_bit_risk_miles);
+  }
+  report.delta_p5 = stats::Quantile(deltas, 0.05);
+  report.delta_p50 = stats::Quantile(deltas, 0.50);
+  report.delta_p95 = stats::Quantile(deltas, 0.95);
+
+  std::vector<std::size_t> order(links.size());
+  for (std::size_t id = 0; id < order.size(); ++id) order[id] = id;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (links[x].delta_sum != links[y].delta_sum) {
+      return links[x].delta_sum > links[y].delta_sum;
+    }
+    return x < y;  // ascending edge id breaks ties deterministically
+  });
+  for (const std::size_t id : order) {
+    if (report.criticality.size() >= options_.criticality_top) break;
+    if (links[id].failures == 0) continue;
+    report.criticality.push_back(links[id]);
+  }
+  return report;
+}
+
+std::string EnsembleReport::ToJson() const {
+  std::string out;
+  out.reserve(1024 + 128 * criticality.size());
+  char buf[64];
+  const auto field = [&](const char* key, double v, const char* tail) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    AppendDouble(out, v);
+    out += tail;
+  };
+  out += "{\n  \"schema\": \"riskroute.ensemble.v1\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"seed\": %" PRIu64 ",\n", seed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"scenarios\": %zu,\n", scenarios);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"baseline_pairs\": %zu,\n",
+                baseline_pairs);
+  out += buf;
+  field("baseline_bit_risk_miles", baseline_bit_risk_miles, ",\n");
+  out += "  \"delta\": {";
+  const struct {
+    const char* key;
+    double value;
+  } delta_fields[] = {
+      {"mean", delta_mean}, {"variance", delta_variance},
+      {"min", delta_min},   {"max", delta_max},
+      {"p5", delta_p5},     {"p50", delta_p50},
+      {"p95", delta_p95},
+  };
+  for (std::size_t i = 0; i < std::size(delta_fields); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    out += delta_fields[i].key;
+    out += "\": ";
+    AppendDouble(out, delta_fields[i].value);
+  }
+  out += "},\n";
+  field("mean_failed_pops", mean_failed_pops, ",\n");
+  field("mean_severed_links", mean_severed_links, ",\n");
+  field("mean_endpoint_pairs", mean_endpoint_pairs, ",\n");
+  field("mean_disconnected_pairs", mean_disconnected_pairs, ",\n");
+  out += "  \"criticality\": [";
+  for (std::size_t i = 0; i < criticality.size(); ++i) {
+    const LinkCriticality& link = criticality[i];
+    if (i != 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n    {\"a\": %zu, \"b\": %zu, \"failures\": %" PRIu64
+                  ", \"delta_sum\": ",
+                  link.a, link.b, link.failures);
+    out += buf;
+    AppendDouble(out, link.delta_sum);
+    out += "}";
+  }
+  out += criticality.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace riskroute::sim

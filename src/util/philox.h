@@ -1,0 +1,127 @@
+// Counter-based random number generation (Philox4x32-10, hand-rolled).
+//
+// The Monte Carlo ensemble engine (src/sim/ensemble.h) needs draws that
+// are a pure function of (seed, stream): scenario k must sample exactly
+// the same hazard event, footprint jitter and fragility coin flips no
+// matter which worker thread evaluates it, in what order, or how many
+// workers exist. A sequential engine like std::mt19937_64 cannot give
+// that without serializing the draws; a counter-based generator can —
+// the i-th 128-bit block is Philox(key = seed, counter = (stream, i)),
+// a fixed-depth bijective mixing network with no carried state.
+//
+// This is the Philox4x32-10 round function of Salmon et al. (SC'11),
+// implemented directly so the repository stays dependency-free. It is
+// not cryptographic; it passes the statistical bar the simulator needs
+// (decorrelated parallel streams, 2^64 blocks per stream).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace riskroute::util {
+
+/// One 128-bit Philox4x32-10 block: a pure function of (seed, stream,
+/// block index). All callers observe the same bits for the same inputs.
+[[nodiscard]] constexpr std::array<std::uint32_t, 4> PhiloxBlock(
+    std::uint64_t seed, std::uint64_t stream, std::uint64_t block) {
+  constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  std::uint32_t c0 = static_cast<std::uint32_t>(block);
+  std::uint32_t c1 = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t c2 = static_cast<std::uint32_t>(stream);
+  std::uint32_t c3 = static_cast<std::uint32_t>(stream >> 32);
+  std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+  std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+
+  for (int round = 0; round < 10; ++round) {
+    const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * c0;
+    const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * c2;
+    const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+    const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+    const std::uint32_t n0 = hi1 ^ c1 ^ k0;
+    const std::uint32_t n2 = hi0 ^ c3 ^ k1;
+    c0 = n0;
+    c1 = lo1;
+    c2 = n2;
+    c3 = lo0;
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  return {c0, c1, c2, c3};
+}
+
+/// Stateless-by-construction stream view over PhiloxBlock: a tiny cursor
+/// that hands out the blocks of one (seed, stream) pair in order. Every
+/// draw is still a pure function of (seed, stream, draw index) — copying
+/// the cursor replays it, and independent cursors for the same pair
+/// observe identical sequences on any thread.
+class PhiloxRng {
+ public:
+  PhiloxRng(std::uint64_t seed, std::uint64_t stream)
+      : seed_(seed), stream_(stream) {}
+
+  [[nodiscard]] std::uint32_t NextU32() {
+    if (pos_ == 4) {
+      block_ = PhiloxBlock(seed_, stream_, counter_++);
+      pos_ = 0;
+    }
+    return block_[pos_++];
+  }
+
+  [[nodiscard]] std::uint64_t NextU64() {
+    const std::uint64_t hi = NextU32();
+    return (hi << 32) | NextU32();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double NextUniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextUniform();
+  }
+
+  /// Uniform index in [0, n); n must be positive. Fixed-point scaling
+  /// (Lemire) rather than modulo: one multiply, bias < 2^-64 — and,
+  /// unlike std::uniform_int_distribution, the mapping is pinned by this
+  /// header, not by the standard library's implementation.
+  [[nodiscard]] std::size_t NextIndex(std::size_t n) {
+    __extension__ using Wide = unsigned __int128;
+    return static_cast<std::size_t>((static_cast<Wide>(NextU64()) * n) >> 64);
+  }
+
+  /// Index draw from a cumulative weight table (inclusive prefix sums of
+  /// non-negative weights; back() must be positive): inverse-CDF on one
+  /// uniform draw. The deterministic stand-in for Rng::WeightedIndex.
+  template <typename Cumulative>
+  [[nodiscard]] std::size_t NextWeightedIndex(const Cumulative& cdf) {
+    const double u = NextUniform() * cdf.back();
+    std::size_t lo = 0;
+    std::size_t hi = cdf.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  std::uint64_t counter_ = 0;
+  std::array<std::uint32_t, 4> block_{};
+  int pos_ = 4;
+};
+
+}  // namespace riskroute::util

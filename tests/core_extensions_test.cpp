@@ -11,6 +11,7 @@
 #include "core/multi_objective.h"
 #include "core/ospf_export.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "util/error.h"
 
 namespace riskroute::core {
@@ -308,7 +309,10 @@ TEST(OspfExport, CompositeWeightShiftsShortestPaths) {
   const auto risk_path = ShortestPathWith(graph, 0, 3, composite);
   ASSERT_TRUE(risk_path.has_value());
   EXPECT_EQ(*risk_path, (Path{0, 2, 3}));
-  const auto plain = ShortestPathWith(graph, 0, 3, EdgeWeightFn(DistanceWeight));
+  // Plain distance is a frozen-plane weight; the engine owns that query.
+  const RouteEngine engine(graph, options.params);
+  const auto plain = engine.FindPath(0, 3, /*alpha=*/0.0);
+  ASSERT_TRUE(plain.has_value());
   EXPECT_EQ(*plain, (Path{0, 1, 3}));
 }
 

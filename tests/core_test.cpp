@@ -8,6 +8,7 @@
 #include "core/risk_graph.h"
 #include "core/risk_params.h"
 #include "core/riskroute.h"
+#include "core/route_engine.h"
 #include "core/shortest_path.h"
 #include "geo/distance.h"
 #include "util/error.h"
@@ -130,7 +131,8 @@ TEST(RiskGraph, AddEdgesUncheckedValidation) {
 
 TEST(Dijkstra, FindsShortestDistancePath) {
   const RiskGraph graph = DetourGraph();
-  const auto path = ShortestPathWith(graph, 0, 3, EdgeWeightFn(DistanceWeight));
+  const RouteEngine engine(graph, RiskParams{});
+  const auto path = engine.FindPath(0, 3, /*alpha=*/0.0);
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->front(), 0u);
   EXPECT_EQ(path->back(), 3u);
@@ -141,8 +143,8 @@ TEST(Dijkstra, UnreachableReturnsNullopt) {
   RiskGraph graph;
   graph.AddNode(RiskNode{"A", geo::GeoPoint(30, -90), 0.5, 0, 0});
   graph.AddNode(RiskNode{"B", geo::GeoPoint(40, -100), 0.5, 0, 0});
-  EXPECT_FALSE(
-      ShortestPathWith(graph, 0, 1, EdgeWeightFn(DistanceWeight)).has_value());
+  const RouteEngine engine(graph, RiskParams{});
+  EXPECT_FALSE(engine.FindPath(0, 1, /*alpha=*/0.0).has_value());
 }
 
 TEST(Dijkstra, SourceEqualsTarget) {

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Run the core performance benchmarks and gate on speedup regressions.
 
-Runs ``bench_perf_core`` with google-benchmark's JSON writer, pairs each
-legacy-path benchmark with its optimized counterpart, and computes the
-speedup ratio legacy/new. Ratios are compared within one run on one host,
-so they are insensitive to absolute machine speed and background load.
+Runs each supplied bench binary with google-benchmark's JSON writer, pairs
+every legacy-path benchmark with its optimized counterpart, and computes
+the speedup ratio legacy/new. Ratios are compared within one run on one
+host, so they are insensitive to absolute machine speed and background
+load.
 
 The tool then:
   1. writes a ``BENCH_perf.json`` report (raw times + speedups),
@@ -12,10 +13,17 @@ The tool then:
      ``--floor-scale`` (or the uniform ``--min-speedup`` override),
   3. if a baseline report exists (``--baseline``), fails if any speedup
      regressed by more than ``--regression-threshold`` relative to it,
-  4. collects the obs:: metrics sidecar the bench harness drops (via
+  4. collects the obs:: metrics sidecar each bench harness drops (via
      ``RISKROUTE_METRICS_OUT``) next to the report as
-     ``<output stem>_metrics.json`` and fails if it is missing or does not
-     validate against ``tools/metrics_schema.json``.
+     ``<output stem>_<binary stem>_metrics.json`` and fails — never
+     silently skips — if one is missing or does not validate against
+     ``tools/metrics_schema.json``.
+
+Every pair is bound to the bench binary (by basename) that registers its
+benchmarks; pass ``--binary`` once per binary. A pair whose binary was not
+supplied, or whose binary is missing from disk, is a hard error — pairs
+are the regression surface, so dropping one silently would hide exactly
+the regressions this gate exists to catch.
 
 Because the benchmarked binaries carry the obs:: instrumentation compiled
 in, the speedup floors in step 2 double as the instrumentation-overhead
@@ -24,7 +32,9 @@ floor, this tool fails.
 
 Wired as the ``bench_compare`` CTest target; also usable standalone:
 
-    python3 tools/bench_compare.py --binary build/bench/bench_perf_core
+    python3 tools/bench_compare.py \\
+        --binary build/bench/bench_perf_core \\
+        --binary build/bench/bench_ensemble
 """
 
 from __future__ import annotations
@@ -39,23 +49,47 @@ import tempfile
 
 import validate_metrics
 
-# Pair key -> (legacy benchmark, optimized benchmark, development-target
-# speedup floor). Floors differ per pair: the KDE pairs replaced trig-heavy
-# inner loops (3x), the all-pairs route sweep replaced an already-lean
-# templated Dijkstra with the CSR engine (2x), and the greedy scan replaced
-# a full re-sweep per candidate with the incremental identity (3x). The
-# ctest wiring scales every floor by --floor-scale to tolerate noisy
-# shared hosts; run standalone for the strict targets.
+# Pair key -> (bench binary basename, legacy benchmark, optimized
+# benchmark, development-target speedup floor). Floors differ per pair:
+# the KDE pairs replaced trig-heavy inner loops (3x), the all-pairs route
+# sweep replaced an already-lean templated Dijkstra with the CSR engine
+# (2x), the greedy scan replaced a full re-sweep per candidate with the
+# incremental identity (3x), and the ensemble pair replaced per-pair
+# allocating Dijkstras with hash-set failure checks by frozen-CSR overlay
+# sweeps (3x). The ctest wiring scales every floor by --floor-scale to
+# tolerate noisy shared hosts; run standalone for the strict targets.
 PAIRS = {
-    "evaluate": ("BM_KdeEvaluateLegacy", "BM_KdeEvaluateBatch", 3.0),
-    "raster": ("BM_KdeRasterLegacy", "BM_KdeRasterParallel", 3.0),
-    "bandwidth_cv": ("BM_BandwidthCVLegacy", "BM_BandwidthCV", 3.0),
-    "route_allpairs": ("BM_RouteAllPairsLegacy", "BM_RouteAllPairsEngine", 2.0),
-    "greedy_scan": ("BM_GreedyScanLegacy", "BM_GreedyScanEngine", 3.0),
+    "evaluate": ("bench_perf_core",
+                 "BM_KdeEvaluateLegacy", "BM_KdeEvaluateBatch", 3.0),
+    "raster": ("bench_perf_core",
+               "BM_KdeRasterLegacy", "BM_KdeRasterParallel", 3.0),
+    "bandwidth_cv": ("bench_perf_core",
+                     "BM_BandwidthCVLegacy", "BM_BandwidthCV", 3.0),
+    "route_allpairs": ("bench_perf_core",
+                       "BM_RouteAllPairsLegacy", "BM_RouteAllPairsEngine", 2.0),
+    "greedy_scan": ("bench_perf_core",
+                    "BM_GreedyScanLegacy", "BM_GreedyScanEngine", 3.0),
+    "ensemble": ("bench_ensemble",
+                 "BM_EnsembleLegacy", "BM_EnsembleBatched", 3.0),
 }
 
 
-def run_benchmarks(binary: pathlib.Path, min_time: float,
+def resolve_binaries(supplied: list[pathlib.Path]) -> dict[str, pathlib.Path]:
+    """Maps each PAIRS binary basename to its supplied path, or dies."""
+    by_stem = {path.name: path for path in supplied}
+    missing = []
+    for key, (stem, _, _, _) in PAIRS.items():
+        if stem not in by_stem:
+            missing.append(f"pair '{key}' needs --binary .../{stem}")
+        elif not by_stem[stem].exists():
+            missing.append(f"pair '{key}': no such binary: {by_stem[stem]}")
+    if missing:
+        raise SystemExit("bench_compare: " + "; ".join(missing))
+    return {stem: by_stem[stem]
+            for stem, _, _, _ in PAIRS.values()}
+
+
+def run_benchmarks(binary: pathlib.Path, names: list[str], min_time: float,
                    metrics_out: pathlib.Path) -> dict:
     """Runs the benchmark binary, returns the parsed google-benchmark JSON.
 
@@ -66,11 +100,9 @@ def run_benchmarks(binary: pathlib.Path, min_time: float,
     # through --benchmark_out rather than --benchmark_format=json.
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = pathlib.Path(tmp.name)
-    names = sorted({name for legacy, new, _ in PAIRS.values()
-                    for name in (legacy, new)})
     cmd = [
         str(binary),
-        f"--benchmark_filter=^({'|'.join(names)})$",
+        f"--benchmark_filter=^({'|'.join(sorted(names))})$",
         f"--benchmark_min_time={min_time}",
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
@@ -112,13 +144,14 @@ def real_times(report: dict) -> dict[str, float]:
 
 def build_report(times: dict[str, float]) -> dict:
     report = {"pairs": {}}
-    for key, (legacy, new, floor) in PAIRS.items():
+    for key, (stem, legacy, new, floor) in PAIRS.items():
         if legacy not in times or new not in times:
             raise SystemExit(
                 f"bench_compare: missing benchmark(s) for pair '{key}': "
                 f"{legacy}={times.get(legacy)}, {new}={times.get(new)}"
             )
         report["pairs"][key] = {
+            "binary": stem,
             "legacy_benchmark": legacy,
             "new_benchmark": new,
             "legacy_ns": times[legacy],
@@ -134,7 +167,7 @@ def check_floor(report: dict, floor_scale: float,
     failures = []
     for key, pair in report["pairs"].items():
         floor = (min_speedup if min_speedup is not None
-                 else PAIRS[key][2] * floor_scale)
+                 else PAIRS[key][3] * floor_scale)
         if pair["speedup"] < floor:
             failures.append(
                 f"{key}: speedup {pair['speedup']:.2f}x is below the "
@@ -161,7 +194,9 @@ def check_baseline(report: dict, baseline: dict, threshold: float) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", type=pathlib.Path, required=True,
-                        help="path to the bench_perf_core executable")
+                        action="append", dest="binaries", default=[],
+                        help="path to a bench executable (repeatable; every "
+                             "binary named in PAIRS must be supplied)")
     parser.add_argument("--output", type=pathlib.Path,
                         default=pathlib.Path("BENCH_perf.json"),
                         help="where to write the speedup report")
@@ -181,24 +216,32 @@ def main() -> int:
                         help="--benchmark_min_time per benchmark, seconds")
     args = parser.parse_args()
 
-    if not args.binary.exists():
-        print(f"bench_compare: no such binary: {args.binary}", file=sys.stderr)
-        return 2
+    binaries = resolve_binaries(args.binaries)
+    times: dict[str, float] = {}
+    sidecars: list[pathlib.Path] = []
+    for stem, binary in binaries.items():
+        names = [name
+                 for pair_stem, legacy, new, _ in PAIRS.values()
+                 if pair_stem == stem
+                 for name in (legacy, new)]
+        sidecar = args.output.with_name(
+            f"{args.output.stem}_{stem}_metrics.json")
+        sidecars.append(sidecar)
+        times.update(real_times(run_benchmarks(binary, names, args.min_time,
+                                               sidecar)))
 
-    sidecar = args.output.with_name(args.output.stem + "_metrics.json")
-    report = build_report(real_times(run_benchmarks(args.binary,
-                                                    args.min_time,
-                                                    sidecar)))
+    report = build_report(times)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for key, pair in report["pairs"].items():
-        print(f"{key:>12}: {pair['legacy_ns'] / 1e6:8.2f} ms -> "
+        print(f"{key:>14}: {pair['legacy_ns'] / 1e6:8.2f} ms -> "
               f"{pair['new_ns'] / 1e6:8.2f} ms  ({pair['speedup']:.2f}x)")
     print(f"report written to {args.output}")
 
     failures = check_floor(report, args.floor_scale, args.min_speedup)
-    failures += check_metrics_sidecar(sidecar)
-    if sidecar.exists():
-        print(f"metrics sidecar written to {sidecar}")
+    for sidecar in sidecars:
+        failures += check_metrics_sidecar(sidecar)
+        if sidecar.exists():
+            print(f"metrics sidecar written to {sidecar}")
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         failures += check_baseline(report, baseline,

@@ -12,6 +12,7 @@
 // Every subcommand runs against the deterministic reference study
 // (override the corpus seed with --seed). Output goes to stdout; GeoJSON
 // and .rrt exports print the document so it can be piped to a file.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -45,6 +46,8 @@ int Usage() {
       "  peering   --network N [--any-peer]\n"
       "  storm     --network N --storm IRENE|KATRINA|SANDY [--project H]\n"
       "  simulate  --network N [--trials T] [--lambda-h X]\n"
+      "  ensemble  --network N [--scenarios K] [--ensemble-seed S]\n"
+      "            [--month 1-12] [--top L] [--json]\n"
       "  export    [--network N] [--format geojson|rrt]\n"
       "  ospf      --network N [--lambda-h X]\n"
       "  bgp       --dest N [--risk-aware]\n"
@@ -286,6 +289,55 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+int CmdEnsemble(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Tinet");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  const core::RouteEngine engine(graph, ParamsFrom(args));
+  util::ThreadPool pool(PoolThreads(args));
+
+  sim::EnsembleOptions options;
+  options.scenarios = args.GetSize("scenarios", 256);
+  // --ensemble-seed keys the Philox draws; --seed stays the corpus seed.
+  options.seed = args.GetSize("ensemble-seed", 2026);
+  options.month = static_cast<int>(args.GetSize("month", 0));
+  options.criticality_top = args.GetSize("top", 10);
+
+  const std::vector<hazard::Catalog> catalogs =
+      hazard::SynthesizeAllCatalogs();
+  const sim::EnsembleEngine ensemble(engine, catalogs, options, &pool);
+  const sim::EnsembleReport report = ensemble.Run(&pool);
+
+  if (args.Has("json")) {
+    std::fputs(report.ToJson().c_str(), stdout);
+    return 0;
+  }
+  std::printf("scenarios %zu (seed %zu) | baseline %.6g bit-risk mi over "
+              "%zu pairs\n",
+              report.scenarios, static_cast<std::size_t>(report.seed),
+              report.baseline_bit_risk_miles, report.baseline_pairs);
+  std::printf("delta bit-risk mi: mean %.6g sd %.6g | p5 %.6g p50 %.6g "
+              "p95 %.6g | max %.6g\n",
+              report.delta_mean, std::sqrt(report.delta_variance),
+              report.delta_p5, report.delta_p50, report.delta_p95,
+              report.delta_max);
+  std::printf("per scenario: %.2f failed PoPs, %.2f severed links, "
+              "%.2f dead-endpoint pairs, %.2f stranded pairs\n",
+              report.mean_failed_pops, report.mean_severed_links,
+              report.mean_endpoint_pairs, report.mean_disconnected_pairs);
+  std::printf("\nmost critical links (by summed damage when out of service):\n");
+  std::printf("  %-44s %8s %9s %14s\n", "link", "miles", "failures",
+              "mean delta");
+  for (const auto& link : report.criticality) {
+    const std::string name =
+        graph.node(link.a).name + " <-> " + graph.node(link.b).name;
+    std::printf("  %-44s %8.0f %9zu %14.6g\n", name.c_str(), link.miles,
+                static_cast<std::size_t>(link.failures),
+                link.MeanDelta(report.scenarios));
+  }
+  return 0;
+}
+
 int CmdExport(const Args& args) {
   const core::Study study = BuildStudy(args);
   const std::string format = args.GetOr("format", "geojson");
@@ -361,6 +413,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "peering") return CmdPeering(args);
   if (command == "storm") return CmdStorm(args);
   if (command == "simulate") return CmdSimulate(args);
+  if (command == "ensemble") return CmdEnsemble(args);
   if (command == "export") return CmdExport(args);
   if (command == "ospf") return CmdOspf(args);
   if (command == "bgp") return CmdBgp(args);

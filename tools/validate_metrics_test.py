@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for the validate_metrics.py JSON-Schema subset validator.
+
+Exercises the importable ``validate(doc, schema)`` API against both the
+shipped tools/metrics_schema.json and small synthetic schemas that probe
+each supported keyword, plus the failure modes that protect the metrics
+gate: unknown schema keywords and dangling $refs must raise instead of
+silently passing. Wired as the ``validate_metrics_unit`` CTest target.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from validate_metrics import default_schema_path, validate
+
+
+def _histogram(**overrides):
+    doc = {"bounds": [100, 1000], "counts": [1, 2, 3], "count": 6,
+           "sum": 4200, "min": 55, "max": 1800}
+    doc.update(overrides)
+    return doc
+
+
+def _metrics_doc():
+    return {
+        "schema_version": 1,
+        "stable": {
+            "counters": {"sim.ensemble.scenarios": 48},
+            "gauges": {"core.route_engine.nodes": 24},
+            "histograms": {"sim.ensemble.failed_pops": _histogram()},
+        },
+        "volatile": {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timings": {"sim.ensemble.run_ns": _histogram()},
+        },
+    }
+
+
+class MetricsSchemaTest(unittest.TestCase):
+    """validate() against the real shipped schema."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.schema = json.loads(default_schema_path().read_text())
+
+    def test_well_formed_document_validates(self):
+        self.assertEqual(validate(_metrics_doc(), self.schema), [])
+
+    def test_missing_required_section_fails(self):
+        doc = _metrics_doc()
+        del doc["stable"]
+        errors = validate(doc, self.schema)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("missing required property 'stable'", errors[0])
+
+    def test_unexpected_top_level_property_fails(self):
+        doc = _metrics_doc()
+        doc["extra"] = {}
+        errors = validate(doc, self.schema)
+        self.assertTrue(any("unexpected property 'extra'" in e
+                            for e in errors))
+
+    def test_wrong_schema_version_fails(self):
+        doc = _metrics_doc()
+        doc["schema_version"] = 2
+        self.assertTrue(validate(doc, self.schema))
+
+    def test_negative_counter_fails(self):
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["sim.ensemble.scenarios"] = -1
+        errors = validate(doc, self.schema)
+        self.assertTrue(any("below minimum 0" in e for e in errors))
+
+    def test_boolean_is_not_an_integer(self):
+        # bool subclasses int in Python; the validator must not let JSON
+        # true/false masquerade as counter values.
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["sim.ensemble.scenarios"] = True
+        self.assertTrue(validate(doc, self.schema))
+
+    def test_histogram_shape_is_enforced(self):
+        doc = _metrics_doc()
+        histogram = doc["volatile"]["timings"]["sim.ensemble.run_ns"]
+        del histogram["bounds"]
+        histogram["counts"] = [1, "two"]
+        errors = validate(doc, self.schema)
+        self.assertTrue(any("missing required property 'bounds'" in e
+                            for e in errors))
+        self.assertTrue(any("counts[1]" in e for e in errors))
+
+    def test_error_paths_locate_the_bad_node(self):
+        doc = _metrics_doc()
+        doc["stable"]["gauges"]["core.route_engine.nodes"] = "many"
+        errors = validate(doc, self.schema)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("stable.gauges.core.route_engine.nodes", errors[0])
+
+
+class KeywordSubsetTest(unittest.TestCase):
+    """Each supported keyword, probed with minimal synthetic schemas."""
+
+    def test_type_list_accepts_any_listed_type(self):
+        schema = {"type": ["integer", "null"]}
+        self.assertEqual(validate(3, schema), [])
+        self.assertEqual(validate(None, schema), [])
+        self.assertTrue(validate("3", schema))
+
+    def test_enum(self):
+        schema = {"enum": [1, "a"]}
+        self.assertEqual(validate("a", schema), [])
+        self.assertTrue(validate("b", schema))
+
+    def test_additional_properties_schema_applies_to_unlisted_keys(self):
+        schema = {"type": "object", "properties": {"known": {}},
+                  "additionalProperties": {"type": "integer"}}
+        self.assertEqual(validate({"known": "any", "other": 1}, schema), [])
+        self.assertTrue(validate({"other": "nope"}, schema))
+
+    def test_ref_resolves_into_definitions(self):
+        schema = {"definitions": {"pos": {"type": "integer", "minimum": 1}},
+                  "$ref": "#/definitions/pos"}
+        self.assertEqual(validate(5, schema), [])
+        self.assertTrue(validate(0, schema))
+
+    def test_unknown_keyword_raises(self):
+        # An unsupported keyword silently ignored would validate nothing;
+        # the gate requires a hard error.
+        with self.assertRaises(ValueError):
+            validate({}, {"patternProperties": {}})
+
+    def test_dangling_ref_raises(self):
+        with self.assertRaises(ValueError):
+            validate(1, {"$ref": "#/definitions/nope"})
+
+    def test_external_ref_raises(self):
+        with self.assertRaises(ValueError):
+            validate(1, {"$ref": "http://example.com/schema"})
+
+
+if __name__ == "__main__":
+    unittest.main()
