@@ -1,0 +1,41 @@
+// Fuzz harness entry points for the ingestion boundary.
+//
+// One function per untrusted-input parser: CSV records, NHC advisory
+// bulletins, hazard catalog CSVs, and CLI argv. Each harness feeds the
+// bytes through the ParseResult entry points and — when the parse
+// succeeds — asserts the parser's round-trip/validity invariants with
+// std::abort(), so a violation is a crash under both libFuzzer and the
+// plain corpus-replay driver (replay_main.cpp). The contract either way:
+// hostile bytes may be rejected with a diagnostic but must never raise an
+// uncaught exception, trip a sanitizer, or allocate without bound.
+//
+// Build modes:
+//  * fuzz_replay (always built): replay_main.cpp drives every corpus file
+//    (plus deterministic Philox mutations of it) through these functions.
+//  * RISKROUTE_FUZZ + a libFuzzer-capable compiler (clang): each harness
+//    also compiles into a standalone fuzz_<name> target whose
+//    LLVMFuzzerTestOneInput wraps the same function.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace riskroute::fuzz {
+
+/// util::ParseCsvLineResult + util::ReadCsvResult, with a write→read
+/// losslessness check on accepted rows.
+int FuzzCsv(const std::uint8_t* data, std::size_t size);
+
+/// forecast::ParseAdvisoryResult; accepted advisories must render and
+/// re-parse, and their timestamps must survive civil-time arithmetic.
+int FuzzAdvisory(const std::uint8_t* data, std::size_t size);
+
+/// hazard::ReadCatalogsCsvResult, with a write→read round-trip check on
+/// accepted catalogs.
+int FuzzCatalog(const std::uint8_t* data, std::size_t size);
+
+/// cli::Args::Parse over newline-separated argv tokens against a fixed
+/// flag registry, plus the legacy lenient constructor.
+int FuzzArgs(const std::uint8_t* data, std::size_t size);
+
+}  // namespace riskroute::fuzz

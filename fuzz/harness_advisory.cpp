@@ -1,0 +1,47 @@
+#include <cstdlib>
+#include <string_view>
+
+#include "forecast/advisory.h"
+#include "forecast/parser.h"
+#include "forecast/writer.h"
+#include "fuzz/harness.h"
+
+namespace riskroute::fuzz {
+
+int FuzzAdvisory(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  forecast::AdvisoryLimits limits;
+  limits.max_bytes = 1 << 18;
+  limits.max_tokens = 1 << 14;
+  const auto result = forecast::ParseAdvisoryResult(text, limits);
+  if (!result.ok()) return 0;
+  const forecast::Advisory& advisory = result.value();
+
+  // A parsed timestamp is valid-or-default, so civil-time arithmetic must
+  // hold for any accepted bulletin (month-0 indexing was a real crash).
+  if (!forecast::IsValidCivil(advisory.time)) std::abort();
+  (void)advisory.time.DayOfWeek();
+  (void)advisory.time.ToString();
+  const int shift = size != 0 ? static_cast<int>(data[size / 2]) * 97 - 12000
+                              : 24;
+  const forecast::AdvisoryTime moved = advisory.time.PlusHours(shift);
+  if (moved.PlusHours(-shift) != advisory.time) std::abort();
+
+  // An accepted advisory must render to a bulletin that parses again and
+  // names the same storm. The rendered text repeats the storm name, so
+  // re-parse under the (larger) default limits, not the harness ones.
+  const auto again =
+      forecast::ParseAdvisoryResult(forecast::RenderAdvisory(advisory));
+  if (!again.ok()) std::abort();
+  if (again.value().storm_name != advisory.storm_name) std::abort();
+  return 0;
+}
+
+}  // namespace riskroute::fuzz
+
+#ifdef RISKROUTE_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return riskroute::fuzz::FuzzAdvisory(data, size);
+}
+#endif

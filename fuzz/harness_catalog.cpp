@@ -1,0 +1,50 @@
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "fuzz/harness.h"
+#include "hazard/catalog_io.h"
+
+namespace riskroute::fuzz {
+
+int FuzzCatalog(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  hazard::CatalogCsvLimits limits;
+  limits.max_rows = 4096;
+  std::istringstream in(text);
+  const auto result = hazard::ReadCatalogsCsvResult(in, limits);
+  if (!result.ok()) return 0;
+
+  // Accepted catalogs must survive write → read: same grouping, same
+  // years/months, coordinates within the writer's %.6f precision.
+  std::istringstream in2(hazard::CatalogsToCsv(result.value()));
+  const auto again = hazard::ReadCatalogsCsvResult(in2, limits);
+  if (!again.ok()) std::abort();
+  if (again.value().size() != result.value().size()) std::abort();
+  for (std::size_t c = 0; c < again.value().size(); ++c) {
+    const hazard::Catalog& a = result.value()[c];
+    const hazard::Catalog& b = again.value()[c];
+    if (a.type() != b.type() || a.size() != b.size()) std::abort();
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      const hazard::Event& ea = a.events()[e];
+      const hazard::Event& eb = b.events()[e];
+      if (ea.year != eb.year || ea.month != eb.month) std::abort();
+      if (std::fabs(ea.location.latitude() - eb.location.latitude()) > 1e-5 ||
+          std::fabs(ea.location.longitude() - eb.location.longitude()) >
+              1e-5) {
+        std::abort();
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace riskroute::fuzz
+
+#ifdef RISKROUTE_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return riskroute::fuzz::FuzzCatalog(data, size);
+}
+#endif

@@ -1,0 +1,67 @@
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "util/csv.h"
+
+namespace riskroute::fuzz {
+namespace {
+
+/// Tight limits keep one fuzz iteration cheap; the write→read re-check
+/// uses the (far larger) defaults so quoting overhead cannot trip it.
+util::CsvLimits HarnessLimits() {
+  util::CsvLimits limits;
+  limits.max_field_bytes = 4096;
+  limits.max_fields_per_row = 64;
+  limits.max_record_bytes = 1 << 20;
+  limits.max_rows = 4096;
+  return limits;
+}
+
+}  // namespace
+
+int FuzzCsv(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const util::CsvLimits limits = HarnessLimits();
+
+  // Single-record path: a parsed record must survive escape → re-parse.
+  if (const auto record = util::ParseCsvLineResult(text, limits);
+      record.ok()) {
+    std::string rewritten;
+    for (std::size_t i = 0; i < record.value().size(); ++i) {
+      if (i != 0) rewritten.push_back(',');
+      rewritten += util::EscapeCsvField(record.value()[i]);
+    }
+    const auto again = util::ParseCsvLineResult(rewritten);
+    if (!again.ok() || again.value() != record.value()) std::abort();
+  }
+
+  // Stream path: accepted rows must write back and read back losslessly.
+  std::istringstream in(text);
+  const auto rows = util::ReadCsvResult(in, limits);
+  if (!rows.ok()) return 0;
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  std::vector<util::CsvRow> expected;
+  for (const util::CsvRow& row : rows.value()) {
+    writer.WriteRow(row);
+    // A row that is one empty field writes as a blank line, which the
+    // reader (correctly) skips as a separator; exclude it from the oracle.
+    if (!(row.size() == 1 && row[0].empty())) expected.push_back(row);
+  }
+  std::istringstream in2(out.str());
+  const auto again = util::ReadCsvResult(in2);
+  if (!again.ok() || again.value() != expected) std::abort();
+  return 0;
+}
+
+}  // namespace riskroute::fuzz
+
+#ifdef RISKROUTE_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return riskroute::fuzz::FuzzCsv(data, size);
+}
+#endif

@@ -25,54 +25,87 @@ int DaysInMonth(int year, int month) {
   return days[static_cast<std::size_t>(month - 1)];
 }
 
+/// Every civil-time method validates up front: a hand-built or parsed
+/// AdvisoryTime with month 0 (or day 40, hour 99) must throw, not index
+/// arrays out of bounds. Fuzz-found; see tests/ingest_robustness_test.cpp.
+void RequireValidCivil(const AdvisoryTime& t, const char* method) {
+  if (!IsValidCivil(t)) {
+    throw InvalidArgument(util::Format(
+        "AdvisoryTime::%s: invalid civil time %04d-%02d-%02d %02d:00", method,
+        t.year, t.month, t.day, t.hour));
+  }
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian). The
+/// standard era-based O(1) conversion; exact for any year, including
+/// negatives, so PlusHours never loops and never overflows.
+long long DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+struct CivilDate {
+  int year, month, day;
+};
+
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(long long z) {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long y = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
 }  // namespace
 
+bool IsValidCivil(const AdvisoryTime& t) {
+  return t.month >= 1 && t.month <= 12 && t.day >= 1 &&
+         t.day <= DaysInMonth(t.year, t.month) && t.hour >= 0 && t.hour <= 23;
+}
+
 AdvisoryTime AdvisoryTime::PlusHours(int hours) const {
+  RequireValidCivil(*this, "PlusHours");
+  // 64-bit total: hour + INT_MAX must not overflow, and the day shift is
+  // O(1) civil-date arithmetic rather than a per-day loop.
+  const long long total =
+      DaysFromCivil(year, month, day) * 24 + hour + static_cast<long long>(hours);
+  long long days = total / 24;
+  int h = static_cast<int>(total % 24);
+  if (h < 0) {
+    h += 24;
+    --days;
+  }
+  const CivilDate date = CivilFromDays(days);
   AdvisoryTime t = *this;
-  int total = t.hour + hours;
-  while (total >= 24) {
-    total -= 24;
-    ++t.day;
-    if (t.day > DaysInMonth(t.year, t.month)) {
-      t.day = 1;
-      ++t.month;
-      if (t.month > 12) {
-        t.month = 1;
-        ++t.year;
-      }
-    }
-  }
-  while (total < 0) {
-    total += 24;
-    --t.day;
-    if (t.day < 1) {
-      --t.month;
-      if (t.month < 1) {
-        t.month = 12;
-        --t.year;
-      }
-      t.day = DaysInMonth(t.year, t.month);
-    }
-  }
-  t.hour = total;
+  t.year = date.year;
+  t.month = date.month;
+  t.day = date.day;
+  t.hour = h;
   return t;
 }
 
 int AdvisoryTime::DayOfWeek() const {
-  // Sakamoto's algorithm.
-  static constexpr std::array<int, 12> offsets = {0, 3, 2, 5, 0, 3,
-                                                  5, 1, 4, 6, 2, 4};
-  int y = year;
-  if (month < 3) y -= 1;
-  return (y + y / 4 - y / 100 + y / 400 +
-          offsets[static_cast<std::size_t>(month - 1)] + day) % 7;
+  RequireValidCivil(*this, "DayOfWeek");
+  // 1970-01-01 (day 0) was a Thursday (4); the double mod keeps the
+  // result in [0, 6] for dates before the epoch.
+  const long long z = DaysFromCivil(year, month, day);
+  return static_cast<int>(((z + 4) % 7 + 7) % 7);
 }
 
 std::string AdvisoryTime::ToString() const {
-  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month) ||
-      hour < 0 || hour > 23) {
-    throw InvalidArgument("AdvisoryTime: invalid civil time");
-  }
+  RequireValidCivil(*this, "ToString");
   const int hour12 = hour % 12 == 0 ? 12 : hour % 12;
   const char* ampm = hour < 12 ? "AM" : "PM";
   return util::Format("%d00 %s %s %s %s %d %d", hour12, ampm,

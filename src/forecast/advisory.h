@@ -35,6 +35,12 @@ struct AdvisoryTime {
   [[nodiscard]] bool operator==(const AdvisoryTime&) const = default;
 };
 
+/// True when the timestamp is a real civil time: month 1-12, day within
+/// the month (leap years included), hour 0-23. PlusHours / DayOfWeek /
+/// ToString throw InvalidArgument when this does not hold, so callers
+/// assembling an AdvisoryTime from untrusted input should check first.
+[[nodiscard]] bool IsValidCivil(const AdvisoryTime& t);
+
 /// One parsed public advisory.
 struct Advisory {
   std::string storm_name;  // upper case, e.g. "IRENE"

@@ -1,15 +1,19 @@
 #include "forecast/parser.h"
 
 #include <array>
+#include <cmath>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "geo/geo_point.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace riskroute::forecast {
 namespace {
+
+constexpr std::string_view kSource = "advisory";
 
 /// Splits bulletin text into upper-case word tokens. Ellipsis runs ("..."
 /// or longer) act as separators; a single trailing period is stripped from
@@ -37,10 +41,15 @@ std::vector<std::string> Tokenize(std::string_view text) {
   return tokens;
 }
 
+/// Finite-only numeric lookup: "NAN" and "INF" parse as doubles but must
+/// never enter the risk model (a NaN radius poisons every downstream
+/// comparison), so they read as "not a number here".
 std::optional<double> NumberAt(const std::vector<std::string>& tokens,
                                std::size_t i) {
   if (i >= tokens.size()) return std::nullopt;
-  return util::ParseDouble(tokens[i]);
+  const auto value = util::ParseDouble(tokens[i]);
+  if (value && !std::isfinite(*value)) return std::nullopt;
+  return value;
 }
 
 bool Matches(const std::vector<std::string>& tokens, std::size_t i,
@@ -72,10 +81,28 @@ bool IsWeekday(const std::string& token) {
   return false;
 }
 
+util::ParseResult<Advisory> Fail(util::ParseErrorKind kind,
+                                 std::string message) {
+  util::ingest::CountRejected(kSource, kind);
+  return util::ParseResult<Advisory>::Failure(kind, std::move(message));
+}
+
 }  // namespace
 
-Advisory ParseAdvisory(std::string_view text) {
+util::ParseResult<Advisory> ParseAdvisoryResult(std::string_view text,
+                                                const AdvisoryLimits& limits) {
+  if (text.size() > limits.max_bytes) {
+    return Fail(util::ParseErrorKind::kLimitExceeded,
+                util::Format("advisory: %zu-byte bulletin exceeds the "
+                             "%zu-byte limit",
+                             text.size(), limits.max_bytes));
+  }
   const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.size() > limits.max_tokens) {
+    return Fail(util::ParseErrorKind::kLimitExceeded,
+                util::Format("advisory: %zu tokens exceed the %zu-token limit",
+                             tokens.size(), limits.max_tokens));
+  }
   Advisory advisory;
   bool have_name = false, have_lat = false, have_lon = false;
   bool have_tropical = false;
@@ -89,7 +116,10 @@ Advisory ParseAdvisory(std::string_view text) {
         tokens[i + 2] == "ADVISORY" && tokens[i + 3] == "NUMBER") {
       advisory.storm_name = tokens[i + 1];
       have_name = true;
-      if (const auto number = NumberAt(tokens, i + 4)) {
+      // The float->int cast is UB outside int's range, so gate it to a
+      // plausible advisory-number window first.
+      if (const auto number = NumberAt(tokens, i + 4);
+          number && *number >= 0.0 && *number <= 1e6) {
         advisory.number = static_cast<int>(*number);
       }
     }
@@ -146,28 +176,51 @@ Advisory ParseAdvisory(std::string_view text) {
       const auto clock = util::ParseInt(tokens[i]);
       const auto day = util::ParseInt(tokens[i + 5]);
       const auto year = util::ParseInt(tokens[i + 6]);
-      if (clock && day && year) {
+      // Range-check before narrowing: an implausible clock/day/year is
+      // ignored (the advisory keeps the default timestamp) instead of
+      // storing a civil time that PlusHours/ToString would reject.
+      if (clock && day && year && *clock >= 100 && *clock <= 1259 &&
+          *clock % 100 < 60 && *day >= 1 && *day <= 31 && *year >= 1 &&
+          *year <= 9999) {
         int hour = static_cast<int>(*clock / 100);
         if (hour == 12) hour = 0;
         if (tokens[i + 1] == "PM") hour += 12;
-        advisory.time.hour = hour;
-        advisory.time.timezone = tokens[i + 2];
-        advisory.time.month = MonthFromToken(tokens[i + 4]);
-        advisory.time.day = static_cast<int>(*day);
-        advisory.time.year = static_cast<int>(*year);
+        AdvisoryTime time;
+        time.hour = hour;
+        time.timezone = tokens[i + 2];
+        time.month = MonthFromToken(tokens[i + 4]);
+        time.day = static_cast<int>(*day);
+        time.year = static_cast<int>(*year);
+        if (IsValidCivil(time)) advisory.time = std::move(time);
       }
     }
   }
 
-  if (!have_name) throw ParseError("advisory: storm name not found");
+  if (!have_name) {
+    return Fail(util::ParseErrorKind::kMissingField,
+                "advisory: storm name not found");
+  }
   if (!have_lat || !have_lon) {
-    throw ParseError("advisory: centre coordinates not found");
+    return Fail(util::ParseErrorKind::kMissingField,
+                "advisory: centre coordinates not found");
   }
   if (!have_tropical) {
-    throw ParseError("advisory: tropical-storm wind radius not found");
+    return Fail(util::ParseErrorKind::kMissingField,
+                "advisory: tropical-storm wind radius not found");
+  }
+  if (!geo::IsValidLatLon(lat, lon)) {
+    return Fail(util::ParseErrorKind::kBadValue,
+                util::Format("advisory: centre (%g, %g) is not a valid "
+                             "latitude/longitude",
+                             lat, lon));
   }
   advisory.center = geo::GeoPoint(lat, lon);
+  util::ingest::CountAccepted(kSource);
   return advisory;
+}
+
+Advisory ParseAdvisory(std::string_view text) {
+  return ParseAdvisoryResult(text).ValueOrThrow();
 }
 
 }  // namespace riskroute::forecast

@@ -1,4 +1,18 @@
-// Minimal command-line option parsing for the riskroute CLI.
+// Command-line option parsing for the riskroute CLI.
+//
+// Two entry points:
+//
+//  * Args::Parse(argc, argv, first, registry) — the hardened path. Every
+//    flag must be declared in a FlagRegistry as either value-taking or
+//    boolean; unknown options, value flags with no value ("--metrics-out
+//    --json" used to record metrics-out=""), and boolean flags given an
+//    inline value are structured ParseResult errors. Supports both
+//    "--key value" and "--key=value".
+//
+//  * the legacy lenient constructor — kept for ad-hoc tooling and tests
+//    that predate the registry. It guesses value-vs-boolean from the next
+//    token (a token starting with "--" keeps the flag boolean) and
+//    silently accepts unknown options. New code should declare flags.
 #pragma once
 
 #include <map>
@@ -7,18 +21,97 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/parse_result.h"
 #include "util/strings.h"
 
 namespace riskroute::cli {
 
-/// Parses "--key value" pairs plus positional arguments.
+/// The set of declared flags: each is value-taking (--key value or
+/// --key=value) or boolean (--key). Undeclared flags are parse errors.
+class FlagRegistry {
+ public:
+  /// Declares a flag that takes a value.
+  FlagRegistry& Value(const std::string& name) {
+    takes_value_[name] = true;
+    return *this;
+  }
+  /// Declares a boolean flag.
+  FlagRegistry& Bool(const std::string& name) {
+    takes_value_[name] = false;
+    return *this;
+  }
+
+  /// nullptr when undeclared; otherwise whether the flag takes a value.
+  [[nodiscard]] const bool* Find(const std::string& name) const {
+    const auto it = takes_value_.find(name);
+    return it == takes_value_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, bool> takes_value_;
+};
+
+/// Parsed "--key value" / "--key=value" pairs plus positional arguments.
 class Args {
  public:
+  /// Hardened parse against a declared-flag registry. Error kinds:
+  /// kUnknownOption (typo'd flag), kMissingValue (value flag at argv end
+  /// or followed by another option), kBadValue (boolean flag given
+  /// "=value"). Rejects are counted under `ingest.args.rejects.*`.
+  [[nodiscard]] static util::ParseResult<Args> Parse(
+      int argc, char** argv, int first, const FlagRegistry& flags) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        args.positional_.push_back(token);
+        continue;
+      }
+      std::string key = token.substr(2);
+      std::optional<std::string> inline_value;
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        inline_value = key.substr(eq + 1);
+        key.resize(eq);
+      }
+      const bool* takes_value = flags.Find(key);
+      if (takes_value == nullptr) {
+        return Reject(util::ParseErrorKind::kUnknownOption,
+                      "unknown option --" + key);
+      }
+      if (*takes_value) {
+        if (inline_value) {
+          args.options_[key] = std::move(*inline_value);
+        } else if (i + 1 < argc &&
+                   std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+          args.options_[key] = argv[++i];
+        } else {
+          return Reject(util::ParseErrorKind::kMissingValue,
+                        "option --" + key + " requires a value" +
+                            " (use --" + key + "=VALUE for values starting "
+                            "with --)");
+        }
+      } else {
+        if (inline_value) {
+          return Reject(util::ParseErrorKind::kBadValue,
+                        "flag --" + key + " does not take a value");
+        }
+        args.options_[key] = "";
+      }
+    }
+    util::ingest::CountAccepted("args");
+    return args;
+  }
+
+  /// Legacy lenient parse (see file comment). Also accepts --key=value.
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) == 0) {
-        const std::string key = token.substr(2);
+        std::string key = token.substr(2);
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          options_[key.substr(0, eq)] = key.substr(eq + 1);
+          continue;
+        }
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
           options_[key] = argv[++i];
         } else {
@@ -71,6 +164,14 @@ class Args {
   }
 
  private:
+  Args() = default;
+
+  static util::ParseResult<Args> Reject(util::ParseErrorKind kind,
+                                        std::string message) {
+    util::ingest::CountRejected("args", kind);
+    return util::ParseResult<Args>::Failure(kind, std::move(message));
+  }
+
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };

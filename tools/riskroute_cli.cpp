@@ -17,6 +17,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "bgp/path_vector.h"
 #include "bgp/relationships.h"
@@ -422,10 +423,33 @@ int Dispatch(const std::string& command, const Args& args) {
   return Usage();
 }
 
+/// Every flag any subcommand reads, declared as value-taking or boolean.
+/// Args::Parse rejects typos ("--scenaros") and value flags with a
+/// missing value ("--metrics-out --json") instead of guessing.
+FlagRegistry CliFlags() {
+  FlagRegistry flags;
+  for (const char* value :
+       {"network", "from", "to", "lambda-h", "lambda-f", "latency-budget",
+        "links", "storm", "project", "trials", "scenarios", "ensemble-seed",
+        "month", "top", "dest", "format", "seed", "blocks", "threads",
+        "metrics-out"}) {
+    flags.Value(value);
+  }
+  for (const char* boolean : {"geojson", "any-peer", "risk-aware", "json"}) {
+    flags.Bool(boolean);
+  }
+  return flags;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
+  auto parsed = Args::Parse(argc, argv, 2, CliFlags());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().Render().c_str());
+    return Usage();
+  }
+  const Args args = std::move(parsed).ValueOrThrow();
   const int rc = Dispatch(command, args);
   // Dump after the command so the export covers its whole run. The stable
   // section is bitwise independent of --threads; see tools/metrics_schema.json.
