@@ -38,4 +38,10 @@ int FuzzCatalog(const std::uint8_t* data, std::size_t size);
 /// flag registry, plus the legacy lenient constructor.
 int FuzzArgs(const std::uint8_t* data, std::size_t size);
 
+/// core::RouteEngine::LoadSnapshot over the binary engine-snapshot
+/// format. Accepted inputs must re-serialize byte-identically (the
+/// format is canonical) and route consistently; rejected inputs must
+/// carry a structured diagnostic.
+int FuzzSnapshot(const std::uint8_t* data, std::size_t size);
+
 }  // namespace riskroute::fuzz

@@ -1,0 +1,57 @@
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "core/route_engine.h"
+#include "core/shortest_path.h"
+#include "fuzz/harness.h"
+
+namespace riskroute::fuzz {
+
+int FuzzSnapshot(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto loaded = core::RouteEngine::LoadSnapshot(bytes);
+  if (!loaded.ok()) {
+    // Rejections are the expected outcome for hostile bytes, but they
+    // must come back as a structured diagnostic, never an exception or
+    // sanitizer report. An empty message means a Reject path forgot its
+    // explanation.
+    if (loaded.error().message.empty()) std::abort();
+    return 0;
+  }
+
+  // The format is canonical: the loader accepts only bytes the writer
+  // could have produced, so an accepted input must re-serialize to the
+  // exact same bytes.
+  const core::RouteEngine& engine = loaded.value();
+  const std::string round = engine.SnapshotBytes();
+  if (round.size() != size ||
+      (size != 0 && std::memcmp(round.data(), data, size) != 0)) {
+    std::abort();
+  }
+
+  // Loaded engines must be routable: a targeted (ALT, when the snapshot
+  // carries landmarks) sweep and a full Dijkstra sweep must agree on the
+  // settled distance bitwise.
+  const std::size_t n = engine.node_count();
+  if (n != 0) {
+    core::DijkstraWorkspace targeted;
+    core::DijkstraWorkspace full;
+    engine.Run(targeted, 0, 0.0, n - 1);
+    engine.Run(full, 0, 0.0);
+    const double a = targeted.DistanceTo(n - 1);
+    const double b = full.DistanceTo(n - 1);
+    if (std::memcmp(&a, &b, sizeof(double)) != 0) std::abort();
+  }
+  return 0;
+}
+
+}  // namespace riskroute::fuzz
+
+#ifdef RISKROUTE_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return riskroute::fuzz::FuzzSnapshot(data, size);
+}
+#endif

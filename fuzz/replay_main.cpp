@@ -37,6 +37,7 @@ constexpr HarnessDir kHarnesses[] = {
     {"advisory", riskroute::fuzz::FuzzAdvisory},
     {"catalog", riskroute::fuzz::FuzzCatalog},
     {"args", riskroute::fuzz::FuzzArgs},
+    {"snapshot", riskroute::fuzz::FuzzSnapshot},
 };
 
 std::vector<std::uint8_t> ReadFile(const std::filesystem::path& path) {

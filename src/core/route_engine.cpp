@@ -1,6 +1,7 @@
 #include "core/route_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -40,6 +41,9 @@ struct EngineMetrics {
       reg.GetCounter("core.route_engine.envelope_bisections");
   obs::Counter& envelope_rewalks =
       reg.GetCounter("core.route_engine.envelope_rewalks");
+  obs::Counter& alt_sweeps = reg.GetCounter("core.route_engine.alt_sweeps");
+  obs::Counter& landmark_preps =
+      reg.GetCounter("core.route_engine.landmark_preps");
   obs::Counter& workspace_reuses = reg.GetCounter(
       "core.route_engine.workspace_reuses", obs::Stability::kVolatile);
 
@@ -92,6 +96,7 @@ RouteEngine::RouteEngine(const RiskGraph& graph, const RiskParams& params)
   forecast_.resize(n);
   node_score_.resize(n);
   location_.resize(n);
+  name_.resize(n);
   col_.reserve(edges);
   miles_.reserve(edges);
   row_offsets_[0] = 0;
@@ -101,6 +106,7 @@ RouteEngine::RouteEngine(const RiskGraph& graph, const RiskParams& params)
     historical_[u] = node.historical_risk;
     forecast_[u] = node.forecast_risk;
     location_[u] = node.location;
+    name_[u] = node.name;
     // CSR rows preserve adjacency-list iteration order: the relaxation
     // order (and therefore every distance and parent chain) is bitwise
     // identical to a DijkstraWorkspace sweep over the RiskGraph.
@@ -141,6 +147,58 @@ void RouteEngine::ClearForecastRisks() {
   RebuildRiskPlane();
 }
 
+void RouteEngine::PrepareLandmarks(std::size_t count) {
+  const std::size_t n = node_count();
+  ClearLandmarks();
+  if (count == 0 || n == 0) return;
+  count = std::min(count, n);
+  EngineMetrics::Get().landmark_preps.Add(1);
+  landmark_ids_.reserve(count);
+  landmark_miles_.assign(n * count, kInf);
+
+  // Farthest-point traversal on the miles plane. `coverage[v]` is the
+  // closest chosen landmark's distance to v; each round picks the least
+  // covered node. +inf coverage (a component no landmark has reached yet)
+  // outranks every finite distance, so multi-component graphs get a
+  // landmark per component before any component gets its second. Ties
+  // break to the lowest node id — the whole selection is deterministic.
+  std::vector<double> coverage(n, kInf);
+  DijkstraWorkspace ws;
+  RunDistance(ws, 0);
+  const auto least_covered = [&](const std::vector<double>& score) {
+    std::size_t pick = 0;
+    double best = -1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double s = score[v];
+      if (s > best) {
+        best = s;
+        pick = v;
+      }
+    }
+    return pick;
+  };
+  // Seed: the node farthest from node 0 (node 0 itself is an arbitrary
+  // anchor, not a landmark).
+  std::size_t pick = least_covered(ws.dist_);
+  for (std::size_t l = 0; l < count; ++l) {
+    landmark_ids_.push_back(static_cast<std::uint32_t>(pick));
+    coverage[pick] = -1.0;  // never re-picked (every score is >= 0)
+    RunDistance(ws, pick);
+    for (std::size_t v = 0; v < n; ++v) {
+      landmark_miles_[v * count + l] = ws.dist_[v];
+      if (coverage[v] >= 0.0 && ws.dist_[v] < coverage[v]) {
+        coverage[v] = ws.dist_[v];
+      }
+    }
+    if (l + 1 < count) pick = least_covered(coverage);
+  }
+}
+
+void RouteEngine::ClearLandmarks() {
+  landmark_ids_.clear();
+  landmark_miles_.clear();
+}
+
 bool RouteEngine::HasEdge(std::size_t a, std::size_t b) const {
   if (a >= node_count() || b >= node_count()) return false;
   for (std::size_t e = row_offsets_[a]; e < row_offsets_[a + 1]; ++e) {
@@ -149,7 +207,7 @@ bool RouteEngine::HasEdge(std::size_t a, std::size_t b) const {
   return false;
 }
 
-template <bool kRisk, bool kOverlay>
+template <bool kRisk, bool kOverlay, bool kAlt>
 void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
                           double alpha, std::size_t target,
                           const EdgeOverlay* overlay) const {
@@ -170,9 +228,38 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
   ws.settled_.assign(n, false);
   ws.dist_[source] = 0.0;
 
+  // A* heuristic: the heap keys carry f = g + h while dist_ keeps the
+  // plain g accumulation, so every settled distance is the same additive
+  // fold a Dijkstra sweep produces — bitwise, not merely approximately.
+  // h(v) = max over landmarks of |d(L,v) - d(L,target)| on the frozen
+  // miles plane; landmarks seeing only one endpoint of (v, target) prove
+  // the pair disconnected (h = +inf), landmarks seeing neither say
+  // nothing (0).
+  const std::size_t lm_count = kAlt ? landmark_ids_.size() : 0;
+  const double* const lm_miles = landmark_miles_.data();
+  const double* const lm_target =
+      kAlt ? lm_miles + target * lm_count : nullptr;
+  const auto bound_to_target = [&](std::size_t v) {
+    double best = 0.0;
+    const double* const lv = lm_miles + v * lm_count;
+    for (std::size_t l = 0; l < lm_count; ++l) {
+      const double dv = lv[l];
+      const double dt = lm_target[l];
+      double b;
+      if (dv == kInf || dt == kInf) {
+        b = dv == dt ? 0.0 : kInf;
+      } else {
+        b = std::abs(dv - dt);
+      }
+      if (b > best) best = b;
+    }
+    return best;
+  };
+
   auto& heap = ws.heap_;
   heap.clear();
-  heap.push_back(DijkstraWorkspace::QueueEntry{0.0, source});
+  heap.push_back(DijkstraWorkspace::QueueEntry{
+      kAlt ? bound_to_target(source) : 0.0, source});
   const std::uint32_t* const col = col_.data();
   const std::uint32_t* const rows = row_offsets_.data();
   const double* const miles = miles_.data();
@@ -206,7 +293,8 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
       if (candidate < dist[to]) {
         dist[to] = candidate;
         parent[to] = top.node;
-        heap.push_back(DijkstraWorkspace::QueueEntry{candidate, to});
+        heap.push_back(DijkstraWorkspace::QueueEntry{
+            kAlt ? candidate + bound_to_target(to) : candidate, to});
         std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }
@@ -226,7 +314,8 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
         if (candidate < dist[to]) {
           dist[to] = candidate;
           parent[to] = top.node;
-          heap.push_back(DijkstraWorkspace::QueueEntry{candidate, to});
+          heap.push_back(DijkstraWorkspace::QueueEntry{
+              kAlt ? candidate + bound_to_target(to) : candidate, to});
           std::push_heap(heap.begin(), heap.end(), std::greater<>{});
         }
       }
@@ -234,6 +323,7 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
   }
   metrics.sweeps.Add(1);
   if constexpr (kOverlay) metrics.overlay_sweeps.Add(1);
+  if constexpr (kAlt) metrics.alt_sweeps.Add(1);
   metrics.heap_pops.Add(pops);
   metrics.relaxations.Add(relaxations);
   metrics.relaxations_per_sweep.Record(relaxations);
@@ -243,10 +333,17 @@ void RouteEngine::Run(DijkstraWorkspace& ws, std::size_t source, double alpha,
                       std::optional<std::size_t> target,
                       const EdgeOverlay* overlay) const {
   const std::size_t tgt = target.value_or(kNoTarget);
+  const bool alt = tgt != kNoTarget && AltUsable(overlay);
   if (overlay != nullptr && !overlay->empty()) {
-    RunImpl<true, true>(ws, source, alpha, tgt, overlay);
+    if (alt) {
+      RunImpl<true, true, true>(ws, source, alpha, tgt, overlay);
+    } else {
+      RunImpl<true, true, false>(ws, source, alpha, tgt, overlay);
+    }
+  } else if (alt) {
+    RunImpl<true, false, true>(ws, source, alpha, tgt, nullptr);
   } else {
-    RunImpl<true, false>(ws, source, alpha, tgt, nullptr);
+    RunImpl<true, false, false>(ws, source, alpha, tgt, nullptr);
   }
 }
 
@@ -254,10 +351,17 @@ void RouteEngine::RunDistance(DijkstraWorkspace& ws, std::size_t source,
                               std::optional<std::size_t> target,
                               const EdgeOverlay* overlay) const {
   const std::size_t tgt = target.value_or(kNoTarget);
+  const bool alt = tgt != kNoTarget && AltUsable(overlay);
   if (overlay != nullptr && !overlay->empty()) {
-    RunImpl<false, true>(ws, source, 0.0, tgt, overlay);
+    if (alt) {
+      RunImpl<false, true, true>(ws, source, 0.0, tgt, overlay);
+    } else {
+      RunImpl<false, true, false>(ws, source, 0.0, tgt, overlay);
+    }
+  } else if (alt) {
+    RunImpl<false, false, true>(ws, source, 0.0, tgt, nullptr);
   } else {
-    RunImpl<false, false>(ws, source, 0.0, tgt, nullptr);
+    RunImpl<false, false, false>(ws, source, 0.0, tgt, nullptr);
   }
 }
 
@@ -342,14 +446,34 @@ PairMatrix RouteEngine::ManyToMany(std::span<const std::size_t> sources,
   m.rows = sources.size();
   m.cols = targets.size();
   m.dist.assign(m.rows * m.cols, kInf);
+  // With landmarks prepared and a sparse target set, per-pair A* beats
+  // one full sweep per source: each goal-directed run settles a corridor
+  // instead of the whole graph. The distances are bitwise the same either
+  // way (both are the min additive fold over paths), so the cutover is a
+  // pure performance policy.
+  const bool targeted_distance =
+      metric == RouteMetric::kDistance && AltUsable(overlay) &&
+      targets.size() * 8 <= node_count();
   const auto body = [&](std::size_t s) {
     thread_local DijkstraWorkspace ws;
     double* const row = m.dist.data() + s * m.cols;
     const std::size_t src = sources[s];
-    if (metric == RouteMetric::kDistance) {
+    if (metric == RouteMetric::kDistance && !targeted_distance) {
       RunDistance(ws, src, std::nullopt, overlay);
       for (std::size_t t = 0; t < m.cols; ++t) {
         row[t] = ws.DistanceTo(targets[t]);
+      }
+      return;
+    }
+    if (targeted_distance) {
+      for (std::size_t t = 0; t < m.cols; ++t) {
+        const std::size_t tgt = targets[t];
+        if (tgt == src) {
+          row[t] = 0.0;
+          continue;
+        }
+        RunDistance(ws, src, tgt, overlay);
+        row[t] = ws.DistanceTo(tgt);
       }
       return;
     }

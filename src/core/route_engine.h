@@ -28,12 +28,31 @@
 // Determinism. Batched sweeps parallelize over sources with disjoint
 // output slices and reduce in fixed index order, so results are bitwise
 // independent of thread count (the PR 1 contract).
+//
+// ALT (A*, Landmarks, Triangle inequality). PrepareLandmarks picks k
+// landmarks by farthest-point traversal on the miles plane and runs one
+// full distance sweep per landmark. Targeted sweeps then run A* with
+// h(v) = max_L |d_miles(L,v) - d_miles(L,t)|, a lower bound on
+// d_miles(v,t) by the triangle inequality. Because every relaxation
+// weight is miles[e] + alpha * risk[e] >= miles[e] for alpha, risk >= 0,
+// the same h is admissible and consistent for *every* pair scale alpha,
+// so one landmark table serves the distance metric and all bit-risk
+// alphas. A* g-values accumulate through the identical relaxation
+// expression as Dijkstra, so settled distances are bitwise equal with
+// ALT on or off (argmin parent chains can differ only on exact
+// floating-point ties between distinct paths). ALT engages only for
+// targeted sweeps and is bypassed when an overlay *adds* edges (added
+// edges can shorten miles distances below the frozen-plane bounds);
+// removals and disabled nodes only lengthen distances, so the bounds
+// stay admissible.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/edge_overlay.h"
@@ -43,6 +62,7 @@
 #include "core/riskroute.h"
 #include "core/shortest_path.h"
 #include "geo/geo_point.h"
+#include "util/parse_result.h"
 #include "util/thread_pool.h"
 
 namespace riskroute::core {
@@ -89,6 +109,11 @@ class RouteEngine {
   [[nodiscard]] const geo::GeoPoint& location(std::size_t v) const {
     return location_[v];
   }
+  /// Node name copied from the RiskGraph at freeze time (empty when the
+  /// graph carried none). Snapshot boots keep names without the graph.
+  [[nodiscard]] const std::string& node_name(std::size_t v) const {
+    return name_[v];
+  }
 
   /// CSR row bounds and per-edge planes (frozen edges only).
   [[nodiscard]] std::size_t EdgeBegin(std::size_t u) const {
@@ -107,8 +132,63 @@ class RouteEngine {
 
   /// Replaces/clears every node's forecast risk and rebuilds the risk
   /// plane — the per-advisory update of the disaster case studies.
+  /// Landmark tables stay valid: they bound the miles plane, which risk
+  /// updates never touch.
   void SetForecastRisks(std::span<const double> risks);
   void ClearForecastRisks();
+
+  // --- ALT landmarks (see the header comment) ---
+
+  /// Selects `count` landmarks by farthest-point traversal on the miles
+  /// plane (seeded from node 0's farthest node; ties break to the lowest
+  /// node id) and runs one full distance sweep per landmark to fill the
+  /// node-major k-per-node distance table. Deterministic; O(k) sweeps.
+  /// `count` is clamped to the node count; 0 clears. Once prepared, every
+  /// *targeted* sweep upgrades to A* automatically; untargeted sweeps and
+  /// sweeps under overlays with added edges keep plain Dijkstra. Settled
+  /// distances are bitwise identical either way.
+  void PrepareLandmarks(std::size_t count);
+  void ClearLandmarks();
+  [[nodiscard]] std::size_t landmark_count() const {
+    return landmark_ids_.size();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> landmark_ids() const {
+    return landmark_ids_;
+  }
+  /// d_miles(landmark, v) on the frozen graph; +inf when disconnected.
+  [[nodiscard]] double LandmarkMiles(std::size_t landmark,
+                                     std::size_t v) const {
+    return landmark_miles_[v * landmark_ids_.size() + landmark];
+  }
+
+  // --- Engine snapshots (versioned little-endian SoA; see
+  // route_engine_snapshot.cpp for the layout) ---
+
+  /// Serializes the frozen engine — CSR arrays, miles plane, node
+  /// attributes, locations, names, landmark tables, params + checksum —
+  /// in the canonical snapshot byte layout (64-byte-aligned sections,
+  /// zero padding). The risk plane and node scores are rebuilt on load
+  /// from the stored attributes, bitwise identically.
+  void SaveSnapshot(std::ostream& out) const;
+  void SaveSnapshotFile(const std::string& path) const;
+  [[nodiscard]] std::string SnapshotBytes() const;
+
+  /// Parses a snapshot. Every field is validated (magic, version,
+  /// counts, monotone CSR offsets, finite non-negative miles, lat/lon
+  /// ranges, checksum, zero padding) and hostile bytes surface as a
+  /// ParseDiagnostic — never UB or an exception. An accepted snapshot is
+  /// canonical: SaveSnapshot of the loaded engine reproduces the input
+  /// bytes exactly.
+  [[nodiscard]] static util::ParseResult<RouteEngine> LoadSnapshot(
+      std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static util::ParseResult<RouteEngine> LoadSnapshotFile(
+      const std::string& path);
+
+  /// FNV-1a64 over a snapshot-payload byte run — exposed so tools and
+  /// tests can recompute the stored checksum after patching bytes.
+  [[nodiscard]] static std::uint64_t SnapshotChecksum(
+      std::span<const std::uint8_t> bytes,
+      std::uint64_t seed = 14695981039346656037ull);
 
   // --- Single-source sweeps (DijkstraWorkspace is the scratch type) ---
 
@@ -160,7 +240,11 @@ class RouteEngine {
   // --- Batched parallel sweeps (bitwise thread-count independent) ---
 
   /// dist(sources[r], targets[c]) under the metric. kDistance runs one
-  /// full sweep per source; kBitRisk one targeted sweep per pair with
+  /// full sweep per source — unless landmarks are prepared, the overlay
+  /// adds no edges, and the target set is sparse (|targets| * 8 <=
+  /// node_count()), in which case it runs one goal-directed ALT search
+  /// per pair instead (same distances bitwise, far fewer settled nodes).
+  /// kBitRisk runs one targeted sweep per pair with
   /// alpha = Alpha(source, target).
   [[nodiscard]] PairMatrix ManyToMany(std::span<const std::size_t> sources,
                                       std::span<const std::size_t> targets,
@@ -199,9 +283,19 @@ class RouteEngine {
                                      const EdgeOverlay* overlay = nullptr) const;
 
  private:
-  template <bool kRisk, bool kOverlay>
+  /// Uninitialized shell for LoadSnapshot.
+  RouteEngine() = default;
+
+  template <bool kRisk, bool kOverlay, bool kAlt>
   void RunImpl(DijkstraWorkspace& ws, std::size_t source, double alpha,
                std::size_t target, const EdgeOverlay* overlay) const;
+
+  /// True when a targeted sweep may use the landmark bounds: landmarks
+  /// prepared and no overlay-added edges undercutting the miles plane.
+  [[nodiscard]] bool AltUsable(const EdgeOverlay* overlay) const {
+    return !landmark_ids_.empty() &&
+           (overlay == nullptr || overlay->added().empty());
+  }
 
   /// Sum of min bit-risk-miles from source i to every j > i, bitwise
   /// equal to running one targeted Dijkstra per pair. Exploits that the
@@ -232,6 +326,13 @@ class RouteEngine {
   std::vector<double> forecast_;    // o_f
   std::vector<double> node_score_;  // lambda_h * o_h + lambda_f * o_f
   std::vector<geo::GeoPoint> location_;
+  std::vector<std::string> name_;
+
+  // ALT landmark tables (empty until PrepareLandmarks). landmark_miles_
+  // is node-major — the k bounds a relaxation reads are contiguous:
+  // landmark_miles_[v * k + l] = d_miles(landmark_ids_[l], v).
+  std::vector<std::uint32_t> landmark_ids_;
+  std::vector<double> landmark_miles_;
 };
 
 }  // namespace riskroute::core

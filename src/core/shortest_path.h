@@ -105,23 +105,6 @@ void DijkstraWorkspace::Run(const RiskGraph& graph, std::size_t source,
                                                    std::size_t target,
                                                    const EdgeWeightFn& weight);
 
-/// Deprecated single-shot shortest path. For the distance or bit-risk
-/// metrics, freeze a core::RouteEngine once and call FindPath — it runs on
-/// the CSR planes, reuses pooled workspaces, and is several times faster
-/// per query. Use ShortestPathWith when an exotic weight callback really
-/// is required. Compiled out entirely under RISKROUTE_STRICT (the CI
-/// configuration), so new call sites cannot land.
-#ifndef RISKROUTE_STRICT
-[[deprecated(
-    "freeze a core::RouteEngine and call FindPath (or use ShortestPathWith "
-    "for exotic weight callbacks)")]]
-[[nodiscard]] inline std::optional<Path> ShortestPath(
-    const RiskGraph& graph, std::size_t source, std::size_t target,
-    const EdgeWeightFn& weight) {
-  return ShortestPathWith(graph, source, target, weight);
-}
-#endif  // RISKROUTE_STRICT
-
 /// Pure-distance edge weight (bit-miles).
 [[nodiscard]] inline double DistanceWeight(std::size_t /*from*/,
                                            const RiskEdge& edge) {

@@ -35,7 +35,11 @@ Study Study::Build(const StudyOptions& options) {
   Study study;
   {
     obs::TraceSpan span(trace.corpus);
-    study.corpus_ = topology::GeneratePaperCorpus(options.corpus_seed);
+    study.corpus_ =
+        options.corpus_scale > 1.0
+            ? topology::GenerateScaledCorpus(options.corpus_scale,
+                                             options.corpus_seed)
+            : topology::GeneratePaperCorpus(options.corpus_seed);
   }
   {
     obs::TraceSpan span(trace.census);

@@ -25,6 +25,11 @@ namespace riskroute::core {
 /// reference configuration (the one EXPERIMENTS.md records).
 struct StudyOptions {
   std::uint64_t corpus_seed = 123;
+  /// Corpus size multiplier. 1.0 reproduces the paper's 23-network corpus
+  /// exactly (topology::GeneratePaperCorpus); > 1.0 switches to
+  /// topology::GenerateScaledCorpus, which grows every network's PoP count
+  /// by the factor and adds synthetic continental tier-1 backbones.
+  double corpus_scale = 1.0;
   std::uint64_t hazard_seed = 11;
   population::CensusOptions census;
   /// Per-catalog KDE bandwidths; empty = paper Table 1 values.

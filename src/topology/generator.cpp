@@ -402,15 +402,20 @@ std::vector<std::pair<std::string, std::string>> PaperPeerings() {
   return peerings;
 }
 
-Corpus GeneratePaperCorpus(std::uint64_t seed) {
+namespace {
+
+/// Shared growth loop: one forked RNG stream per network (stream i+1, as
+/// GeneratePaperCorpus always has), then the named peerings.
+Corpus GrowCorpus(const std::vector<NetworkSpec>& specs,
+                  const std::vector<std::pair<std::string, std::string>>& peerings,
+                  std::uint64_t seed) {
   util::Rng root(seed);
   Corpus corpus;
-  const std::vector<NetworkSpec> specs = PaperNetworkSpecs();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     util::Rng network_rng = root.Fork(i + 1);
     corpus.AddNetwork(GenerateNetwork(specs[i], network_rng));
   }
-  for (const auto& [a, b] : PaperPeerings()) {
+  for (const auto& [a, b] : peerings) {
     const auto ia = corpus.FindNetwork(a);
     const auto ib = corpus.FindNetwork(b);
     if (!ia || !ib) {
@@ -419,6 +424,76 @@ Corpus GeneratePaperCorpus(std::uint64_t seed) {
     corpus.AddPeering(*ia, *ib);
   }
   return corpus;
+}
+
+/// Number of extra nationwide backbones at a given scale.
+std::size_t ContinentalBackboneCount(double scale) {
+  const auto whole = static_cast<std::size_t>(scale);
+  return whole > 1 ? std::min<std::size_t>(whole - 1, 8) : 0;
+}
+
+}  // namespace
+
+Corpus GeneratePaperCorpus(std::uint64_t seed) {
+  return GrowCorpus(PaperNetworkSpecs(), PaperPeerings(), seed);
+}
+
+std::vector<NetworkSpec> ScaledNetworkSpecs(double scale) {
+  if (!(scale >= 1.0) || !std::isfinite(scale)) {
+    throw InvalidArgument("ScaledNetworkSpecs: scale must be finite and >= 1");
+  }
+  std::vector<NetworkSpec> specs = PaperNetworkSpecs();
+  for (NetworkSpec& spec : specs) {
+    spec.pop_count = std::max(
+        spec.pop_count,
+        static_cast<std::size_t>(
+            std::llround(static_cast<double>(spec.pop_count) * scale)));
+  }
+  // Continental backbones: nationwide Tier-1 meshes over the full
+  // gazetteer. Each anchors a different coast-to-coast corridor so the
+  // backbones are geographically offset rather than clones.
+  static const std::vector<std::pair<std::string, std::string>> kCorridors[] = {
+      {{"Seattle", "WA"}, {"Chicago", "IL"}, {"New York", "NY"}},
+      {{"Los Angeles", "CA"}, {"Dallas", "TX"}, {"Atlanta", "GA"}},
+      {{"San Francisco", "CA"}, {"Denver", "CO"}, {"Washington", "DC"}},
+      {{"Portland", "OR"}, {"Minneapolis", "MN"}, {"Boston", "MA"}},
+      {{"San Diego", "CA"}, {"Phoenix", "AZ"}, {"Miami", "FL"}},
+      {{"Sacramento", "CA"}, {"Kansas City", "MO"}, {"Philadelphia", "PA"}},
+      {{"Salt Lake City", "UT"}, {"St. Louis", "MO"}, {"Charlotte", "NC"}},
+      {{"Las Vegas", "NV"}, {"Houston", "TX"}, {"Baltimore", "MD"}},
+  };
+  const std::size_t backbones = ContinentalBackboneCount(scale);
+  for (std::size_t k = 0; k < backbones; ++k) {
+    NetworkSpec spec{util::Format("Continental%zu", k + 1),
+                     NetworkKind::kTier1,
+                     static_cast<std::size_t>(std::llround(32.0 * scale)),
+                     {},
+                     {},
+                     3.0,
+                     0.5};
+    spec.required_cities = kCorridors[k % std::size(kCorridors)];
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<std::pair<std::string, std::string>> ScaledPeerings(double scale) {
+  std::vector<std::pair<std::string, std::string>> peerings = PaperPeerings();
+  const std::size_t backbones = ContinentalBackboneCount(scale);
+  for (std::size_t k = 0; k < backbones; ++k) {
+    const std::string name = util::Format("Continental%zu", k + 1);
+    peerings.emplace_back(name, "Level3");
+    peerings.emplace_back(name, "Sprint");
+    peerings.emplace_back(name, "ATT");
+    if (k > 0) {
+      peerings.emplace_back(name, util::Format("Continental%zu", k));
+    }
+  }
+  return peerings;
+}
+
+Corpus GenerateScaledCorpus(double scale, std::uint64_t seed) {
+  return GrowCorpus(ScaledNetworkSpecs(scale), ScaledPeerings(scale), seed);
 }
 
 }  // namespace riskroute::topology

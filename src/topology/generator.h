@@ -58,4 +58,29 @@ struct NetworkSpec {
 /// and documented experiment uses).
 [[nodiscard]] Corpus GeneratePaperCorpus(std::uint64_t seed = 123);
 
+/// The paper specs scaled to a continental tier: every network's PoP count
+/// is multiplied by `scale` (required cities and footprints preserved, so
+/// the regional meshes densify in place around their metro anchors), and
+/// `floor(scale) - 1` extra nationwide "ContinentalN" Tier-1 backbones
+/// (capped at 8) are appended, drawing on the full gazetteer. `scale` must
+/// be >= 1; `scale == 1` reproduces PaperNetworkSpecs() exactly.
+[[nodiscard]] std::vector<NetworkSpec> ScaledNetworkSpecs(double scale);
+
+/// Peerings for a scaled corpus: PaperPeerings() plus each continental
+/// backbone peered with the Tier-1 anchors and chained to its predecessor.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+ScaledPeerings(double scale);
+
+/// Generates a continental-scale corpus: ScaledNetworkSpecs(scale) grown
+/// with the same per-network forked-RNG scheme as GeneratePaperCorpus, so
+/// the result is deterministic in (scale, seed). Total PoP count is
+/// roughly 809 * scale plus ~32 * scale per continental backbone; scale 7
+/// clears 5k PoPs and scale 50 approaches 50k. Generation cost is
+/// O(pops^2) per network (MST + densification), so the largest scales take
+/// minutes — freeze the resulting engine to a snapshot rather than
+/// regenerating. `GenerateScaledCorpus(1.0, seed)` is byte-identical to
+/// `GeneratePaperCorpus(seed)`.
+[[nodiscard]] Corpus GenerateScaledCorpus(double scale,
+                                          std::uint64_t seed = 123);
+
 }  // namespace riskroute::topology

@@ -1,6 +1,10 @@
 #include "topology/geojson.h"
 
+#include <cctype>
+#include <map>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "util/error.h"
 #include "util/strings.h"
@@ -119,6 +123,338 @@ std::string PathToGeoJson(const Network& network,
   out << R"(]},"properties":{"label":")" << JsonEscape(label)
       << R"(","network":")" << JsonEscape(network.name()) << R"("}})";
   return out.str();
+}
+
+namespace {
+
+/// Minimal JSON document model for the reader below. Objects keep
+/// insertion order; lookups are linear (feature objects are tiny).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent JSON parser covering everything the GeoJSON writers
+/// emit (and standard JSON generally); throws ParseError with a byte
+/// offset on malformed input.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing content");
+    return value;
+  }
+
+ private:
+  JsonValue ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = text_[pos_] == 't';
+        Expect(v.boolean ? "true" : "false");
+        return v;
+      }
+      case 'n':
+        Expect("null");
+        return {};
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') Fail("expected key");
+      std::string key = ParseString();
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') Fail("expected ':'");
+      ++pos_;
+      v.object.emplace_back(std::move(key), ParseValue());
+      SkipSpace();
+      if (pos_ >= text_.size()) Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      SkipSpace();
+      if (pos_ >= text_.size()) Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape digit");
+            }
+          }
+          // The writers only \u-escape ASCII control characters; emit
+          // anything in Latin-1 range as one byte, else a '?'.
+          out.push_back(code < 0x100 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const auto parsed = util::ParseDouble(text_.substr(start, pos_ - start));
+    if (!parsed) Fail("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = *parsed;
+    return v;
+  }
+
+  void Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) Fail("bad literal");
+    pos_ += literal.size();
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void Fail(const char* what) const {
+    throw ParseError(std::string("geojson: ") + what + " at byte " +
+                     std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Network ParseGeoJsonNetwork(std::string_view text,
+                            const GeoJsonNetworkOptions& options) {
+  const JsonValue doc = JsonParser(text).ParseDocument();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    throw ParseError("geojson: document is not an object");
+  }
+  const JsonValue* type = doc.Find("type");
+  if (type == nullptr || type->str != "FeatureCollection") {
+    throw ParseError("geojson: not a FeatureCollection");
+  }
+  const JsonValue* features = doc.Find("features");
+  if (features == nullptr || features->kind != JsonValue::Kind::kArray) {
+    throw ParseError("geojson: missing features array");
+  }
+
+  const auto coordinate = [](const JsonValue& pair) {
+    if (pair.kind != JsonValue::Kind::kArray || pair.array.size() != 2 ||
+        pair.array[0].kind != JsonValue::Kind::kNumber ||
+        pair.array[1].kind != JsonValue::Kind::kNumber) {
+      throw ParseError("geojson: coordinate is not a [lon, lat] pair");
+    }
+    // GeoJSON order is [longitude, latitude].
+    const double lon = pair.array[0].number;
+    const double lat = pair.array[1].number;
+    if (!geo::IsValidLatLon(lat, lon)) {
+      throw ParseError("geojson: coordinate out of range");
+    }
+    return geo::GeoPoint(lat, lon);
+  };
+
+  // Pass 1: PoPs (Point features) in document order, plus the network
+  // name/kind carried on feature properties.
+  std::string name = options.network_name;
+  std::optional<NetworkKind> kind;
+  struct PendingLink {
+    geo::GeoPoint a;
+    geo::GeoPoint b;
+    PendingLink(const geo::GeoPoint& a_in, const geo::GeoPoint& b_in)
+        : a(a_in), b(b_in) {}
+  };
+  std::vector<Pop> pops;
+  std::vector<PendingLink> pending;
+  for (const JsonValue& feature : features->array) {
+    const JsonValue* geometry = feature.Find("geometry");
+    if (geometry == nullptr) throw ParseError("geojson: feature without geometry");
+    const JsonValue* gtype = geometry->Find("type");
+    const JsonValue* coords = geometry->Find("coordinates");
+    if (gtype == nullptr || coords == nullptr) {
+      throw ParseError("geojson: geometry without type/coordinates");
+    }
+    const JsonValue* properties = feature.Find("properties");
+    if (properties != nullptr) {
+      if (name.empty()) {
+        if (const JsonValue* net = properties->Find("network")) {
+          name = net->str;
+        }
+      }
+      if (!kind) {
+        if (const JsonValue* k = properties->Find("kind")) {
+          kind = ParseNetworkKind(k->str);
+        }
+      }
+    }
+    if (gtype->str == "Point") {
+      std::string pop_name;
+      if (properties != nullptr) {
+        if (const JsonValue* n = properties->Find("name")) pop_name = n->str;
+      }
+      pops.push_back(Pop{std::move(pop_name), coordinate(*coords)});
+    } else if (gtype->str == "LineString") {
+      if (coords->kind != JsonValue::Kind::kArray || coords->array.size() < 2) {
+        throw ParseError("geojson: LineString needs >= 2 coordinates");
+      }
+      for (std::size_t i = 1; i < coords->array.size(); ++i) {
+        pending.emplace_back(coordinate(coords->array[i - 1]),
+                             coordinate(coords->array[i]));
+      }
+    } else {
+      throw ParseError("geojson: unsupported geometry type '" + gtype->str +
+                       "'");
+    }
+  }
+  if (pops.empty()) throw ParseError("geojson: no Point features");
+
+  Network network(name.empty() ? "imported" : name,
+                  kind.value_or(options.kind));
+  // Both writer and reader render coordinates through the same %.6f
+  // serialization, so link endpoints match their PoP bitwise; first
+  // occurrence wins if two PoPs share a rounded location.
+  std::map<std::pair<double, double>, std::size_t> index_of;
+  for (Pop& pop : pops) {
+    const auto key = std::make_pair(pop.location.latitude(),
+                                    pop.location.longitude());
+    const std::size_t index = network.AddPop(std::move(pop));
+    index_of.emplace(key, index);
+  }
+  for (const PendingLink& link : pending) {
+    const auto a = index_of.find({link.a.latitude(), link.a.longitude()});
+    const auto b = index_of.find({link.b.latitude(), link.b.longitude()});
+    if (a == index_of.end() || b == index_of.end()) {
+      throw ParseError("geojson: link endpoint matches no PoP");
+    }
+    if (a->second == b->second) continue;  // degenerate after rounding
+    network.AddLink(a->second, b->second);
+  }
+  return network;
 }
 
 }  // namespace riskroute::topology

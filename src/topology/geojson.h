@@ -37,4 +37,24 @@ using PopScalarFn = std::function<double(std::size_t pop_index)>;
 /// Escapes a string for embedding in a JSON document.
 [[nodiscard]] std::string JsonEscape(const std::string& text);
 
+/// Options for ParseGeoJsonNetwork.
+struct GeoJsonNetworkOptions {
+  /// Network name; empty = take the "network" property of the first
+  /// feature that carries one.
+  std::string network_name;
+  /// Fallback tier when no feature carries a "kind" property.
+  NetworkKind kind = NetworkKind::kRegional;
+};
+
+/// Parses a FeatureCollection produced by NetworkToGeoJson back into a
+/// Network: Point features become PoPs in document order, LineString
+/// features become links with endpoints matched to PoP coordinates
+/// (exact match on the parsed values, which is reliable because writer
+/// and reader serialize both through the same %.6f rendering). Names and
+/// topology round-trip exactly; coordinates at the writer's 1e-6
+/// precision. Throws ParseError on malformed JSON, non-FeatureCollection
+/// input, invalid coordinates, or a link endpoint matching no PoP.
+[[nodiscard]] Network ParseGeoJsonNetwork(
+    std::string_view text, const GeoJsonNetworkOptions& options = {});
+
 }  // namespace riskroute::topology

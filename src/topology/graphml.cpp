@@ -166,6 +166,34 @@ struct RawNode {
   std::map<std::string, std::string> data;  // key id -> value
 };
 
+/// Encodes the five predefined XML entities (inverse of XmlReader::Unescape).
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Network ParseGraphml(std::string_view text, const GraphmlOptions& options) {
@@ -264,6 +292,38 @@ Network ParseGraphml(std::string_view text, const GraphmlOptions& options) {
     network.AddLink(a->second, b->second);
   }
   return network;
+}
+
+std::string WriteGraphml(const Network& network,
+                         const GraphmlOptions& options) {
+  std::string out;
+  out += "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  out += "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  out += "  <key id=\"d0\" for=\"node\" attr.name=\"" +
+         XmlEscape(options.latitude_attr) + "\" attr.type=\"double\"/>\n";
+  out += "  <key id=\"d1\" for=\"node\" attr.name=\"" +
+         XmlEscape(options.longitude_attr) + "\" attr.type=\"double\"/>\n";
+  out += "  <key id=\"d2\" for=\"node\" attr.name=\"" +
+         XmlEscape(options.label_attr) + "\" attr.type=\"string\"/>\n";
+  out += "  <graph edgedefault=\"undirected\">\n";
+  for (std::size_t i = 0; i < network.pop_count(); ++i) {
+    const Pop& pop = network.pop(i);
+    // %.17g round-trips an IEEE double exactly through ParseDouble.
+    out += "    <node id=\"n" + std::to_string(i) + "\">\n";
+    out += "      <data key=\"d0\">" +
+           util::Format("%.17g", pop.location.latitude()) + "</data>\n";
+    out += "      <data key=\"d1\">" +
+           util::Format("%.17g", pop.location.longitude()) + "</data>\n";
+    out += "      <data key=\"d2\">" + XmlEscape(pop.name) + "</data>\n";
+    out += "    </node>\n";
+  }
+  for (const Link& link : network.links()) {
+    out += "    <edge source=\"n" + std::to_string(link.a) + "\" target=\"n" +
+           std::to_string(link.b) + "\"/>\n";
+  }
+  out += "  </graph>\n";
+  out += "</graphml>\n";
+  return out;
 }
 
 }  // namespace riskroute::topology

@@ -38,4 +38,11 @@ struct GraphmlOptions {
 [[nodiscard]] Network ParseGraphml(std::string_view text,
                                    const GraphmlOptions& options = {});
 
+/// Exports a Network as Topology Zoo-style GraphML — exactly the subset
+/// ParseGraphml consumes, with coordinates printed at 17 significant
+/// digits, so Write -> Parse round-trips PoP names, locations and links
+/// losslessly (pass the same attribute names in `options` on both sides).
+[[nodiscard]] std::string WriteGraphml(const Network& network,
+                                       const GraphmlOptions& options = {});
+
 }  // namespace riskroute::topology

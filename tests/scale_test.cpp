@@ -1,0 +1,224 @@
+// Continental-scale suite (ctest label: scale; gated by the
+// RISKROUTE_SCALE_TESTS CMake option). Runs the correctness side of
+// bench/bench_scale.cpp's wall-clock story on the same scale-7 corpus:
+// the ALT many-to-many path must be bitwise identical to the full
+// Dijkstra sweeps, snapshots must round-trip byte-exactly at this size,
+// and the scaled generator must be deterministic and anchored to the
+// paper corpus at scale 1. These tests take tens of seconds each — the
+// sanitizer lanes build with RISKROUTE_SCALE_TESTS=OFF.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/risk_graph.h"
+#include "core/route_engine.h"
+#include "geo/distance.h"
+#include "topology/corpus.h"
+#include "topology/generator.h"
+#include "util/philox.h"
+#include "util/thread_pool.h"
+
+namespace riskroute {
+namespace {
+
+using core::PairMatrix;
+using core::RiskGraph;
+using core::RiskNode;
+using core::RiskParams;
+using core::RouteEngine;
+using core::RouteMetric;
+
+// Mirrors bench/bench_scale.cpp's fixture (same scale, seed, landmark
+// count, and graph construction) so the speedups the bench reports are
+// measured on exactly the sweeps whose correctness is asserted here.
+constexpr double kScale = 7.0;
+constexpr std::uint64_t kSeed = 123;
+constexpr std::size_t kLandmarks = 16;
+constexpr RiskParams kParams{1e5, 1e3};
+
+RiskGraph BuildScaledGraph(const topology::Corpus& corpus) {
+  RiskGraph graph;
+  std::vector<std::size_t> base(corpus.network_count());
+  util::PhiloxRng rng(kSeed, 0xA17);
+  for (std::size_t n = 0; n < corpus.network_count(); ++n) {
+    const topology::Network& net = corpus.network(n);
+    base[n] = graph.node_count();
+    for (const topology::Pop& pop : net.pops()) {
+      RiskNode node;
+      node.name = pop.name;
+      node.location = pop.location;
+      node.impact_fraction = 0.5 + 0.5 * rng.NextUniform();
+      node.historical_risk = rng.NextUniform();
+      graph.AddNode(std::move(node));
+    }
+  }
+  std::vector<core::WeightedLink> links;
+  for (std::size_t n = 0; n < corpus.network_count(); ++n) {
+    const topology::Network& net = corpus.network(n);
+    for (const topology::Link& link : net.links()) {
+      links.push_back({base[n] + link.a, base[n] + link.b,
+                       geo::GreatCircleMiles(net.pop(link.a).location,
+                                             net.pop(link.b).location)});
+    }
+  }
+  for (const topology::Peering& peering : corpus.peerings()) {
+    const topology::Network& na = corpus.network(peering.a);
+    const topology::Network& nb = corpus.network(peering.b);
+    const std::size_t ib = nb.NearestPop(na.pop(0).location);
+    const std::size_t ia = na.NearestPop(nb.pop(ib).location);
+    links.push_back({base[peering.a] + ia, base[peering.b] + ib,
+                     geo::GreatCircleMiles(na.pop(ia).location,
+                                           nb.pop(ib).location)});
+  }
+  graph.AddEdgesUnchecked(links);
+  return graph;
+}
+
+struct ScaleFixture {
+  topology::Corpus corpus;
+  RiskGraph graph;
+  RouteEngine dijkstra_engine;
+  RouteEngine alt_engine;
+  std::vector<std::size_t> sources;
+  std::vector<std::size_t> targets;
+
+  ScaleFixture()
+      : corpus(topology::GenerateScaledCorpus(kScale, kSeed)),
+        graph(BuildScaledGraph(corpus)),
+        dijkstra_engine(graph, kParams),
+        alt_engine(graph, kParams) {
+    alt_engine.PrepareLandmarks(kLandmarks);
+    const std::size_t n = graph.node_count();
+    for (std::size_t i = 0; i < 16; ++i) sources.push_back(i * n / 16);
+    for (std::size_t i = 0; i < 2; ++i) {
+      targets.push_back((8 * i + 5) * n / 16);
+    }
+  }
+};
+
+const ScaleFixture& Fixture() {
+  static const ScaleFixture fixture;
+  return fixture;
+}
+
+void ExpectBitwiseEqual(const PairMatrix& a, const PairMatrix& b) {
+  ASSERT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.cols, b.cols);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (std::size_t i = 0; i < a.dist.size(); ++i) {
+    ASSERT_EQ(a.dist[i], b.dist[i]) << "flat index " << i;
+  }
+}
+
+TEST(ScaleTest, ScaledCorpusClearsFiveThousandPops) {
+  const ScaleFixture& f = Fixture();
+  EXPECT_GE(f.graph.node_count(), 5000u);
+  // floor(7) - 1 = 6 continental backbones appended after the 23 paper
+  // networks.
+  ASSERT_EQ(f.corpus.network_count(), 29u);
+  std::size_t continental = 0;
+  for (const topology::Network& net : f.corpus.networks()) {
+    if (net.name().rfind("Continental", 0) == 0) {
+      ++continental;
+      EXPECT_EQ(net.kind(), topology::NetworkKind::kTier1);
+    }
+    EXPECT_TRUE(net.IsConnected()) << net.name();
+  }
+  EXPECT_EQ(continental, 6u);
+}
+
+TEST(ScaleTest, ManyToManyAltMatchesDijkstraBitwise) {
+  // The assertion bench_scale.cpp's BM_ScaleManyToMany* pair relies on:
+  // identical PairMatrix bitwise, serial and under an 8-thread pool.
+  const ScaleFixture& f = Fixture();
+  const PairMatrix reference = f.dijkstra_engine.ManyToMany(
+      f.sources, f.targets, RouteMetric::kDistance);
+  ExpectBitwiseEqual(reference,
+                     f.alt_engine.ManyToMany(f.sources, f.targets,
+                                             RouteMetric::kDistance));
+  util::ThreadPool pool(8);
+  ExpectBitwiseEqual(reference,
+                     f.alt_engine.ManyToMany(f.sources, f.targets,
+                                             RouteMetric::kDistance, &pool));
+  ExpectBitwiseEqual(
+      f.dijkstra_engine.ManyToMany(f.sources, f.targets,
+                                   RouteMetric::kBitRisk, &pool),
+      f.alt_engine.ManyToMany(f.sources, f.targets, RouteMetric::kBitRisk,
+                              &pool));
+}
+
+TEST(ScaleTest, SnapshotRoundTripsByteExactlyAtScale) {
+  const ScaleFixture& f = Fixture();
+  const std::string bytes = f.alt_engine.SnapshotBytes();
+  auto loaded = RouteEngine::LoadSnapshot(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().Render();
+  EXPECT_EQ(loaded.value().node_count(), f.graph.node_count());
+  EXPECT_EQ(loaded.value().landmark_count(), kLandmarks);
+  EXPECT_EQ(loaded.value().SnapshotBytes(), bytes);
+  ExpectBitwiseEqual(
+      f.dijkstra_engine.ManyToMany(f.sources, f.targets,
+                                   RouteMetric::kDistance),
+      loaded.value().ManyToMany(f.sources, f.targets,
+                                RouteMetric::kDistance));
+}
+
+TEST(ScaleTest, ScaledGeneratorIsDeterministicInScaleAndSeed) {
+  // Checked at scale 2 — regenerating the scale-7 corpus twice more
+  // would double this suite's runtime for no extra coverage.
+  const topology::Corpus a = topology::GenerateScaledCorpus(2.0, 7);
+  const topology::Corpus b = topology::GenerateScaledCorpus(2.0, 7);
+  ASSERT_EQ(a.network_count(), b.network_count());
+  for (std::size_t n = 0; n < a.network_count(); ++n) {
+    const topology::Network& na = a.network(n);
+    const topology::Network& nb = b.network(n);
+    ASSERT_EQ(na.name(), nb.name());
+    ASSERT_EQ(na.pop_count(), nb.pop_count());
+    ASSERT_EQ(na.link_count(), nb.link_count());
+    for (std::size_t i = 0; i < na.pop_count(); ++i) {
+      ASSERT_EQ(na.pop(i).name, nb.pop(i).name);
+      ASSERT_EQ(na.pop(i).location.latitude(), nb.pop(i).location.latitude());
+      ASSERT_EQ(na.pop(i).location.longitude(),
+                nb.pop(i).location.longitude());
+    }
+  }
+  // A different seed reshuffles PoP placement somewhere.
+  const topology::Corpus c = topology::GenerateScaledCorpus(2.0, 8);
+  bool differs = false;
+  for (std::size_t n = 0; n < a.network_count() && !differs; ++n) {
+    for (std::size_t i = 0; i < a.network(n).pop_count() && !differs; ++i) {
+      differs = a.network(n).pop(i).name != c.network(n).pop(i).name;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScaleTest, ScaleOneReproducesThePaperCorpus) {
+  const topology::Corpus scaled = topology::GenerateScaledCorpus(1.0, kSeed);
+  const topology::Corpus paper = topology::GeneratePaperCorpus(kSeed);
+  ASSERT_EQ(scaled.network_count(), paper.network_count());
+  for (std::size_t n = 0; n < paper.network_count(); ++n) {
+    const topology::Network& s = scaled.network(n);
+    const topology::Network& p = paper.network(n);
+    ASSERT_EQ(s.name(), p.name());
+    ASSERT_EQ(s.kind(), p.kind());
+    ASSERT_EQ(s.pop_count(), p.pop_count());
+    ASSERT_EQ(s.link_count(), p.link_count());
+    for (std::size_t i = 0; i < p.pop_count(); ++i) {
+      ASSERT_EQ(s.pop(i).name, p.pop(i).name);
+      ASSERT_EQ(s.pop(i).location.latitude(), p.pop(i).location.latitude());
+      ASSERT_EQ(s.pop(i).location.longitude(),
+                p.pop(i).location.longitude());
+    }
+    for (const topology::Link& link : p.links()) {
+      ASSERT_TRUE(s.HasLink(link.a, link.b));
+    }
+  }
+  ASSERT_EQ(scaled.peerings().size(), paper.peerings().size());
+}
+
+}  // namespace
+}  // namespace riskroute

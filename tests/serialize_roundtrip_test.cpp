@@ -1,0 +1,150 @@
+// Topology serialization round-trips: WriteGraphml -> ParseGraphml must
+// be lossless (names, links, and exact coordinate bits — the writer
+// prints 17 significant digits), and NetworkToGeoJson ->
+// ParseGeoJsonNetwork must recover names and topology exactly with
+// coordinates at the writer's 1e-6 precision (so a second write is
+// byte-identical to the first). Exercised over every network of the
+// paper corpus and a small scaled corpus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "topology/corpus.h"
+#include "topology/generator.h"
+#include "topology/geojson.h"
+#include "topology/graphml.h"
+#include "topology/network.h"
+#include "util/error.h"
+
+namespace riskroute {
+namespace {
+
+using topology::GeoJsonNetworkOptions;
+using topology::GraphmlOptions;
+using topology::Network;
+using topology::NetworkKind;
+
+/// Topology equality: same name/kind, PoPs in the same order with equal
+/// names, and the same undirected link set.
+void ExpectSameTopology(const Network& expected, const Network& actual) {
+  EXPECT_EQ(expected.name(), actual.name());
+  EXPECT_EQ(expected.kind(), actual.kind());
+  ASSERT_EQ(expected.pop_count(), actual.pop_count());
+  for (std::size_t i = 0; i < expected.pop_count(); ++i) {
+    EXPECT_EQ(expected.pop(i).name, actual.pop(i).name) << "pop " << i;
+  }
+  ASSERT_EQ(expected.link_count(), actual.link_count());
+  for (const topology::Link& link : expected.links()) {
+    EXPECT_TRUE(actual.HasLink(link.a, link.b))
+        << expected.name() << ": link " << link.a << "-" << link.b;
+  }
+}
+
+void ExpectGraphmlRoundTrip(const Network& network) {
+  const GraphmlOptions options{network.name(), network.kind(), "Latitude",
+                               "Longitude", "label"};
+  const std::string xml = topology::WriteGraphml(network, options);
+  const Network back = topology::ParseGraphml(xml, options);
+  ExpectSameTopology(network, back);
+  for (std::size_t i = 0; i < network.pop_count(); ++i) {
+    // 17 significant digits round-trip doubles exactly.
+    EXPECT_EQ(network.pop(i).location.latitude(),
+              back.pop(i).location.latitude());
+    EXPECT_EQ(network.pop(i).location.longitude(),
+              back.pop(i).location.longitude());
+  }
+  // Write of the parsed network reproduces the document byte-for-byte.
+  EXPECT_EQ(topology::WriteGraphml(back, options), xml);
+}
+
+void ExpectGeoJsonRoundTrip(const Network& network) {
+  const std::string json = topology::NetworkToGeoJson(network);
+  const Network back = topology::ParseGeoJsonNetwork(json);
+  ExpectSameTopology(network, back);
+  for (std::size_t i = 0; i < network.pop_count(); ++i) {
+    EXPECT_NEAR(network.pop(i).location.latitude(),
+                back.pop(i).location.latitude(), 1e-6);
+    EXPECT_NEAR(network.pop(i).location.longitude(),
+                back.pop(i).location.longitude(), 1e-6);
+  }
+  // The parsed coordinates are exactly the %.6f-rendered values, so the
+  // second write is byte-identical to the first.
+  EXPECT_EQ(topology::NetworkToGeoJson(back), json);
+}
+
+TEST(SerializeRoundtripTest, GraphmlRoundTripsEveryPaperNetwork) {
+  const topology::Corpus corpus = topology::GeneratePaperCorpus();
+  for (const Network& network : corpus.networks()) {
+    ExpectGraphmlRoundTrip(network);
+  }
+}
+
+TEST(SerializeRoundtripTest, GeoJsonRoundTripsEveryPaperNetwork) {
+  const topology::Corpus corpus = topology::GeneratePaperCorpus();
+  for (const Network& network : corpus.networks()) {
+    ExpectGeoJsonRoundTrip(network);
+  }
+}
+
+TEST(SerializeRoundtripTest, RoundTripsAScaledCorpus) {
+  // Scale 2 doubles every network and adds one continental backbone —
+  // big enough to exercise synthesized satellite-town PoPs and the
+  // nationwide gazetteer draw, small enough for the default test lane.
+  const topology::Corpus corpus = topology::GenerateScaledCorpus(2.0, 99);
+  ASSERT_GT(corpus.network_count(), 23u);
+  for (const Network& network : corpus.networks()) {
+    ExpectGraphmlRoundTrip(network);
+    ExpectGeoJsonRoundTrip(network);
+  }
+}
+
+TEST(SerializeRoundtripTest, GraphmlEscapesMarkupInNames) {
+  Network network("a<b>&\"net\"", NetworkKind::kRegional);
+  network.AddPop({"City & Co <1>", geo::GeoPoint(30.5, -95.25)});
+  network.AddPop({"Plain", geo::GeoPoint(31.5, -96.25)});
+  network.AddLink(0, 1);
+  ExpectGraphmlRoundTrip(network);
+}
+
+TEST(SerializeRoundtripTest, GeoJsonEscapesQuotesAndBackslashes) {
+  Network network("quote\"net\\", NetworkKind::kTier1);
+  network.AddPop({"He said \"hi\"\\", geo::GeoPoint(40.0, -100.0)});
+  network.AddPop({"Tab\tand\nnewline", geo::GeoPoint(41.0, -101.0)});
+  network.AddLink(0, 1);
+  ExpectGeoJsonRoundTrip(network);
+}
+
+TEST(SerializeRoundtripTest, GeoJsonParserRejectsMalformedInput) {
+  EXPECT_THROW(topology::ParseGeoJsonNetwork(""), ParseError);
+  EXPECT_THROW(topology::ParseGeoJsonNetwork("{"), ParseError);
+  EXPECT_THROW(topology::ParseGeoJsonNetwork(R"({"type":"Feature"})"),
+               ParseError);
+  // Link endpoint matching no PoP.
+  EXPECT_THROW(
+      topology::ParseGeoJsonNetwork(
+          R"({"type":"FeatureCollection","features":[)"
+          R"({"type":"Feature","geometry":{"type":"Point",)"
+          R"("coordinates":[-95.0,30.0]},"properties":{"name":"A"}},)"
+          R"({"type":"Feature","geometry":{"type":"LineString",)"
+          R"("coordinates":[[-95.0,30.0],[-96.0,31.0]]},"properties":{}}]})"),
+      ParseError);
+}
+
+TEST(SerializeRoundtripTest, GeoJsonOptionsSupplyNameAndKindFallbacks) {
+  // A hand-written FeatureCollection without network/kind properties
+  // takes both from the options.
+  const std::string json =
+      R"({"type":"FeatureCollection","features":[)"
+      R"({"type":"Feature","geometry":{"type":"Point",)"
+      R"("coordinates":[-90.000000,35.000000]},"properties":{"name":"Solo"}}]})";
+  const Network parsed = topology::ParseGeoJsonNetwork(
+      json, GeoJsonNetworkOptions{"fallback", NetworkKind::kTier1});
+  EXPECT_EQ(parsed.name(), "fallback");
+  EXPECT_EQ(parsed.kind(), NetworkKind::kTier1);
+  ASSERT_EQ(parsed.pop_count(), 1u);
+  EXPECT_EQ(parsed.pop(0).name, "Solo");
+}
+
+}  // namespace
+}  // namespace riskroute

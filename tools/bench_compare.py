@@ -17,7 +17,11 @@ The tool then:
      ``RISKROUTE_METRICS_OUT``) next to the report as
      ``<output stem>_<binary stem>_metrics.json`` and fails — never
      silently skips — if one is missing or does not validate against
-     ``tools/metrics_schema.json``.
+     ``tools/metrics_schema.json``,
+  5. fails on orphaned sidecars: a ``<output stem>_*_metrics.json`` file
+     next to the report whose bench binary was not part of this run is a
+     stale leftover (a deleted pair, or a binary dropped from the ctest
+     wiring) and would misrepresent the report's provenance.
 
 Every pair is bound to the bench binary (by basename) that registers its
 benchmarks; pass ``--binary`` once per binary. A pair whose binary was not
@@ -56,7 +60,9 @@ import validate_metrics
 # (2x), the greedy scan replaced a full re-sweep per candidate with the
 # incremental identity (3x), and the ensemble pair replaced per-pair
 # allocating Dijkstras with hash-set failure checks by frozen-CSR overlay
-# sweeps (3x). The ctest wiring scales every floor by --floor-scale to
+# sweeps (3x), and the continental-scale pair replaced full per-source
+# Dijkstra sweeps with per-pair landmark-guided A* on sparse target sets
+# (3x). The ctest wiring scales every floor by --floor-scale to
 # tolerate noisy shared hosts; run standalone for the strict targets.
 PAIRS = {
     "evaluate": ("bench_perf_core",
@@ -71,6 +77,8 @@ PAIRS = {
                     "BM_GreedyScanLegacy", "BM_GreedyScanEngine", 3.0),
     "ensemble": ("bench_ensemble",
                  "BM_EnsembleLegacy", "BM_EnsembleBatched", 3.0),
+    "scale_mtm": ("bench_scale",
+                  "BM_ScaleManyToManyDijkstra", "BM_ScaleManyToManyAlt", 3.0),
 }
 
 
@@ -128,6 +136,23 @@ def check_metrics_sidecar(sidecar: pathlib.Path) -> list[str]:
         errors.append("metrics sidecar: stable counter section is empty — "
                       "the instrumented hot paths recorded nothing")
     return errors
+
+
+def check_orphan_sidecars(output: pathlib.Path,
+                          expected: list[pathlib.Path]) -> list[str]:
+    """Hard-fails on sidecars this run did not produce.
+
+    A ``<output stem>_*_metrics.json`` file beside the report whose bench
+    binary is not part of the current PAIRS/--binary set means a pair was
+    removed without cleaning up its artifacts; left in place it would read
+    as fresh output of this run.
+    """
+    known = {sidecar.resolve() for sidecar in expected}
+    return [f"orphaned metrics sidecar {found}: its bench binary is not "
+            f"part of this run — delete the file or restore its PAIRS entry"
+            for found in sorted(output.parent.glob(
+                f"{output.stem}_*_metrics.json"))
+            if found.resolve() not in known]
 
 
 def real_times(report: dict) -> dict[str, float]:
@@ -238,6 +263,7 @@ def main() -> int:
     print(f"report written to {args.output}")
 
     failures = check_floor(report, args.floor_scale, args.min_speedup)
+    failures += check_orphan_sidecars(args.output, sidecars)
     for sidecar in sidecars:
         failures += check_metrics_sidecar(sidecar)
         if sidecar.exists():

@@ -44,10 +44,24 @@ CASES = {
                                "--month", "9", "--json"] + COMMON,
 }
 
+# Alias name -> (base case, extra CLI arguments). An alias replays its
+# base case with the extra flags and is held to the *base case's* golden
+# file — and, when the base ran in the same invocation, to its output
+# byte-for-byte. This is how the ALT contract is gated end to end:
+# preparing landmarks must not change a single output byte, only the
+# wall clock. --update skips aliases (their goldens belong to the base).
+ALIASES = {
+    "route_level3_alt": ("route_level3", ["--alt-landmarks", "8"]),
+    "ensemble_digex_alt": ("ensemble_digex", ["--alt-landmarks", "8"]),
+}
+
 # Cases whose output must also be byte-identical across worker counts
 # (the ensemble determinism contract) -> list of extra thread counts.
+# The ALT alias repeats the sweep so the thread-independence contract is
+# exercised with goal-directed searches active.
 BITWISE_THREAD_CASES = {
     "ensemble_digex": ["1", "2", "8"],
+    "ensemble_digex_alt": ["1", "2", "8"],
 }
 
 NUMBER = re.compile(r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?")
@@ -127,25 +141,37 @@ def main() -> int:
         print(f"golden_diff: no such binary: {args.binary}", file=sys.stderr)
         return 2
 
-    names = args.only if args.only else sorted(CASES)
-    unknown = [n for n in names if n not in CASES]
+    names = args.only if args.only else sorted(CASES) + sorted(ALIASES)
+    unknown = [n for n in names if n not in CASES and n not in ALIASES]
     if unknown:
         print(f"golden_diff: unknown case(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
 
     failures = []
+    outputs: dict[str, str] = {}
     for name in names:
-        golden_path = args.golden_dir / f"{name}.golden"
-        output = run_case(args.binary, CASES[name])
+        base = ALIASES[name][0] if name in ALIASES else name
+        case_args = (CASES[base] + ALIASES[name][1] if name in ALIASES
+                     else CASES[name])
+        golden_path = args.golden_dir / f"{base}.golden"
+        output = run_case(args.binary, case_args)
+        outputs[name] = output
 
         for threads in BITWISE_THREAD_CASES.get(name, []):
-            rerun = run_case(args.binary, CASES[name], threads=threads)
+            rerun = run_case(args.binary, case_args, threads=threads)
             if rerun != output:
                 failures.append(f"{name}: output at --threads {threads} is "
                                 f"not byte-identical to the default run")
 
+        if name in ALIASES and base in outputs:
+            if output != outputs[base]:
+                failures.append(f"{name}: output is not byte-identical to "
+                                f"its base case {base}")
+
         if args.update:
+            if name in ALIASES:
+                continue  # the base case owns the golden file
             golden_path.parent.mkdir(parents=True, exist_ok=True)
             golden_path.write_text(output)
             print(f"wrote {golden_path}")

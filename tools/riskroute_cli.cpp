@@ -8,14 +8,21 @@
 //   riskroute simulate --network Tinet [--trials 2000]
 //   riskroute export   [--network NAME] [--format geojson|rrt]
 //   riskroute ospf     --network Deutsche
+//   riskroute freeze   --network Level3 --out level3.rre [--alt-landmarks K]
+//   riskroute table3   [--scale X] [--seed S]
 //
 // Every subcommand runs against the deterministic reference study
-// (override the corpus seed with --seed). Output goes to stdout; GeoJSON
-// and .rrt exports print the document so it can be piped to a file.
+// (override the corpus seed with --seed; grow the corpus with --scale).
+// `freeze` serializes a prepared RouteEngine to a snapshot file, and
+// route/ratios/ensemble accept --engine-snapshot FILE to boot from one
+// without rebuilding the study. Output goes to stdout; GeoJSON and .rrt
+// exports print the document so it can be piped to a file.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <numeric>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -25,6 +32,7 @@
 #include "forecast/projection.h"
 #include "hazard/synthesis.h"
 #include "riskroute_api.h"
+#include "topology/generator.h"
 #include "topology/geojson.h"
 #include "topology/serialize.h"
 #include "tools/args.h"
@@ -41,20 +49,25 @@ int Usage() {
       "commands:\n"
       "  route     --network N --from \"City, ST\" --to \"City, ST\"\n"
       "            [--lambda-h X] [--lambda-f X] [--latency-budget MS]\n"
-      "            [--geojson]\n"
+      "            [--geojson] [--engine-snapshot FILE]\n"
       "  ratios    [--network N] [--lambda-h X] [--lambda-f X]\n"
+      "            [--engine-snapshot FILE]\n"
       "  augment   --network N [--links K]\n"
       "  peering   --network N [--any-peer]\n"
       "  storm     --network N --storm IRENE|KATRINA|SANDY [--project H]\n"
       "  simulate  --network N [--trials T] [--lambda-h X]\n"
       "  ensemble  --network N [--scenarios K] [--ensemble-seed S]\n"
-      "            [--month 1-12] [--top L] [--json]\n"
+      "            [--month 1-12] [--top L] [--json] [--engine-snapshot FILE]\n"
       "  export    [--network N] [--format geojson|rrt]\n"
       "  ospf      --network N [--lambda-h X]\n"
       "  bgp       --dest N [--risk-aware]\n"
+      "  freeze    --network N --out FILE [--alt-landmarks K] [--scale X]\n"
+      "  table3    [--scale X] [--seed S]   (corpus summary, Table 3 style)\n"
       "\n"
       "common options: --seed S (corpus seed), --blocks B (census blocks),\n"
+      "                --scale X (corpus scale, 1 = paper corpus),\n"
       "                --threads T (worker pool size, 0 = hardware),\n"
+      "                --alt-landmarks K (prepare K ALT landmarks, 0 = off),\n"
       "                --metrics-out FILE (dump obs:: metrics JSON on exit)");
   return 2;
 }
@@ -67,6 +80,7 @@ std::size_t PoolThreads(const Args& args) {
 core::Study BuildStudy(const Args& args) {
   core::StudyOptions options;
   options.corpus_seed = args.GetSize("seed", 123);
+  options.corpus_scale = args.GetDouble("scale", 1.0);
   options.census.block_count = args.GetSize("blocks", 215932);
   std::fprintf(stderr, "building study (seed %zu, %zu census blocks)...\n",
                static_cast<std::size_t>(options.corpus_seed),
@@ -79,22 +93,56 @@ core::RiskParams ParamsFrom(const Args& args) {
                           args.GetDouble("lambda-f", 1e3)};
 }
 
-std::size_t RequirePop(const core::RiskGraph& graph, const std::string& name) {
-  for (std::size_t i = 0; i < graph.node_count(); ++i) {
-    if (graph.node(i).name == name) return i;
+/// --alt-landmarks K: prepares (or, with K=0, clears) the engine's ALT
+/// landmark tables. Absent flag = leave whatever the engine already has
+/// (snapshots carry their landmarks).
+void ApplyAltLandmarks(const Args& args, core::RouteEngine& engine) {
+  if (!args.Has("alt-landmarks")) return;
+  const std::size_t count = args.GetSize("alt-landmarks", 0);
+  if (count == 0) {
+    engine.ClearLandmarks();
+  } else {
+    engine.PrepareLandmarks(count);
   }
-  throw InvalidArgument("no PoP named '" + name + "' in this network");
+}
+
+/// Boots a RouteEngine either from --engine-snapshot FILE or from the
+/// study + --network graph. In snapshot mode `study`/`graph` stay empty
+/// (no corpus is built) and the risk params come from the snapshot, not
+/// the --lambda-* flags.
+core::RouteEngine BootEngine(const Args& args,
+                             std::optional<core::Study>& study,
+                             std::optional<core::RiskGraph>& graph,
+                             const char* default_network) {
+  if (const auto snapshot = args.Get("engine-snapshot")) {
+    std::fprintf(stderr, "booting engine from snapshot %s...\n",
+                 snapshot->c_str());
+    auto loaded = core::RouteEngine::LoadSnapshotFile(*snapshot);
+    core::RouteEngine engine = std::move(loaded).ValueOrThrow();
+    ApplyAltLandmarks(args, engine);
+    return engine;
+  }
+  study.emplace(BuildStudy(args));
+  graph.emplace(study->BuildGraphFor(args.GetOr("network", default_network)));
+  core::RouteEngine engine(*graph, ParamsFrom(args));
+  ApplyAltLandmarks(args, engine);
+  return engine;
 }
 
 int CmdRoute(const Args& args) {
-  const core::Study study = BuildStudy(args);
-  const std::string network = args.GetOr("network", "Level3");
-  const core::RiskGraph graph = study.BuildGraphFor(network);
-  const std::size_t src = RequirePop(graph, args.GetOr("from", "Houston, TX"));
-  const std::size_t dst = RequirePop(graph, args.GetOr("to", "Boston, MA"));
-  const core::RiskParams params = ParamsFrom(args);
+  std::optional<core::Study> study;
+  std::optional<core::RiskGraph> graph;
+  const core::RouteEngine engine = BootEngine(args, study, graph, "Level3");
 
-  const core::RouteEngine engine(graph, params);
+  const auto require_pop = [&](const std::string& name) {
+    for (std::size_t i = 0; i < engine.node_count(); ++i) {
+      if (engine.node_name(i) == name) return i;
+    }
+    throw InvalidArgument("no PoP named '" + name + "' in this network");
+  };
+  const std::size_t src = require_pop(args.GetOr("from", "Houston, TX"));
+  const std::size_t dst = require_pop(args.GetOr("to", "Boston, MA"));
+
   const double alpha = engine.Alpha(src, dst);
   const auto shortest_path = engine.FindPath(src, dst, 0.0);
   const auto risky_path = engine.FindPath(src, dst, alpha);
@@ -107,7 +155,7 @@ int CmdRoute(const Args& args) {
                                double miles, double brm) {
     std::printf("%s: %.0f mi, %.0f bit-risk mi\n  ", label, miles, brm);
     for (std::size_t i = 0; i < path.size(); ++i) {
-      std::printf("%s%s", graph.node(path[i]).name.c_str(),
+      std::printf("%s%s", engine.node_name(path[i]).c_str(),
                   i + 1 == path.size() ? "\n" : " -> ");
     }
   };
@@ -135,14 +183,18 @@ int CmdRoute(const Args& args) {
     const double risk_term = alpha * engine.NodeScore(v);
     cumulative += hop_miles + risk_term;
     const std::string hop =
-        graph.node(u).name + " -> " + graph.node(v).name;
+        engine.node_name(u) + " -> " + engine.node_name(v);
     std::printf("  %-44s %10.1f %12.1f %12.1f %12.1f\n", hop.c_str(),
                 hop_miles, risk_term, hop_miles + risk_term, cumulative);
   }
 
   if (args.Has("latency-budget")) {
+    if (!graph) {
+      throw InvalidArgument(
+          "--latency-budget needs the live graph; drop --engine-snapshot");
+    }
     const double budget = args.GetDouble("latency-budget", 1e9);
-    const core::MultiObjectiveRouter multi(graph, params);
+    const core::MultiObjectiveRouter multi(*graph, ParamsFrom(args));
     const auto pick = multi.MinRiskWithinLatency(src, dst, budget);
     if (pick) {
       print_route("sla-pick ", pick->path, pick->miles, pick->bit_risk_miles);
@@ -153,17 +205,39 @@ int CmdRoute(const Args& args) {
     }
   }
   if (args.Has("geojson")) {
-    const auto& net = study.corpus().network(study.NetworkIndex(network));
+    if (!study) {
+      throw InvalidArgument(
+          "--geojson needs the study corpus; drop --engine-snapshot");
+    }
+    const auto& net = study->corpus().network(
+        study->NetworkIndex(args.GetOr("network", "Level3")));
     std::puts(topology::PathToGeoJson(net, *risky_path, "riskroute").c_str());
   }
   return 0;
 }
 
 int CmdRatios(const Args& args) {
-  const core::Study study = BuildStudy(args);
-  const core::RiskParams params = ParamsFrom(args);
   util::ThreadPool pool(PoolThreads(args));
   util::Table table({"Network", "# PoPs", "Risk Reduction", "Distance Increase"});
+
+  // Snapshot boot: the frozen engine is one network already; run the
+  // Eq 5/6 sweep over every frozen node (bitwise what the study path
+  // computes for that network, ALT landmarks and all).
+  if (args.Has("engine-snapshot")) {
+    std::optional<core::Study> study;
+    std::optional<core::RiskGraph> graph;
+    const core::RouteEngine engine = BootEngine(args, study, graph, "Level3");
+    std::vector<std::size_t> all(engine.node_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const core::RatioReport report = engine.ComputeRatios(all, all, &pool);
+    table.Add(args.GetOr("network", "snapshot"), engine.node_count(),
+              report.risk_reduction_ratio, report.distance_increase_ratio);
+    table.Render(std::cout);
+    return 0;
+  }
+
+  const core::Study study = BuildStudy(args);
+  const core::RiskParams params = ParamsFrom(args);
   std::vector<std::string> names;
   if (const auto one = args.Get("network")) {
     names.push_back(*one);
@@ -174,10 +248,20 @@ int CmdRatios(const Args& args) {
       }
     }
   }
+  const std::size_t landmarks = args.GetSize("alt-landmarks", 0);
   for (const std::string& name : names) {
     const core::RiskGraph graph = study.BuildGraphFor(name);
-    const core::RatioReport report =
-        core::ComputeIntradomainRatios(graph, params, &pool);
+    core::RatioReport report;
+    if (landmarks > 0) {
+      // ALT path: same Eq 5/6 fold, per-pair goal-directed searches.
+      core::RouteEngine engine(graph, params);
+      engine.PrepareLandmarks(landmarks);
+      std::vector<std::size_t> all(engine.node_count());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      report = engine.ComputeRatios(all, all, &pool);
+    } else {
+      report = core::ComputeIntradomainRatios(graph, params, &pool);
+    }
     table.Add(name, graph.node_count(), report.risk_reduction_ratio,
               report.distance_increase_ratio);
   }
@@ -291,10 +375,9 @@ int CmdSimulate(const Args& args) {
 }
 
 int CmdEnsemble(const Args& args) {
-  const core::Study study = BuildStudy(args);
-  const std::string network = args.GetOr("network", "Tinet");
-  const core::RiskGraph graph = study.BuildGraphFor(network);
-  const core::RouteEngine engine(graph, ParamsFrom(args));
+  std::optional<core::Study> study;
+  std::optional<core::RiskGraph> graph;
+  const core::RouteEngine engine = BootEngine(args, study, graph, "Tinet");
   util::ThreadPool pool(PoolThreads(args));
 
   sim::EnsembleOptions options;
@@ -331,7 +414,7 @@ int CmdEnsemble(const Args& args) {
               "mean delta");
   for (const auto& link : report.criticality) {
     const std::string name =
-        graph.node(link.a).name + " <-> " + graph.node(link.b).name;
+        engine.node_name(link.a) + " <-> " + engine.node_name(link.b);
     std::printf("  %-44s %8.0f %9zu %14.6g\n", name.c_str(), link.miles,
                 static_cast<std::size_t>(link.failures),
                 link.MeanDelta(report.scenarios));
@@ -396,6 +479,52 @@ int CmdBgp(const Args& args) {
   return 0;
 }
 
+int CmdFreeze(const Args& args) {
+  const core::Study study = BuildStudy(args);
+  const std::string network = args.GetOr("network", "Level3");
+  const core::RiskGraph graph = study.BuildGraphFor(network);
+  core::RouteEngine engine(graph, ParamsFrom(args));
+  const std::size_t landmarks = args.GetSize("alt-landmarks", 8);
+  if (landmarks > 0) engine.PrepareLandmarks(landmarks);
+
+  const std::string out = args.GetOr("out", network + ".rre");
+  const std::string bytes = engine.SnapshotBytes();
+  engine.SaveSnapshotFile(out);
+  const std::size_t edges =
+      engine.node_count() == 0 ? 0 : engine.EdgeEnd(engine.node_count() - 1);
+  std::printf("froze %s: %zu PoPs, %zu directed edges, %zu landmarks, "
+              "%zu bytes -> %s\n",
+              network.c_str(), engine.node_count(), edges,
+              engine.landmark_count(), bytes.size(), out.c_str());
+  return 0;
+}
+
+int CmdTable3(const Args& args) {
+  const double scale = args.GetDouble("scale", 1.0);
+  const std::uint64_t seed = args.GetSize("seed", 123);
+  const topology::Corpus corpus =
+      scale > 1.0 ? topology::GenerateScaledCorpus(scale, seed)
+                  : topology::GeneratePaperCorpus(seed);
+  util::Table table(
+      {"Network", "Kind", "PoPs", "Links", "Avg Degree", "Footprint mi"});
+  std::size_t pops = 0;
+  std::size_t links = 0;
+  for (const topology::Network& net : corpus.networks()) {
+    pops += net.pop_count();
+    links += net.link_count();
+    table.Add(net.name(),
+              net.kind() == topology::NetworkKind::kTier1 ? "tier1"
+                                                          : "regional",
+              net.pop_count(), net.link_count(), net.AverageDegree(),
+              net.FootprintMiles());
+  }
+  table.Render(std::cout);
+  std::printf("\n%zu networks | %zu PoPs | %zu links (scale %g, seed %zu)\n",
+              corpus.network_count(), pops, links, scale,
+              static_cast<std::size_t>(seed));
+  return 0;
+}
+
 int CmdOspf(const Args& args) {
   const core::Study study = BuildStudy(args);
   const std::string network = args.GetOr("network", "Deutsche");
@@ -418,6 +547,8 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "export") return CmdExport(args);
   if (command == "ospf") return CmdOspf(args);
   if (command == "bgp") return CmdBgp(args);
+  if (command == "freeze") return CmdFreeze(args);
+  if (command == "table3") return CmdTable3(args);
   if (command == "help" || command == "--help") return Usage();
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
@@ -432,7 +563,7 @@ FlagRegistry CliFlags() {
        {"network", "from", "to", "lambda-h", "lambda-f", "latency-budget",
         "links", "storm", "project", "trials", "scenarios", "ensemble-seed",
         "month", "top", "dest", "format", "seed", "blocks", "threads",
-        "metrics-out"}) {
+        "metrics-out", "scale", "alt-landmarks", "engine-snapshot", "out"}) {
     flags.Value(value);
   }
   for (const char* boolean : {"geojson", "any-peer", "risk-aware", "json"}) {
