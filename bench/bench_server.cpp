@@ -1,0 +1,182 @@
+// riskroute_serverd amortization: the cost of answering one route query
+// through a cold CLI-style boot (load the engine snapshot, construct the
+// api::Service, answer) versus a warm riskroute_serverd process (the
+// snapshot was loaded once at Start(); each query is one wire round trip
+// over a Unix-domain socket through the bounded scheduler). Both sides
+// produce byte-identical bodies — the serverd correctness contract — so
+// the wall-clock ratio is pure boot amortization. tools/bench_compare.py
+// runs the pair as "server_route" and gates the speedup (floor 10x) in
+// BENCH_perf.json.
+//
+// The topology is synthetic and deterministic: a ~4k-PoP jittered grid
+// with ring + chord links and Philox-keyed risks, ALT landmarks prepared
+// before the freeze (a realistic deployment boots ALT-ready snapshots, so
+// the cold side pays the landmark-table parse too).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/service.h"
+#include "bench/common.h"
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/route_engine.h"
+#include "geo/geo_point.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/philox.h"
+
+namespace {
+
+using namespace riskroute;
+namespace wire = server::wire;
+
+constexpr std::size_t kNodes = 4000;
+constexpr std::size_t kLandmarks = 8;
+constexpr core::RiskParams kParams{1e5, 1e3};
+
+core::RiskGraph BuildGraph() {
+  util::PhiloxRng rng(2026, 0x5E2);
+  core::RiskGraph graph;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    core::RiskNode node;
+    node.name = "pop-" + std::to_string(i);
+    // Jittered grid over the continental bounding box.
+    const double row = static_cast<double>(i / 64);
+    const double col = static_cast<double>(i % 64);
+    node.location = geo::GeoPoint(26.0 + row * 0.34 + rng.NextUniform() * 0.1,
+                                  -123.0 + col * 0.85 + rng.NextUniform() * 0.1);
+    node.impact_fraction = 0.5 + 0.5 * rng.NextUniform();
+    node.historical_risk = rng.NextUniform();
+    graph.AddNode(std::move(node));
+  }
+  // Ring + two chord families: connected, sparse, non-trivial detours.
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    graph.AddEdgeByDistance(i, (i + 1) % kNodes);
+    if (i % 7 == 0) graph.AddEdgeByDistance(i, (i + 64) % kNodes);
+    if (i % 131 == 0) graph.AddEdgeByDistance(i, (i + kNodes / 2) % kNodes);
+  }
+  return graph;
+}
+
+/// Built once per process: the frozen ALT-ready snapshot on disk, the
+/// warm daemon serving it over a Unix socket, and a connected client.
+struct ServerBenchFixture {
+  std::string snapshot_path;
+  api::Service service;          // the daemon's engine, loaded once
+  server::ServerOptions options;
+  server::Server daemon;
+  server::Client client;
+  wire::Request route;
+
+  static api::Service FreezeAndBoot(const std::string& path) {
+    core::RouteEngine engine(BuildGraph(), kParams);
+    engine.PrepareLandmarks(kLandmarks);
+    engine.SaveSnapshotFile(path);
+    auto booted = api::Service::FromSnapshotFile(path);
+    if (!booted.ok()) {
+      std::fprintf(stderr, "bench_server: snapshot boot failed: %s\n",
+                   booted.error().Render().c_str());
+      std::abort();
+    }
+    return std::move(booted.value());
+  }
+
+  static server::ServerOptions MakeOptions() {
+    server::ServerOptions options;
+    options.unix_path =
+        "/tmp/riskroute_bench_" + std::to_string(::getpid()) + ".sock";
+    options.scheduler.workers = 2;
+    return options;
+  }
+
+  ServerBenchFixture()
+      : snapshot_path("/tmp/riskroute_bench_" + std::to_string(::getpid()) +
+                      ".rre"),
+        service(FreezeAndBoot(snapshot_path)),
+        options(MakeOptions()),
+        daemon(service, options),
+        client((daemon.Start(),
+                server::Client::ConnectUnix(options.unix_path))) {
+    route.kind = wire::FrameKind::kRouteRequest;
+    route.route.from = "pop-0";
+    route.route.to = "pop-" + std::to_string(kNodes / 2 - 1);
+  }
+
+  ~ServerBenchFixture() {
+    daemon.Stop();
+    std::remove(snapshot_path.c_str());
+  }
+};
+
+ServerBenchFixture& SharedFixture() {
+  static ServerBenchFixture fixture;
+  return fixture;
+}
+
+// ---------------------------------------------------------------------------
+// Cold: what `riskroute route --engine-snapshot` pays per invocation —
+// parse the snapshot (CSR + alpha + landmark tables), build the Service,
+// answer one query. Process spawn/teardown is not even counted, so the
+// measured ratio understates the real CLI-vs-daemon gap.
+
+void BM_ColdCliRoute(benchmark::State& state) {
+  const ServerBenchFixture& fixture = SharedFixture();
+  api::RouteRequest request;
+  request.from = fixture.route.route.from;
+  request.to = fixture.route.route.to;
+  for (auto _ : state) {
+    auto booted = api::Service::FromSnapshotFile(fixture.snapshot_path);
+    if (!booted.ok()) state.SkipWithError("snapshot boot failed");
+    const api::RouteResponse response = booted.value().Route(request);
+    benchmark::DoNotOptimize(response.body.size());
+  }
+}
+BENCHMARK(BM_ColdCliRoute)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Warm: one wire round trip against the long-lived daemon — encode,
+// socket write, scheduler dispatch, Service::Route, reply frame back.
+
+void BM_WarmServerRoute(benchmark::State& state) {
+  ServerBenchFixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    const server::Client::Result reply = fixture.client.Call(fixture.route);
+    if (reply.status != wire::Status::kOk) {
+      state.SkipWithError("served route failed");
+    }
+    benchmark::DoNotOptimize(reply.body.size());
+  }
+}
+BENCHMARK(BM_WarmServerRoute)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+
+void Reproduce() {
+  ServerBenchFixture& fixture = SharedFixture();
+  api::RouteRequest request;
+  request.from = fixture.route.route.from;
+  request.to = fixture.route.route.to;
+  const std::string direct = fixture.service.Route(request).body;
+  const server::Client::Result served = fixture.client.Call(fixture.route);
+  std::printf("synthetic topology: %zu PoPs, %zu landmarks prepared\n",
+              kNodes, static_cast<std::size_t>(kLandmarks));
+  std::printf("served route status: %d, body %zu bytes\n",
+              static_cast<int>(served.status), served.body.size());
+  std::printf("byte-identity (served vs direct Service::Route): %s\n",
+              served.status == wire::Status::kOk && served.body == direct
+                  ? "OK"
+                  : "MISMATCH");
+  if (served.status != wire::Status::kOk || served.body != direct) {
+    std::fprintf(stderr, "bench_server: serverd correctness contract "
+                         "violated; refusing to time a broken pair\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+RISKROUTE_BENCH_MAIN("riskroute_serverd warm-query amortization", Reproduce)

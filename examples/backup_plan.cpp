@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <string>
 
-#include "riskroute_api.h"
+#include "api/api.h"
 
 using namespace riskroute;
 

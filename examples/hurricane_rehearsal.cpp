@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "forecast/parser.h"
-#include "riskroute_api.h"
-#include "util/strings.h"
+#include "api/api.h"
 
 using namespace riskroute;
 

@@ -10,8 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "hazard/synthesis.h"
-#include "riskroute_api.h"
+#include "api/api.h"
 
 using namespace riskroute;
 

@@ -10,8 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "riskroute_api.h"
-#include "util/strings.h"
+#include "api/api.h"
 
 using namespace riskroute;
 

@@ -8,9 +8,7 @@
 #include <iostream>
 #include <string>
 
-#include "geo/distance.h"
-#include "riskroute_api.h"
-#include "util/strings.h"
+#include "api/api.h"
 
 using namespace riskroute;
 
@@ -82,13 +80,15 @@ int main(int argc, char** argv) {
                                  shortest->bit_risk_miles),
               100.0 * (risk_aware->miles / shortest->miles - 1.0));
 
-  util::ThreadPool pool;
-  const core::RatioReport report = core::ComputeIntradomainRatios(
-      graph, core::RiskParams{1e5, 1e3}, &pool);
-  std::printf(
-      "\nNetwork-wide (all %zu PoP pairs): risk reduction ratio %.3f, "
-      "distance increase ratio %.3f\n",
-      report.pair_count, report.risk_reduction_ratio,
-      report.distance_increase_ratio);
+  // Network-wide sweep through the typed api layer — the same
+  // riskroute::api::Service the CLI subcommands and riskroute_serverd
+  // answer from, so this body is byte-identical to `riskroute ratios`.
+  const api::Service service(
+      core::RouteEngine(graph, core::RiskParams{1e5, 1e3}));
+  api::RatiosRequest ratios_request;
+  ratios_request.label = network_name;
+  const api::RatiosResponse ratios = service.Ratios(ratios_request);
+  std::printf("\nNetwork-wide (all %zu PoPs, Eq 5/6 over every pair):\n%s",
+              ratios.pops, ratios.body.c_str());
   return 0;
 }

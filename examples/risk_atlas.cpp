@@ -14,10 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "geo/bounding_box.h"
-#include "riskroute_api.h"
-#include "util/csv.h"
-#include "util/strings.h"
+#include "api/api.h"
 
 using namespace riskroute;
 

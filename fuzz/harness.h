@@ -44,4 +44,10 @@ int FuzzArgs(const std::uint8_t* data, std::size_t size);
 /// carry a structured diagnostic.
 int FuzzSnapshot(const std::uint8_t* data, std::size_t size);
 
+/// server::wire::DecodeSingleFrame over the riskroute_serverd wire
+/// protocol. Accepted frames must re-encode byte-identically (canonical
+/// format), agree with chunked FrameAssembler reassembly, and rejected
+/// inputs must carry a structured diagnostic.
+int FuzzWire(const std::uint8_t* data, std::size_t size);
+
 }  // namespace riskroute::fuzz

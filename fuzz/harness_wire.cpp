@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "fuzz/harness.h"
+#include "server/wire.h"
+
+namespace riskroute::fuzz {
+namespace {
+
+namespace wire = server::wire;
+
+/// Streams `bytes` through a FrameAssembler in small chunks and returns
+/// the first complete frame, or nullopt when the stream errors or
+/// starves. Must never throw or crash regardless of input.
+std::optional<wire::Frame> FirstAssembledFrame(const std::uint8_t* data,
+                                               std::size_t size,
+                                               const wire::WireLimits& limits) {
+  wire::FrameAssembler assembler(limits);
+  std::size_t offset = 0;
+  while (true) {
+    auto polled = assembler.Poll();
+    if (!polled.ok()) {
+      // Stream-level rejects must carry an explanation too.
+      if (polled.error().message.empty()) std::abort();
+      return std::nullopt;
+    }
+    if (polled.value().has_value()) return std::move(*polled.value());
+    if (offset == size) return std::nullopt;  // starved
+    const std::size_t chunk = std::min<std::size_t>(7, size - offset);
+    assembler.Append(reinterpret_cast<const char*>(data) + offset, chunk);
+    offset += chunk;
+  }
+}
+
+}  // namespace
+
+int FuzzWire(const std::uint8_t* data, std::size_t size) {
+  const wire::WireLimits limits;  // request-side defensive defaults
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto decoded = wire::DecodeSingleFrame(bytes, limits);
+
+  if (!decoded.ok()) {
+    // Hostile bytes are rejected, never thrown on; every reject must
+    // explain itself.
+    if (decoded.error().message.empty()) std::abort();
+    // The assembler must also survive the same bytes chunk by chunk.
+    (void)FirstAssembledFrame(data, size, limits);
+    return 0;
+  }
+
+  // Framing accepted: the incremental assembler must recover the exact
+  // same frame from the same bytes split into arbitrary chunks.
+  const wire::Frame& frame = decoded.value();
+  const auto assembled = FirstAssembledFrame(data, size, limits);
+  if (!assembled.has_value() || assembled->header.kind != frame.header.kind ||
+      assembled->header.id != frame.header.id ||
+      assembled->payload != frame.payload) {
+    std::abort();
+  }
+
+  // Payload decode + re-encode: the format is canonical, so an accepted
+  // frame must re-serialize to the exact input bytes.
+  const std::span<const std::uint8_t> payload(
+      reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+      frame.payload.size());
+  std::string reencoded;
+  if (frame.header.kind == wire::FrameKind::kResponse) {
+    const auto response =
+        wire::DecodeResponsePayload(frame.header, payload, limits);
+    if (!response.ok()) {
+      if (response.error().message.empty()) std::abort();
+      return 0;
+    }
+    reencoded = wire::EncodeResponse(response.value().id,
+                                     response.value().status,
+                                     response.value().body);
+  } else {
+    const auto request =
+        wire::DecodeRequestPayload(frame.header, payload, limits);
+    if (!request.ok()) {
+      if (request.error().message.empty()) std::abort();
+      return 0;
+    }
+    reencoded = wire::EncodeRequest(request.value());
+  }
+  if (reencoded.size() != size ||
+      (size != 0 && std::memcmp(reencoded.data(), data, size) != 0)) {
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace riskroute::fuzz
+
+#ifdef RISKROUTE_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return riskroute::fuzz::FuzzWire(data, size);
+}
+#endif

@@ -38,6 +38,7 @@ constexpr HarnessDir kHarnesses[] = {
     {"catalog", riskroute::fuzz::FuzzCatalog},
     {"args", riskroute::fuzz::FuzzArgs},
     {"snapshot", riskroute::fuzz::FuzzSnapshot},
+    {"wire", riskroute::fuzz::FuzzWire},
 };
 
 std::vector<std::uint8_t> ReadFile(const std::filesystem::path& path) {

@@ -1,0 +1,167 @@
+// riskroute::api — the typed request/response layer of the library.
+//
+// Service owns one frozen core::RouteEngine (plus the worker pool and the
+// lazily synthesized hazard catalogs an ensemble run needs) and answers
+// the four query families the riskroute CLI exposes: route, ratios,
+// ensemble, provision. Each query takes a small request struct and
+// returns a response struct carrying both the structured result and
+// `body` — the exact stdout bytes the equivalent CLI subcommand prints.
+// The CLI subcommands and the riskroute_serverd handlers are both thin
+// adapters over this one layer, which is what makes the serverd
+// correctness contract ("a served response body is byte-identical to the
+// CLI's output against the same snapshot") hold by construction rather
+// than by parallel maintenance of two formatters.
+//
+// Thread safety: every query method is const and safe to call
+// concurrently from multiple threads. The underlying engine sweeps are
+// bitwise thread-count independent (the PR 2 contract), so a response
+// body is a pure function of (engine, request) regardless of the pool
+// size or concurrent callers.
+//
+// Metrics: each query increments `api.requests.<kind>` (stable) and
+// records an `api.<kind>` trace span (volatile wall clock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/risk_params.h"
+#include "core/route_engine.h"
+#include "core/riskroute.h"
+#include "hazard/catalog.h"
+#include "provision/augmentation.h"
+#include "sim/ensemble.h"
+#include "util/parse_result.h"
+#include "util/thread_pool.h"
+
+namespace riskroute::api {
+
+/// Service construction options.
+struct ServiceOptions {
+  /// Worker count for the owned pool (0 = hardware concurrency). Ignored
+  /// when `pool` is set.
+  std::size_t threads = 0;
+  /// Borrowed worker pool; must outlive the Service. When null the
+  /// Service lazily creates its own pool on the first query that
+  /// parallelizes (route queries never pay the spawn cost).
+  util::ThreadPool* pool = nullptr;
+};
+
+/// One point-to-point route query (CLI: `riskroute route`).
+struct RouteRequest {
+  std::string from = "Houston, TX";
+  std::string to = "Boston, MA";
+};
+
+/// Route result: both paths, their shared metrics, and the CLI body
+/// (route lines + the per-hop Eq 1 decomposition table).
+struct RouteResponse {
+  /// False when the PoPs share no path; every other field is then empty
+  /// (the CLI prints "PoPs are not connected" to stderr and exits 1).
+  bool connected = false;
+  double alpha = 0.0;  // alpha_ij of the endpoints
+  core::Path shortest_path;
+  core::Path riskroute_path;
+  core::PathMetrics shortest;
+  core::PathMetrics riskroute;
+  std::string body;
+};
+
+/// Eq 5/6 ratio sweep over every frozen PoP pair (CLI: `riskroute
+/// ratios`). `label` is the table's network column (the CLI passes the
+/// network name, or "snapshot" for snapshot boots).
+struct RatiosRequest {
+  std::string label = "snapshot";
+};
+
+struct RatiosResponse {
+  core::RatioReport report;
+  std::size_t pops = 0;
+  std::string body;  // the rendered single-row table
+};
+
+/// Monte Carlo outage ensemble (CLI: `riskroute ensemble`). Defaults
+/// mirror the CLI flag defaults the golden fixtures pin.
+struct EnsembleRequest {
+  std::size_t scenarios = 256;
+  std::uint64_t seed = 2026;
+  int month = 0;  // 0 = annual archive, 1-12 = season filter
+  std::size_t top = 10;
+  bool json = false;  // body = ToJson() instead of the human summary
+};
+
+struct EnsembleResponse {
+  sim::EnsembleReport report;
+  std::string body;
+};
+
+/// Greedy link augmentation (CLI: `riskroute augment`).
+struct ProvisionRequest {
+  std::size_t links = 5;
+};
+
+struct ProvisionResponse {
+  provision::AugmentationResult result;
+  std::string body;
+};
+
+/// The query service: one frozen engine, four query families.
+class Service {
+ public:
+  /// Takes ownership of a prepared engine (ALT landmarks and forecast
+  /// risks included — Service never mutates it).
+  explicit Service(core::RouteEngine engine, const ServiceOptions& options = {});
+
+  /// Boots from an engine-snapshot file (the `riskroute freeze` output).
+  /// Hostile bytes surface as the loader's ParseDiagnostic.
+  [[nodiscard]] static util::ParseResult<Service> FromSnapshotFile(
+      const std::string& path, const ServiceOptions& options = {});
+
+  Service(Service&&) = default;
+  Service& operator=(Service&&) = default;
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Throws InvalidArgument when a PoP name does not exist in the frozen
+  /// network (same message as the CLI). A connected=false response is not
+  /// an error — disconnected PoPs are a property of the topology.
+  [[nodiscard]] RouteResponse Route(const RouteRequest& request) const;
+
+  [[nodiscard]] RatiosResponse Ratios(const RatiosRequest& request) const;
+
+  /// Throws InvalidArgument on zero scenarios, a month outside 0-12, or
+  /// a season filter with no eligible events (EnsembleEngine contract).
+  [[nodiscard]] EnsembleResponse Ensemble(const EnsembleRequest& request) const;
+
+  /// Throws InvalidArgument when links == 0.
+  [[nodiscard]] ProvisionResponse Provision(const ProvisionRequest& request) const;
+
+  [[nodiscard]] const core::RouteEngine& engine() const { return engine_; }
+  /// The worker pool (borrowed or owned; spawned on first use).
+  [[nodiscard]] util::ThreadPool& pool() const;
+
+ private:
+  /// Lazily synthesized hazard catalogs for ensemble runs. The vector is
+  /// a stable member: EnsembleEngine keeps a pointer into it.
+  [[nodiscard]] const std::vector<hazard::Catalog>& Catalogs() const;
+
+  core::RouteEngine engine_;
+  std::size_t pool_threads_ = 0;
+  util::ThreadPool* borrowed_pool_ = nullptr;
+
+  // Lazy state lives behind a pointer so Service stays movable
+  // (std::once_flag is not).
+  struct Lazy {
+    std::once_flag pool_once;
+    std::once_flag catalogs_once;
+    std::unique_ptr<util::ThreadPool> pool;
+    std::vector<hazard::Catalog> catalogs;
+  };
+  std::unique_ptr<Lazy> lazy_ = std::make_unique<Lazy>();
+};
+
+}  // namespace riskroute::api

@@ -1,66 +1,12 @@
-// riskroute/api.h — the single public facade of the RiskRoute library.
+// riskroute_api.h — DEPRECATED umbrella location.
 //
-// This header re-exports the supported surface: assembling a paper-scale
-// study, freezing and querying the route engine, the Eq 5/6 ratio and
-// Eq 4 aggregate evaluations, resilience extensions (backup paths,
-// k-shortest, multi-objective, OSPF export), provisioning (greedy link
-// augmentation and peering recommendation), forecast-driven risk, outage
-// simulation, and the obs:: metrics registry. Applications, examples, and
-// tools include this one header (installed as <riskroute/api.h>) instead
-// of reaching into a dozen internal module headers; anything not exported
-// here is library-internal and may change without notice.
-//
-// The stable spine of the API:
-//
-//   core::Study          — synthesized corpus + census + hazard fields
-//   core::RouteEngine    — frozen CSR graph; every routing query
-//   core::RiskRouter     — per-pair convenience router over a live graph
-//   core::PathMetrics    — the shared {miles, bit_risk_miles} result base
-//   provision::GreedyAugment / RecommendPeering
-//   obs::MetricsRegistry — process-wide counters/histograms + DumpJson
+// The public facade moved to api/api.h (installed as <riskroute/api.h>),
+// which adds the typed riskroute::api::Service request/response layer the
+// CLI and riskroute_serverd share. This header remains as a thin
+// re-export so existing includes keep compiling; new code should include
+// "api/api.h" (in-tree) or <riskroute/api.h> (installed) and prefer
+// api::Service over hand-rolled query plumbing. This shim will be removed
+// once in-tree call sites have migrated.
 #pragma once
 
-// Core: graph substrate, frozen engine, routers, result types.
-#include "core/backup_paths.h"
-#include "core/disjoint_paths.h"
-#include "core/edge_overlay.h"
-#include "core/interdomain.h"
-#include "core/k_shortest.h"
-#include "core/multi_objective.h"
-#include "core/ospf_export.h"
-#include "core/path_metrics.h"
-#include "core/risk_graph.h"
-#include "core/risk_params.h"
-#include "core/riskroute.h"
-#include "core/route_engine.h"
-#include "core/study.h"
-
-// Hazard + forecast risk models feeding the engine.
-#include "forecast/forecast_risk.h"
-#include "forecast/tracks.h"
-#include "hazard/risk_field.h"
-
-// Provisioning: link augmentation and peering recommendation.
-#include "provision/augmentation.h"
-#include "provision/peering.h"
-
-// Outage simulation + Monte Carlo ensemble.
-#include "sim/ensemble.h"
-#include "sim/outage_sim.h"
-#include "sim/traffic.h"
-
-// Observability: metrics registry, scoped timers, JSON export.
-#include "obs/metrics.h"
-
-// Shared utilities applications commonly need alongside the library.
-#include "util/thread_pool.h"
-
-namespace riskroute {
-
-/// Serializes every metric recorded so far by the process-wide registry
-/// (see obs::MetricsRegistry::DumpJson for the schema).
-[[nodiscard]] inline std::string DumpMetricsJson(bool include_volatile = true) {
-  return obs::MetricsRegistry::Global().DumpJson(include_volatile);
-}
-
-}  // namespace riskroute
+#include "api/api.h"

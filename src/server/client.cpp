@@ -1,0 +1,128 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace riskroute::server {
+namespace {
+
+std::string Errno(const char* op) {
+  return util::Format("%s failed: %s", op, std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument(util::Format(
+        "unix socket path is %zu bytes; the OS limit is %zu", path.size(),
+        sizeof(addr.sun_path) - 1));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(Errno("socket(AF_UNIX)"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = Errno("connect");
+    ::close(fd);
+    throw IoError("unix socket " + path + ": " + detail);
+  }
+  return Client(fd);
+}
+
+Client Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(Errno("socket(AF_INET)"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = Errno("connect");
+    ::close(fd);
+    throw IoError(util::Format("tcp %s:%d: %s", host.c_str(), port,
+                               detail.c_str()));
+  }
+  return Client(fd);
+}
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      assembler_(std::move(other.assembler_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    assembler_ = std::move(other.assembler_);
+  }
+  return *this;
+}
+
+Client::Result Client::Call(wire::Request& request) {
+  if (fd_ < 0) throw IoError("client socket is closed");
+  request.id = next_id_++;
+  const std::string encoded = wire::EncodeRequest(request);
+  const char* data = encoded.data();
+  std::size_t left = encoded.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(Errno("send"));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  char buffer[16 * 1024];
+  for (;;) {
+    auto polled = assembler_.Poll();
+    if (!polled.ok()) throw ParseError(polled.error().Render());
+    if (polled.value().has_value()) {
+      const wire::Frame& frame = *polled.value();
+      const std::span<const std::uint8_t> payload(
+          reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+          frame.payload.size());
+      auto response = wire::DecodeResponsePayload(frame.header, payload,
+                                                  wire::ResponseLimits());
+      if (!response.ok()) throw ParseError(response.error().Render());
+      if (response.value().id != request.id) {
+        throw ParseError(util::Format(
+            "response id %llu does not match request id %llu",
+            static_cast<unsigned long long>(response.value().id),
+            static_cast<unsigned long long>(request.id)));
+      }
+      return Result{response.value().status, std::move(response.value().body)};
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw IoError("server closed the connection mid-reply");
+    assembler_.Append(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace riskroute::server

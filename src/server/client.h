@@ -1,0 +1,50 @@
+// Blocking wire-protocol client for riskroute_serverd.
+//
+// A Client owns one connected socket. Call() encodes a wire::Request,
+// assigns it the next request id, writes the frame, and blocks until the
+// matching response frame arrives. The transport is strictly
+// request/response in order, so id mismatches indicate a server bug and
+// throw. Used by tools/riskroute_client.cpp, the loopback tests, and the
+// warm-server benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/wire.h"
+
+namespace riskroute::server {
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket. Throws IoError on failure.
+  [[nodiscard]] static Client ConnectUnix(const std::string& path);
+  /// Connects to a TCP host:port. Throws IoError on failure.
+  [[nodiscard]] static Client ConnectTcp(const std::string& host, int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct Result {
+    wire::Status status = wire::Status::kInternal;
+    std::string body;
+  };
+
+  /// Sends one request (overwriting `request.id` with the next id on this
+  /// connection) and blocks for the reply. Throws IoError when the
+  /// connection drops and ParseError when the response frame is
+  /// malformed.
+  Result Call(wire::Request& request);
+
+ private:
+  explicit Client(int fd);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  wire::FrameAssembler assembler_{wire::ResponseLimits()};
+};
+
+}  // namespace riskroute::server

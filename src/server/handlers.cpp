@@ -1,0 +1,77 @@
+#include "server/handlers.h"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace riskroute::server {
+namespace {
+
+obs::Counter& RequestCounter(wire::FrameKind kind) {
+  const char* name = "server.requests.other";
+  switch (kind) {
+    case wire::FrameKind::kRouteRequest: name = "server.requests.route"; break;
+    case wire::FrameKind::kRatiosRequest:
+      name = "server.requests.ratios";
+      break;
+    case wire::FrameKind::kEnsembleRequest:
+      name = "server.requests.ensemble";
+      break;
+    case wire::FrameKind::kProvisionRequest:
+      name = "server.requests.provision";
+      break;
+    case wire::FrameKind::kPingRequest: name = "server.requests.ping"; break;
+    default: break;
+  }
+  return obs::MetricsRegistry::Global().GetCounter(
+      name, obs::Stability::kVolatile);
+}
+
+std::pair<wire::Status, std::string> Execute(const api::Service& service,
+                                             const wire::Request& request) {
+  switch (request.kind) {
+    case wire::FrameKind::kRouteRequest: {
+      const api::RouteResponse response = service.Route(request.route);
+      if (!response.connected) {
+        return {wire::Status::kBadRequest, "PoPs are not connected\n"};
+      }
+      return {wire::Status::kOk, response.body};
+    }
+    case wire::FrameKind::kRatiosRequest:
+      return {wire::Status::kOk, service.Ratios(request.ratios).body};
+    case wire::FrameKind::kEnsembleRequest:
+      return {wire::Status::kOk, service.Ensemble(request.ensemble).body};
+    case wire::FrameKind::kProvisionRequest:
+      return {wire::Status::kOk, service.Provision(request.provision).body};
+    case wire::FrameKind::kPingRequest:
+      if (request.ping_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(request.ping_delay_ms));
+      }
+      return {wire::Status::kOk, "pong\n"};
+    default:
+      return {wire::Status::kBadRequest, "unhandled request kind\n"};
+  }
+}
+
+}  // namespace
+
+std::pair<wire::Status, std::string> HandleRequest(
+    const api::Service& service, const wire::Request& request) {
+  static obs::TraceScope scope(obs::MetricsRegistry::Global(),
+                               "server.request");
+  obs::TraceSpan span(scope);
+  RequestCounter(request.kind).Add();
+  try {
+    return Execute(service, request);
+  } catch (const InvalidArgument& e) {
+    return {wire::Status::kBadRequest, std::string(e.what()) + "\n"};
+  } catch (const std::exception& e) {
+    return {wire::Status::kInternal, std::string(e.what()) + "\n"};
+  }
+}
+
+}  // namespace riskroute::server

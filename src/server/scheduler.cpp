@@ -1,0 +1,117 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace riskroute::server {
+namespace {
+
+/// Scheduler metric handles, resolved once. All volatile: queue depth and
+/// rejection counts depend on arrival timing, not algorithmic work.
+struct Metrics {
+  obs::Counter& submitted;
+  obs::Counter& rejected_full;
+  obs::Counter& executed;
+  obs::Counter& expired;
+  obs::Counter& cancelled;
+  obs::Gauge& queue_depth_peak;
+
+  static Metrics& Get() {
+    static Metrics metrics{
+        obs::MetricsRegistry::Global().GetCounter(
+            "server.scheduler.submitted", obs::Stability::kVolatile),
+        obs::MetricsRegistry::Global().GetCounter(
+            "server.scheduler.rejected_full", obs::Stability::kVolatile),
+        obs::MetricsRegistry::Global().GetCounter(
+            "server.scheduler.executed", obs::Stability::kVolatile),
+        obs::MetricsRegistry::Global().GetCounter(
+            "server.scheduler.expired", obs::Stability::kVolatile),
+        obs::MetricsRegistry::Global().GetCounter(
+            "server.scheduler.cancelled", obs::Stability::kVolatile),
+        obs::MetricsRegistry::Global().GetGauge(
+            "server.scheduler.queue_depth_peak", obs::Stability::kVolatile),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(const SchedulerOptions& options)
+    : capacity_(options.queue_capacity) {
+  const std::size_t workers = std::max<std::size_t>(1, options.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestScheduler::~RequestScheduler() { Stop(); }
+
+RequestScheduler::Submit RequestScheduler::TrySubmit(
+    Task task, Clock::time_point deadline) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return Submit::kStopped;
+    if (queue_.size() >= capacity_ + (workers_.size() - busy_workers_)) {
+      Metrics::Get().rejected_full.Add();
+      return Submit::kQueueFull;
+    }
+    queue_.push_back(Item{std::move(task), deadline});
+    Metrics::Get().submitted.Add();
+    Metrics::Get().queue_depth_peak.SetMax(
+        static_cast<std::int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Submit::kAccepted;
+}
+
+void RequestScheduler::Stop() {
+  std::deque<Item> cancelled;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && queue_.empty() && workers_.empty()) return;
+    stopping_ = true;
+    cancelled.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  for (Item& item : cancelled) {
+    Metrics::Get().cancelled.Add();
+    item.task(TaskFate::kCancelled);
+  }
+}
+
+void RequestScheduler::WorkerLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Stop() cancels the remaining queue itself
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_workers_;
+    }
+    const bool expired = item.deadline != Clock::time_point::max() &&
+                         Clock::now() > item.deadline;
+    if (expired) {
+      Metrics::Get().expired.Add();
+      item.task(TaskFate::kExpired);
+    } else {
+      Metrics::Get().executed.Add();
+      item.task(TaskFate::kRun);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --busy_workers_;
+    }
+  }
+}
+
+}  // namespace riskroute::server

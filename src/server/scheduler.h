@@ -1,0 +1,95 @@
+// Bounded request scheduler with backpressure for riskroute_serverd.
+//
+// Connections submit decoded requests as tasks; a fixed set of workers
+// drains them in FIFO order. The queue is bounded: a submit against a
+// full queue is rejected immediately (the connection replies
+// Status::kOverloaded) instead of growing an unbounded backlog — the
+// reject-with-status backpressure contract. Every task carries an
+// optional deadline; a task whose deadline has passed by the time a
+// worker dequeues it is not executed (the connection replies
+// kDeadlineExceeded). Stop() cancels whatever is still queued, invoking
+// each task with TaskFate::kCancelled so waiting connections get their
+// kShuttingDown reply rather than a hung future.
+//
+// Metrics (all volatile — queue occupancy depends on arrival timing):
+// server.scheduler.{submitted,rejected_full,executed,expired,cancelled}
+// counters and the server.scheduler.queue_depth_peak gauge.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace riskroute::server {
+
+struct SchedulerOptions {
+  /// Worker threads draining the queue. At least 1.
+  std::size_t workers = 1;
+  /// Requests allowed to wait beyond the ones workers are executing.
+  /// 0 means a request is only accepted when a worker is idle.
+  std::size_t queue_capacity = 64;
+};
+
+/// How a task left the scheduler.
+enum class TaskFate {
+  kRun,        // a worker executed it
+  kExpired,    // its deadline passed while queued; not executed
+  kCancelled,  // the scheduler stopped before a worker reached it
+};
+
+class RequestScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// A task observes its fate and must fulfil its reply either way.
+  using Task = std::function<void(TaskFate)>;
+
+  enum class Submit {
+    kAccepted,
+    kQueueFull,  // reply kOverloaded
+    kStopped,    // reply kShuttingDown
+  };
+
+  explicit RequestScheduler(const SchedulerOptions& options);
+  ~RequestScheduler();  // Stop() + join
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Non-blocking; kQueueFull when queued tasks == queue_capacity.
+  /// `deadline` of Clock::time_point::max() means none.
+  [[nodiscard]] Submit TrySubmit(Task task, Clock::time_point deadline);
+
+  /// Stops workers and cancels the remaining queue. Idempotent; blocks
+  /// until workers have joined and queued tasks saw kCancelled.
+  void Stop();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+
+ private:
+  struct Item {
+    Task task;
+    Clock::time_point deadline;
+  };
+
+  void WorkerLoop();
+
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  /// Workers currently executing a task. Each non-busy worker can absorb
+  /// one task beyond the queue capacity (this is what makes capacity 0
+  /// mean "accept only when a worker is idle") — counted as busy from
+  /// dequeue to task completion, so a freshly constructed scheduler
+  /// accepts immediately even before its workers first park.
+  std::size_t busy_workers_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace riskroute::server

@@ -31,4 +31,11 @@ class InternalError : public std::logic_error {
   explicit InternalError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// An operating-system I/O operation failed (socket bind, connect, file
+/// write): the environment's fault, not the caller's or the library's.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace riskroute

@@ -1,0 +1,258 @@
+// riskroute::api::Service tests: the typed request/response layer the
+// CLI subcommands and riskroute_serverd handlers share. The load-bearing
+// contract is byte-identity — a Service body is a pure function of
+// (engine, request), no matter whether the engine was frozen live or
+// booted from a snapshot, and no matter the worker-pool size.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/riskroute.h"
+#include "core/route_engine.h"
+#include "geo/geo_point.h"
+#include "provision/augmentation.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace riskroute {
+namespace {
+
+using core::RiskGraph;
+using core::RiskNode;
+using core::RiskParams;
+using core::RouteEngine;
+
+constexpr RiskParams kParams{1e5, 1e3};
+
+RiskGraph SampleGraph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  RiskGraph graph;
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.AddNode(RiskNode{
+        "pop-" + std::to_string(i),
+        geo::GeoPoint(rng.Uniform(26, 48), rng.Uniform(-123, -68)),
+        rng.Uniform(0.01, 1.0), rng.Uniform(0.0, 0.5),
+        rng.Chance(0.5) ? rng.Uniform(0.0, 50.0) : 0.0});
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    graph.AddEdgeByDistance(
+        i, static_cast<std::size_t>(
+               rng.UniformInt(0, static_cast<std::int64_t>(i) - 1)));
+  }
+  for (std::size_t i = 0; i + 3 < n; i += 3) graph.AddEdgeByDistance(i, i + 3);
+  return graph;
+}
+
+api::Service MakeService(const RiskGraph& graph,
+                         const api::ServiceOptions& options = {}) {
+  return api::Service(RouteEngine(graph, kParams), options);
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("riskroute_api_test_" + name)).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ApiServiceTest, RouteAnswersWithBodyAndMetrics) {
+  const RiskGraph graph = SampleGraph(30, 11);
+  const api::Service service = MakeService(graph);
+
+  api::RouteRequest request;
+  request.from = "pop-0";
+  request.to = "pop-29";
+  const api::RouteResponse response = service.Route(request);
+  ASSERT_TRUE(response.connected);
+  EXPECT_FALSE(response.body.empty());
+  EXPECT_EQ(response.shortest_path.front(), 0u);
+  EXPECT_EQ(response.shortest_path.back(), 29u);
+  EXPECT_EQ(response.riskroute_path.front(), 0u);
+  EXPECT_EQ(response.riskroute_path.back(), 29u);
+  // Eq 1: the risk-aware path never pays more bit-risk miles than the
+  // shortest path, and never fewer raw miles.
+  EXPECT_LE(response.riskroute.bit_risk_miles,
+            response.shortest.bit_risk_miles);
+  EXPECT_GE(response.riskroute.miles, response.shortest.miles);
+  // The body opens with the two route lines and carries the hop table.
+  EXPECT_EQ(response.body.rfind("shortest ", 0), 0u);
+  EXPECT_NE(response.body.find("\nriskroute: "), std::string::npos);
+  EXPECT_NE(response.body.find("per-hop bit-risk miles"), std::string::npos);
+}
+
+TEST(ApiServiceTest, RouteUnknownPopThrowsCliMessage) {
+  const api::Service service = MakeService(SampleGraph(10, 3));
+  api::RouteRequest request;
+  request.from = "Atlantis, XX";
+  request.to = "pop-1";
+  try {
+    (void)service.Route(request);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "no PoP named 'Atlantis, XX' in this network");
+  }
+}
+
+TEST(ApiServiceTest, RouteDisconnectedPopsIsNotAnError) {
+  // Two components: 0-1 and 2-3.
+  RiskGraph graph;
+  for (int i = 0; i < 4; ++i) {
+    graph.AddNode(RiskNode{"pop-" + std::to_string(i),
+                           geo::GeoPoint(30.0 + i, -100.0 + i), 0.5, 0.1,
+                           0.0});
+  }
+  graph.AddEdgeByDistance(0, 1);
+  graph.AddEdgeByDistance(2, 3);
+  const api::Service service = MakeService(graph);
+  api::RouteRequest request;
+  request.from = "pop-0";
+  request.to = "pop-3";
+  const api::RouteResponse response = service.Route(request);
+  EXPECT_FALSE(response.connected);
+  EXPECT_TRUE(response.body.empty());
+}
+
+TEST(ApiServiceTest, SnapshotBootServesByteIdenticalBodies) {
+  const RiskGraph graph = SampleGraph(24, 29);
+  RouteEngine engine(graph, kParams);
+  engine.PrepareLandmarks(4);
+
+  TempFile snapshot("snapshot_parity.rre");
+  engine.SaveSnapshotFile(snapshot.path());
+  const api::Service live(std::move(engine));
+
+  auto booted = api::Service::FromSnapshotFile(snapshot.path());
+  ASSERT_TRUE(booted.ok()) << booted.error().Render();
+  const api::Service& frozen = booted.value();
+
+  api::RouteRequest route;
+  route.from = "pop-2";
+  route.to = "pop-21";
+  EXPECT_EQ(live.Route(route).body, frozen.Route(route).body);
+
+  api::RatiosRequest ratios;
+  ratios.label = "parity";
+  EXPECT_EQ(live.Ratios(ratios).body, frozen.Ratios(ratios).body);
+
+  api::EnsembleRequest ensemble;
+  ensemble.scenarios = 16;
+  ensemble.top = 4;
+  EXPECT_EQ(live.Ensemble(ensemble).body, frozen.Ensemble(ensemble).body);
+  ensemble.json = true;
+  EXPECT_EQ(live.Ensemble(ensemble).body, frozen.Ensemble(ensemble).body);
+
+  api::ProvisionRequest provision;
+  provision.links = 2;
+  EXPECT_EQ(live.Provision(provision).body, frozen.Provision(provision).body);
+}
+
+TEST(ApiServiceTest, SnapshotBootRejectsHostileBytesWithDiagnostic) {
+  TempFile bogus("bogus.rre");
+  std::FILE* f = std::fopen(bogus.path().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a snapshot", f);
+  std::fclose(f);
+  const auto result = api::Service::FromSnapshotFile(bogus.path());
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.error().message.empty());
+}
+
+TEST(ApiServiceTest, RatiosMatchesIntradomainSweepBitwise) {
+  const RiskGraph graph = SampleGraph(20, 7);
+  util::ThreadPool pool(2);
+  api::ServiceOptions options;
+  options.pool = &pool;
+  const api::Service service = MakeService(graph, options);
+
+  const api::RatiosResponse response = service.Ratios({});
+  const core::RatioReport direct =
+      core::ComputeIntradomainRatios(graph, kParams, &pool);
+  EXPECT_EQ(response.pops, graph.node_count());
+  EXPECT_DOUBLE_EQ(response.report.risk_reduction_ratio,
+                   direct.risk_reduction_ratio);
+  EXPECT_DOUBLE_EQ(response.report.distance_increase_ratio,
+                   direct.distance_increase_ratio);
+  EXPECT_NE(response.body.find("snapshot"), std::string::npos);
+}
+
+TEST(ApiServiceTest, BodiesAreThreadCountIndependent) {
+  const RiskGraph graph = SampleGraph(18, 13);
+  api::EnsembleRequest ensemble;
+  ensemble.scenarios = 24;
+  ensemble.top = 5;
+  api::RatiosRequest ratios;
+
+  std::string ensemble_baseline;
+  std::string ratios_baseline;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    api::ServiceOptions options;
+    options.pool = &pool;
+    const api::Service service = MakeService(graph, options);
+    const std::string ensemble_body = service.Ensemble(ensemble).body;
+    const std::string ratios_body = service.Ratios(ratios).body;
+    if (ensemble_baseline.empty()) {
+      ensemble_baseline = ensemble_body;
+      ratios_baseline = ratios_body;
+    } else {
+      // Bitwise: the PR 2 determinism contract, through the api layer.
+      EXPECT_EQ(ensemble_body, ensemble_baseline) << threads << " threads";
+      EXPECT_EQ(ratios_body, ratios_baseline) << threads << " threads";
+    }
+  }
+}
+
+TEST(ApiServiceTest, ProvisionMatchesGraphOverloadPath) {
+  const RiskGraph graph = SampleGraph(16, 19);
+  util::ThreadPool pool(2);
+  api::ServiceOptions options;
+  options.pool = &pool;
+  const api::Service service = MakeService(graph, options);
+
+  api::ProvisionRequest request;
+  request.links = 2;
+  const api::ProvisionResponse response = service.Provision(request);
+
+  provision::AugmentationOptions aug;
+  aug.links_to_add = 2;
+  aug.candidates.max_candidates = graph.node_count() > 100 ? 120 : 400;
+  const auto direct = provision::GreedyAugment(graph, kParams, aug, &pool);
+  ASSERT_EQ(response.result.steps.size(), direct.steps.size());
+  EXPECT_DOUBLE_EQ(response.result.original_bit_risk_miles,
+                   direct.original_bit_risk_miles);
+  for (std::size_t s = 0; s < direct.steps.size(); ++s) {
+    EXPECT_EQ(response.result.steps[s].link.a, direct.steps[s].link.a);
+    EXPECT_EQ(response.result.steps[s].link.b, direct.steps[s].link.b);
+    EXPECT_DOUBLE_EQ(response.result.steps[s].fraction_of_original,
+                     direct.steps[s].fraction_of_original);
+  }
+  EXPECT_EQ(response.body.rfind("aggregate bit-risk today: ", 0), 0u);
+}
+
+TEST(ApiServiceTest, ProvisionZeroLinksThrows) {
+  const api::Service service = MakeService(SampleGraph(8, 5));
+  api::ProvisionRequest request;
+  request.links = 0;
+  EXPECT_THROW((void)service.Provision(request), InvalidArgument);
+}
+
+TEST(ApiServiceTest, ServiceIsMovable) {
+  api::Service service = MakeService(SampleGraph(12, 31));
+  const std::string before = service.Ratios({}).body;
+  api::Service moved = std::move(service);
+  EXPECT_EQ(moved.Ratios({}).body, before);
+}
+
+}  // namespace
+}  // namespace riskroute

@@ -1,0 +1,576 @@
+// riskroute_serverd tests: wire codec, bounded scheduler, and the full
+// loopback client/server stack. The headline assertion is the serverd
+// correctness contract — a served kOk body is byte-identical to the
+// api::Service body (and hence to the CLI's stdout) for the same request
+// against the same engine.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "core/risk_graph.h"
+#include "core/risk_params.h"
+#include "core/route_engine.h"
+#include "geo/geo_point.h"
+#include "server/client.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace riskroute {
+namespace {
+
+namespace wire = server::wire;
+using core::RiskGraph;
+using core::RiskNode;
+using core::RiskParams;
+using core::RouteEngine;
+
+constexpr RiskParams kParams{1e5, 1e3};
+
+RiskGraph SampleGraph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  RiskGraph graph;
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.AddNode(RiskNode{
+        "pop-" + std::to_string(i),
+        geo::GeoPoint(rng.Uniform(26, 48), rng.Uniform(-123, -68)),
+        rng.Uniform(0.01, 1.0), rng.Uniform(0.0, 0.5),
+        rng.Chance(0.5) ? rng.Uniform(0.0, 50.0) : 0.0});
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    graph.AddEdgeByDistance(
+        i, static_cast<std::size_t>(
+               rng.UniformInt(0, static_cast<std::int64_t>(i) - 1)));
+  }
+  for (std::size_t i = 0; i + 3 < n; i += 3) graph.AddEdgeByDistance(i, i + 3);
+  return graph;
+}
+
+/// Short unique unix socket path (sun_path is ~108 bytes; stay in /tmp).
+std::string TestSocketPath(int n) {
+  return "/tmp/riskroute_srv_" + std::to_string(::getpid()) + "_" +
+         std::to_string(n) + ".sock";
+}
+
+// --- Wire codec ---
+
+TEST(WireTest, RequestRoundTripsAllKinds) {
+  std::vector<wire::Request> requests;
+  wire::Request route;
+  route.kind = wire::FrameKind::kRouteRequest;
+  route.id = 42;
+  route.deadline_ms = 1500;
+  route.route.from = "pop-1";
+  route.route.to = "pop-2";
+  requests.push_back(route);
+  wire::Request ratios;
+  ratios.kind = wire::FrameKind::kRatiosRequest;
+  ratios.ratios.label = "parity";
+  requests.push_back(ratios);
+  wire::Request ensemble;
+  ensemble.kind = wire::FrameKind::kEnsembleRequest;
+  ensemble.ensemble.scenarios = 64;
+  ensemble.ensemble.seed = 99;
+  ensemble.ensemble.month = 9;
+  ensemble.ensemble.top = 3;
+  ensemble.ensemble.json = true;
+  requests.push_back(ensemble);
+  wire::Request provision;
+  provision.kind = wire::FrameKind::kProvisionRequest;
+  provision.provision.links = 7;
+  requests.push_back(provision);
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  ping.ping_delay_ms = 25;
+  requests.push_back(ping);
+  wire::Request shutdown;
+  shutdown.kind = wire::FrameKind::kShutdownRequest;
+  requests.push_back(shutdown);
+
+  const wire::WireLimits limits;
+  for (const wire::Request& request : requests) {
+    const std::string encoded = wire::EncodeRequest(request);
+    const auto frame = wire::DecodeSingleFrame(
+        {reinterpret_cast<const std::uint8_t*>(encoded.data()),
+         encoded.size()},
+        limits);
+    ASSERT_TRUE(frame.ok()) << frame.error().Render();
+    const auto decoded = wire::DecodeRequestPayload(
+        frame.value().header,
+        {reinterpret_cast<const std::uint8_t*>(frame.value().payload.data()),
+         frame.value().payload.size()},
+        limits);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().Render();
+    // Canonical: re-encoding reproduces the original bytes.
+    EXPECT_EQ(wire::EncodeRequest(decoded.value()), encoded);
+  }
+}
+
+TEST(WireTest, ResponseRoundTrips) {
+  const std::string encoded =
+      wire::EncodeResponse(77, wire::Status::kOverloaded, "queue full\n");
+  const auto frame = wire::DecodeSingleFrame(
+      {reinterpret_cast<const std::uint8_t*>(encoded.data()), encoded.size()},
+      wire::ResponseLimits());
+  ASSERT_TRUE(frame.ok());
+  const auto decoded = wire::DecodeResponsePayload(
+      frame.value().header,
+      {reinterpret_cast<const std::uint8_t*>(frame.value().payload.data()),
+       frame.value().payload.size()},
+      wire::ResponseLimits());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 77u);
+  EXPECT_EQ(decoded.value().status, wire::Status::kOverloaded);
+  EXPECT_EQ(decoded.value().body, "queue full\n");
+}
+
+TEST(WireTest, HostileFramesRejectWithDiagnostics) {
+  const wire::WireLimits limits;
+  const auto decode = [&](std::string bytes) {
+    return wire::DecodeSingleFrame(
+        {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()},
+        limits);
+  };
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  const std::string valid = wire::EncodeRequest(ping);
+
+  // Truncated header.
+  EXPECT_FALSE(decode(valid.substr(0, 10)).ok());
+  // Bad magic.
+  std::string bad_magic = valid;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decode(bad_magic).ok());
+  // Unsupported version.
+  std::string bad_version = valid;
+  bad_version[4] = '\x09';
+  EXPECT_FALSE(decode(bad_version).ok());
+  // Oversized declared payload length.
+  std::string oversized = valid;
+  oversized[16] = '\xff';
+  oversized[17] = '\xff';
+  oversized[18] = '\xff';
+  oversized[19] = '\x0f';
+  const auto oversized_result = decode(oversized);
+  ASSERT_FALSE(oversized_result.ok());
+  EXPECT_EQ(oversized_result.error().kind,
+            util::ParseErrorKind::kLimitExceeded);
+  // Trailing garbage after a complete frame.
+  EXPECT_FALSE(decode(valid + "ZZ").ok());
+  // Every reject explains itself.
+  EXPECT_FALSE(decode(valid.substr(0, 10)).error().message.empty());
+}
+
+TEST(WireTest, AssemblerReassemblesByteDribble) {
+  wire::Request ratios;
+  ratios.kind = wire::FrameKind::kRatiosRequest;
+  ratios.id = 5;
+  ratios.ratios.label = "drip";
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  ping.id = 6;
+  const std::string stream =
+      wire::EncodeRequest(ratios) + wire::EncodeRequest(ping);
+
+  wire::FrameAssembler assembler{wire::WireLimits{}};
+  std::vector<wire::Frame> frames;
+  for (char byte : stream) {
+    assembler.Append(&byte, 1);
+    for (;;) {
+      auto polled = assembler.Poll();
+      ASSERT_TRUE(polled.ok()) << polled.error().Render();
+      if (!polled.value().has_value()) break;
+      frames.push_back(std::move(*polled.value()));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.id, 5u);
+  EXPECT_EQ(frames[1].header.id, 6u);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+// --- Scheduler ---
+
+TEST(SchedulerTest, ZeroCapacityAcceptsOnlyWhenWorkerIdle) {
+  server::SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 0;
+  server::RequestScheduler scheduler(options);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  const auto blocker = [&](server::TaskFate fate) {
+    if (fate == server::TaskFate::kRun) {
+      started = true;
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++ran;
+    }
+  };
+  const auto deadline = server::RequestScheduler::Clock::time_point::max();
+  ASSERT_EQ(scheduler.TrySubmit(blocker, deadline),
+            server::RequestScheduler::Submit::kAccepted);
+  // Once the worker is demonstrably busy (idle_workers == 0, queue empty),
+  // a zero-capacity scheduler must bounce the next submit.
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(scheduler.TrySubmit([](server::TaskFate) {}, deadline),
+            server::RequestScheduler::Submit::kQueueFull);
+  release = true;
+  scheduler.Stop();  // joins the worker, so the blocker has finished
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(SchedulerTest, ExpiredDeadlineSkipsExecution) {
+  server::SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  server::RequestScheduler scheduler(options);
+
+  std::atomic<bool> release{false};
+  ASSERT_EQ(scheduler.TrySubmit(
+                [&](server::TaskFate) {
+                  while (!release.load()) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  }
+                },
+                server::RequestScheduler::Clock::time_point::max()),
+            server::RequestScheduler::Submit::kAccepted);
+
+  std::atomic<int> fate_seen{-1};
+  ASSERT_EQ(scheduler.TrySubmit(
+                [&](server::TaskFate fate) {
+                  fate_seen = static_cast<int>(fate);
+                },
+                server::RequestScheduler::Clock::now() +
+                    std::chrono::milliseconds(30)),
+            server::RequestScheduler::Submit::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  release = true;
+  // Wait for the worker to reach the expired task before stopping —
+  // Stop() would otherwise cancel it while still queued.
+  const auto give_up =
+      server::RequestScheduler::Clock::now() + std::chrono::seconds(5);
+  while (fate_seen.load() < 0 &&
+         server::RequestScheduler::Clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scheduler.Stop();
+  EXPECT_EQ(fate_seen.load(),
+            static_cast<int>(server::TaskFate::kExpired));
+}
+
+TEST(SchedulerTest, StopCancelsQueuedTasks) {
+  server::SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  server::RequestScheduler scheduler(options);
+
+  std::atomic<bool> release{false};
+  ASSERT_EQ(scheduler.TrySubmit(
+                [&](server::TaskFate) {
+                  while (!release.load()) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  }
+                },
+                server::RequestScheduler::Clock::time_point::max()),
+            server::RequestScheduler::Submit::kAccepted);
+  std::atomic<int> cancelled{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(scheduler.TrySubmit(
+                  [&](server::TaskFate fate) {
+                    if (fate == server::TaskFate::kCancelled) ++cancelled;
+                  },
+                  server::RequestScheduler::Clock::time_point::max()),
+              server::RequestScheduler::Submit::kAccepted);
+  }
+  release = true;
+  scheduler.Stop();
+  EXPECT_EQ(cancelled.load(), 3);
+  EXPECT_EQ(scheduler.TrySubmit([](server::TaskFate) {},
+                                server::RequestScheduler::Clock::time_point::max()),
+            server::RequestScheduler::Submit::kStopped);
+}
+
+// --- Loopback client/server ---
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 20;
+
+  api::Service MakeService(util::ThreadPool* pool) const {
+    api::ServiceOptions options;
+    options.pool = pool;
+    return api::Service(RouteEngine(SampleGraph(kNodes, 11), kParams),
+                        options);
+  }
+};
+
+TEST_F(ServerTest, ServedBodiesAreByteIdenticalToServiceAcrossPoolSizes) {
+  int socket_n = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const api::Service service = MakeService(&pool);
+
+    server::ServerOptions options;
+    options.unix_path = TestSocketPath(socket_n++);
+    options.scheduler.workers = 2;
+    server::Server daemon(service, options);
+    daemon.Start();
+    server::Client client = server::Client::ConnectUnix(options.unix_path);
+
+    wire::Request route;
+    route.kind = wire::FrameKind::kRouteRequest;
+    route.route.from = "pop-0";
+    route.route.to = "pop-" + std::to_string(kNodes - 1);
+    const auto route_reply = client.Call(route);
+    EXPECT_EQ(route_reply.status, wire::Status::kOk);
+    EXPECT_EQ(route_reply.body, service.Route(route.route).body);
+
+    wire::Request ratios;
+    ratios.kind = wire::FrameKind::kRatiosRequest;
+    ratios.ratios.label = "loopback";
+    const auto ratios_reply = client.Call(ratios);
+    EXPECT_EQ(ratios_reply.status, wire::Status::kOk);
+    EXPECT_EQ(ratios_reply.body, service.Ratios(ratios.ratios).body);
+
+    wire::Request ensemble;
+    ensemble.kind = wire::FrameKind::kEnsembleRequest;
+    ensemble.ensemble.scenarios = 12;
+    ensemble.ensemble.top = 3;
+    ensemble.ensemble.json = true;
+    const auto ensemble_reply = client.Call(ensemble);
+    EXPECT_EQ(ensemble_reply.status, wire::Status::kOk);
+    EXPECT_EQ(ensemble_reply.body, service.Ensemble(ensemble.ensemble).body);
+
+    wire::Request provision;
+    provision.kind = wire::FrameKind::kProvisionRequest;
+    provision.provision.links = 1;
+    const auto provision_reply = client.Call(provision);
+    EXPECT_EQ(provision_reply.status, wire::Status::kOk);
+    EXPECT_EQ(provision_reply.body,
+              service.Provision(provision.provision).body);
+
+    daemon.Stop();
+  }
+}
+
+TEST_F(ServerTest, TcpLoopbackServesEphemeralPort) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  server::Server daemon(service, options);
+  daemon.Start();
+  ASSERT_GT(daemon.tcp_port(), 0);
+
+  server::Client client =
+      server::Client::ConnectTcp("127.0.0.1", daemon.tcp_port());
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  const auto reply = client.Call(ping);
+  EXPECT_EQ(reply.status, wire::Status::kOk);
+  EXPECT_EQ(reply.body, "pong\n");
+  daemon.Stop();
+}
+
+TEST_F(ServerTest, UnknownPopAnswersBadRequestAndKeepsConnection) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(10);
+  server::Server daemon(service, options);
+  daemon.Start();
+  server::Client client = server::Client::ConnectUnix(options.unix_path);
+
+  wire::Request route;
+  route.kind = wire::FrameKind::kRouteRequest;
+  route.route.from = "Atlantis, XX";
+  route.route.to = "pop-1";
+  const auto reply = client.Call(route);
+  EXPECT_EQ(reply.status, wire::Status::kBadRequest);
+  EXPECT_EQ(reply.body, "no PoP named 'Atlantis, XX' in this network\n");
+
+  // The connection survives a bad request.
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  EXPECT_EQ(client.Call(ping).status, wire::Status::kOk);
+  daemon.Stop();
+}
+
+TEST_F(ServerTest, QueueFullAnswersOverloaded) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(11);
+  options.scheduler.workers = 1;
+  options.scheduler.queue_capacity = 0;  // accept only when worker idle
+  server::Server daemon(service, options);
+  daemon.Start();
+
+  // Connection A occupies the single worker with a slow ping.
+  server::Client slow = server::Client::ConnectUnix(options.unix_path);
+  std::thread slow_call([&slow] {
+    wire::Request ping;
+    ping.kind = wire::FrameKind::kPingRequest;
+    ping.ping_delay_ms = 400;
+    EXPECT_EQ(slow.Call(ping).status, wire::Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Connection B submits while the worker is busy and the queue is full.
+  server::Client fast = server::Client::ConnectUnix(options.unix_path);
+  wire::Request route;
+  route.kind = wire::FrameKind::kRouteRequest;
+  route.route.from = "pop-0";
+  route.route.to = "pop-1";
+  const auto reply = fast.Call(route);
+  EXPECT_EQ(reply.status, wire::Status::kOverloaded);
+  EXPECT_EQ(reply.body, "server queue is full\n");
+
+  slow_call.join();
+  daemon.Stop();
+}
+
+TEST_F(ServerTest, ExpiredDeadlineAnswersDeadlineExceeded) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(12);
+  options.scheduler.workers = 1;
+  options.scheduler.queue_capacity = 4;
+  server::Server daemon(service, options);
+  daemon.Start();
+
+  server::Client slow = server::Client::ConnectUnix(options.unix_path);
+  std::thread slow_call([&slow] {
+    wire::Request ping;
+    ping.kind = wire::FrameKind::kPingRequest;
+    ping.ping_delay_ms = 400;
+    EXPECT_EQ(slow.Call(ping).status, wire::Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  server::Client fast = server::Client::ConnectUnix(options.unix_path);
+  wire::Request route;
+  route.kind = wire::FrameKind::kRouteRequest;
+  route.route.from = "pop-0";
+  route.route.to = "pop-1";
+  route.deadline_ms = 50;  // expires while queued behind the slow ping
+  const auto reply = fast.Call(route);
+  EXPECT_EQ(reply.status, wire::Status::kDeadlineExceeded);
+  EXPECT_EQ(reply.body, "deadline exceeded\n");
+
+  slow_call.join();
+  daemon.Stop();
+}
+
+TEST_F(ServerTest, GarbageBytesAnswerBadRequestAndClose) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(13);
+  server::Server daemon(service, options);
+  daemon.Start();
+
+  // Raw socket: a corrupted magic must draw a connection-level
+  // kBadRequest reply with request id 0, then the server closes.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                options.unix_path.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  wire::Request ping;
+  ping.kind = wire::FrameKind::kPingRequest;
+  std::string bytes = wire::EncodeRequest(ping);
+  bytes[0] = 'X';  // corrupt the magic
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+
+  wire::FrameAssembler assembler{wire::ResponseLimits()};
+  wire::Response reply;
+  bool got_reply = false;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // server closed after replying
+    assembler.Append(buffer, static_cast<std::size_t>(n));
+    auto polled = assembler.Poll();
+    ASSERT_TRUE(polled.ok()) << polled.error().Render();
+    if (!polled.value().has_value()) continue;
+    const wire::Frame& frame = *polled.value();
+    const auto decoded = wire::DecodeResponsePayload(
+        frame.header,
+        {reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+         frame.payload.size()},
+        wire::ResponseLimits());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().Render();
+    reply = decoded.value();
+    got_reply = true;
+  }
+  ::close(fd);
+  ASSERT_TRUE(got_reply);
+  EXPECT_EQ(reply.id, 0u);
+  EXPECT_EQ(reply.status, wire::Status::kBadRequest);
+  EXPECT_FALSE(reply.body.empty());
+  daemon.Stop();
+}
+
+TEST_F(ServerTest, WireShutdownRequestStopsTheServer) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(14);
+  server::Server daemon(service, options);
+  daemon.Start();
+
+  server::Client client = server::Client::ConnectUnix(options.unix_path);
+  wire::Request shutdown;
+  shutdown.kind = wire::FrameKind::kShutdownRequest;
+  const auto reply = client.Call(shutdown);
+  EXPECT_EQ(reply.status, wire::Status::kOk);
+  EXPECT_EQ(reply.body, "shutting down\n");
+  EXPECT_TRUE(daemon.WaitFor(std::chrono::seconds(5)));
+  daemon.Stop();
+  EXPECT_GE(daemon.requests_served(), 1u);
+}
+
+TEST_F(ServerTest, RemoteShutdownCanBeDisabled) {
+  util::ThreadPool pool(1);
+  const api::Service service = MakeService(&pool);
+  server::ServerOptions options;
+  options.unix_path = TestSocketPath(15);
+  options.allow_remote_shutdown = false;
+  server::Server daemon(service, options);
+  daemon.Start();
+
+  server::Client client = server::Client::ConnectUnix(options.unix_path);
+  wire::Request shutdown;
+  shutdown.kind = wire::FrameKind::kShutdownRequest;
+  const auto reply = client.Call(shutdown);
+  EXPECT_EQ(reply.status, wire::Status::kBadRequest);
+  EXPECT_FALSE(daemon.WaitFor(std::chrono::milliseconds(50)));
+  daemon.Stop();
+}
+
+}  // namespace
+}  // namespace riskroute

@@ -79,6 +79,12 @@ PAIRS = {
                  "BM_EnsembleLegacy", "BM_EnsembleBatched", 3.0),
     "scale_mtm": ("bench_scale",
                   "BM_ScaleManyToManyDijkstra", "BM_ScaleManyToManyAlt", 3.0),
+    # Not a kernel rewrite but a boot amortization: the warm daemon pays
+    # one wire round trip where the cold CLI re-parses the ALT-ready
+    # engine snapshot per query (and the cold side is not even charged
+    # for process spawn, so the real gap is wider).
+    "server_route": ("bench_server",
+                     "BM_ColdCliRoute", "BM_WarmServerRoute", 10.0),
 }
 
 

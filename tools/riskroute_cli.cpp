@@ -9,19 +9,27 @@
 //   riskroute export   [--network NAME] [--format geojson|rrt]
 //   riskroute ospf     --network Deutsche
 //   riskroute freeze   --network Level3 --out level3.rre [--alt-landmarks K]
+//   riskroute serve    --socket /tmp/rr.sock [--engine-snapshot level3.rre]
 //   riskroute table3   [--scale X] [--seed S]
 //
 // Every subcommand runs against the deterministic reference study
 // (override the corpus seed with --seed; grow the corpus with --scale).
 // `freeze` serializes a prepared RouteEngine to a snapshot file, and
-// route/ratios/ensemble accept --engine-snapshot FILE to boot from one
-// without rebuilding the study. Output goes to stdout; GeoJSON and .rrt
-// exports print the document so it can be piped to a file.
+// route/ratios/ensemble/augment/serve accept --engine-snapshot FILE to
+// boot from one without rebuilding the study. `serve` keeps the booted
+// engine warm behind riskroute_serverd; query it with riskroute_client.
+// Output goes to stdout; GeoJSON and .rrt exports print the document so
+// it can be piped to a file.
+//
+// route/ratios/ensemble/augment are thin adapters over riskroute::api —
+// a served response body is byte-identical to the subcommand's stdout.
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
-#include <numeric>
 #include <optional>
 #include <string>
 #include <utility>
@@ -32,6 +40,7 @@
 #include "forecast/projection.h"
 #include "hazard/synthesis.h"
 #include "riskroute_api.h"
+#include "server/server.h"
 #include "topology/generator.h"
 #include "topology/geojson.h"
 #include "topology/serialize.h"
@@ -62,6 +71,8 @@ int Usage() {
       "  ospf      --network N [--lambda-h X]\n"
       "  bgp       --dest N [--risk-aware]\n"
       "  freeze    --network N --out FILE [--alt-landmarks K] [--scale X]\n"
+      "  serve     --socket PATH and/or --port P [--workers W] [--queue Q]\n"
+      "            [--engine-snapshot FILE]   (riskroute_serverd daemon)\n"
       "  table3    [--scale X] [--seed S]   (corpus summary, Table 3 style)\n"
       "\n"
       "common options: --seed S (corpus seed), --blocks B (census blocks),\n"
@@ -132,72 +143,43 @@ core::RouteEngine BootEngine(const Args& args,
 int CmdRoute(const Args& args) {
   std::optional<core::Study> study;
   std::optional<core::RiskGraph> graph;
-  const core::RouteEngine engine = BootEngine(args, study, graph, "Level3");
+  const api::Service service(BootEngine(args, study, graph, "Level3"));
+  const core::RouteEngine& engine = service.engine();
 
-  const auto require_pop = [&](const std::string& name) {
-    for (std::size_t i = 0; i < engine.node_count(); ++i) {
-      if (engine.node_name(i) == name) return i;
-    }
-    throw InvalidArgument("no PoP named '" + name + "' in this network");
-  };
-  const std::size_t src = require_pop(args.GetOr("from", "Houston, TX"));
-  const std::size_t dst = require_pop(args.GetOr("to", "Boston, MA"));
-
-  const double alpha = engine.Alpha(src, dst);
-  const auto shortest_path = engine.FindPath(src, dst, 0.0);
-  const auto risky_path = engine.FindPath(src, dst, alpha);
-  if (!shortest_path || !risky_path) {
+  api::RouteRequest request;
+  request.from = args.GetOr("from", "Houston, TX");
+  request.to = args.GetOr("to", "Boston, MA");
+  const api::RouteResponse response = service.Route(request);
+  if (!response.connected) {
     std::fprintf(stderr, "PoPs are not connected\n");
     return 1;
   }
-
-  const auto print_route = [&](const char* label, const core::Path& path,
-                               double miles, double brm) {
-    std::printf("%s: %.0f mi, %.0f bit-risk mi\n  ", label, miles, brm);
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      std::printf("%s%s", engine.node_name(path[i]).c_str(),
-                  i + 1 == path.size() ? "\n" : " -> ");
-    }
-  };
-  print_route("shortest ", *shortest_path, engine.PathMiles(*shortest_path),
-              engine.PathBitRiskMiles(*shortest_path));
-  print_route("riskroute", *risky_path, engine.PathMiles(*risky_path),
-              engine.PathBitRiskMiles(*risky_path));
-
-  // Per-hop Eq 1 decomposition of the chosen route: every hop pays its
-  // mileage plus alpha_ij * score(head).
-  std::printf("\nper-hop bit-risk miles (alpha_ij = %.4g):\n", alpha);
-  std::printf("  %-44s %10s %12s %12s %12s\n", "hop", "miles", "risk term",
-              "hop total", "cumulative");
-  double cumulative = 0.0;
-  for (std::size_t k = 1; k < risky_path->size(); ++k) {
-    const std::size_t u = (*risky_path)[k - 1];
-    const std::size_t v = (*risky_path)[k];
-    double hop_miles = 0.0;
-    for (std::size_t e = engine.EdgeBegin(u); e < engine.EdgeEnd(u); ++e) {
-      if (engine.EdgeHead(e) == v) {
-        hop_miles = engine.EdgeMiles(e);
-        break;
-      }
-    }
-    const double risk_term = alpha * engine.NodeScore(v);
-    cumulative += hop_miles + risk_term;
-    const std::string hop =
-        engine.node_name(u) + " -> " + engine.node_name(v);
-    std::printf("  %-44s %10.1f %12.1f %12.1f %12.1f\n", hop.c_str(),
-                hop_miles, risk_term, hop_miles + risk_term, cumulative);
-  }
+  std::fputs(response.body.c_str(), stdout);
 
   if (args.Has("latency-budget")) {
+    // CLI-only extra: the SLA picker needs the live graph, so it stays
+    // outside the api::Service body (snapshot boots cannot serve it).
     if (!graph) {
       throw InvalidArgument(
           "--latency-budget needs the live graph; drop --engine-snapshot");
     }
+    const auto require_pop = [&](const std::string& name) {
+      for (std::size_t i = 0; i < engine.node_count(); ++i) {
+        if (engine.node_name(i) == name) return i;
+      }
+      throw InvalidArgument("no PoP named '" + name + "' in this network");
+    };
     const double budget = args.GetDouble("latency-budget", 1e9);
     const core::MultiObjectiveRouter multi(*graph, ParamsFrom(args));
-    const auto pick = multi.MinRiskWithinLatency(src, dst, budget);
+    const auto pick = multi.MinRiskWithinLatency(
+        require_pop(request.from), require_pop(request.to), budget);
     if (pick) {
-      print_route("sla-pick ", pick->path, pick->miles, pick->bit_risk_miles);
+      std::printf("%s: %.0f mi, %.0f bit-risk mi\n  ", "sla-pick ",
+                  pick->miles, pick->bit_risk_miles);
+      for (std::size_t i = 0; i < pick->path.size(); ++i) {
+        std::printf("%s%s", engine.node_name(pick->path[i]).c_str(),
+                    i + 1 == pick->path.size() ? "\n" : " -> ");
+      }
       std::printf("  latency %.2f ms within budget %.2f ms\n",
                   pick->latency_ms, budget);
     } else {
@@ -211,28 +193,29 @@ int CmdRoute(const Args& args) {
     }
     const auto& net = study->corpus().network(
         study->NetworkIndex(args.GetOr("network", "Level3")));
-    std::puts(topology::PathToGeoJson(net, *risky_path, "riskroute").c_str());
+    std::puts(topology::PathToGeoJson(net, response.riskroute_path, "riskroute")
+                  .c_str());
   }
   return 0;
 }
 
 int CmdRatios(const Args& args) {
   util::ThreadPool pool(PoolThreads(args));
-  util::Table table({"Network", "# PoPs", "Risk Reduction", "Distance Increase"});
+  api::ServiceOptions service_options;
+  service_options.pool = &pool;
 
-  // Snapshot boot: the frozen engine is one network already; run the
-  // Eq 5/6 sweep over every frozen node (bitwise what the study path
-  // computes for that network, ALT landmarks and all).
+  // Snapshot boot: the frozen engine is one network already; the Service
+  // runs the Eq 5/6 sweep over every frozen node (bitwise what the study
+  // path computes for that network, ALT landmarks and all) and its body
+  // is the rendered single-row table.
   if (args.Has("engine-snapshot")) {
     std::optional<core::Study> study;
     std::optional<core::RiskGraph> graph;
-    const core::RouteEngine engine = BootEngine(args, study, graph, "Level3");
-    std::vector<std::size_t> all(engine.node_count());
-    std::iota(all.begin(), all.end(), std::size_t{0});
-    const core::RatioReport report = engine.ComputeRatios(all, all, &pool);
-    table.Add(args.GetOr("network", "snapshot"), engine.node_count(),
-              report.risk_reduction_ratio, report.distance_increase_ratio);
-    table.Render(std::cout);
+    const api::Service service(BootEngine(args, study, graph, "Level3"),
+                               service_options);
+    api::RatiosRequest request;
+    request.label = args.GetOr("network", "snapshot");
+    std::fputs(service.Ratios(request).body.c_str(), stdout);
     return 0;
   }
 
@@ -248,45 +231,40 @@ int CmdRatios(const Args& args) {
       }
     }
   }
+  // Multi-network mode: one Service per frozen network; the combined
+  // table is CLI presentation (column widths span all rows, so the
+  // per-network bodies cannot simply concatenate).
+  util::Table table({"Network", "# PoPs", "Risk Reduction", "Distance Increase"});
   const std::size_t landmarks = args.GetSize("alt-landmarks", 0);
   for (const std::string& name : names) {
     const core::RiskGraph graph = study.BuildGraphFor(name);
-    core::RatioReport report;
+    core::RouteEngine engine(graph, params);
     if (landmarks > 0) {
       // ALT path: same Eq 5/6 fold, per-pair goal-directed searches.
-      core::RouteEngine engine(graph, params);
       engine.PrepareLandmarks(landmarks);
-      std::vector<std::size_t> all(engine.node_count());
-      std::iota(all.begin(), all.end(), std::size_t{0});
-      report = engine.ComputeRatios(all, all, &pool);
-    } else {
-      report = core::ComputeIntradomainRatios(graph, params, &pool);
     }
-    table.Add(name, graph.node_count(), report.risk_reduction_ratio,
-              report.distance_increase_ratio);
+    const api::Service service(std::move(engine), service_options);
+    api::RatiosRequest request;
+    request.label = name;
+    const api::RatiosResponse response = service.Ratios(request);
+    table.Add(name, response.pops, response.report.risk_reduction_ratio,
+              response.report.distance_increase_ratio);
   }
   table.Render(std::cout);
   return 0;
 }
 
 int CmdAugment(const Args& args) {
-  const core::Study study = BuildStudy(args);
-  const std::string network = args.GetOr("network", "Sprint");
-  const core::RiskGraph graph = study.BuildGraphFor(network);
+  std::optional<core::Study> study;
+  std::optional<core::RiskGraph> graph;
   util::ThreadPool pool(PoolThreads(args));
-  provision::AugmentationOptions options;
-  options.links_to_add = args.GetSize("links", 5);
-  options.candidates.max_candidates = graph.node_count() > 100 ? 120 : 400;
-  const auto result =
-      provision::GreedyAugment(graph, ParamsFrom(args), options, &pool);
-  std::printf("aggregate bit-risk today: %.4g\n", result.original_bit_risk_miles);
-  for (std::size_t s = 0; s < result.steps.size(); ++s) {
-    std::printf("%zu. %s <-> %s (%.0f mi) -> %.2f%% of original\n", s + 1,
-                graph.node(result.steps[s].link.a).name.c_str(),
-                graph.node(result.steps[s].link.b).name.c_str(),
-                result.steps[s].link.direct_miles,
-                100 * result.steps[s].fraction_of_original);
-  }
+  api::ServiceOptions service_options;
+  service_options.pool = &pool;
+  const api::Service service(BootEngine(args, study, graph, "Sprint"),
+                             service_options);
+  api::ProvisionRequest request;
+  request.links = args.GetSize("links", 5);
+  std::fputs(service.Provision(request).body.c_str(), stdout);
   return 0;
 }
 
@@ -377,48 +355,20 @@ int CmdSimulate(const Args& args) {
 int CmdEnsemble(const Args& args) {
   std::optional<core::Study> study;
   std::optional<core::RiskGraph> graph;
-  const core::RouteEngine engine = BootEngine(args, study, graph, "Tinet");
   util::ThreadPool pool(PoolThreads(args));
+  api::ServiceOptions service_options;
+  service_options.pool = &pool;
+  const api::Service service(BootEngine(args, study, graph, "Tinet"),
+                             service_options);
 
-  sim::EnsembleOptions options;
-  options.scenarios = args.GetSize("scenarios", 256);
+  api::EnsembleRequest request;
+  request.scenarios = args.GetSize("scenarios", 256);
   // --ensemble-seed keys the Philox draws; --seed stays the corpus seed.
-  options.seed = args.GetSize("ensemble-seed", 2026);
-  options.month = static_cast<int>(args.GetSize("month", 0));
-  options.criticality_top = args.GetSize("top", 10);
-
-  const std::vector<hazard::Catalog> catalogs =
-      hazard::SynthesizeAllCatalogs();
-  const sim::EnsembleEngine ensemble(engine, catalogs, options, &pool);
-  const sim::EnsembleReport report = ensemble.Run(&pool);
-
-  if (args.Has("json")) {
-    std::fputs(report.ToJson().c_str(), stdout);
-    return 0;
-  }
-  std::printf("scenarios %zu (seed %zu) | baseline %.6g bit-risk mi over "
-              "%zu pairs\n",
-              report.scenarios, static_cast<std::size_t>(report.seed),
-              report.baseline_bit_risk_miles, report.baseline_pairs);
-  std::printf("delta bit-risk mi: mean %.6g sd %.6g | p5 %.6g p50 %.6g "
-              "p95 %.6g | max %.6g\n",
-              report.delta_mean, std::sqrt(report.delta_variance),
-              report.delta_p5, report.delta_p50, report.delta_p95,
-              report.delta_max);
-  std::printf("per scenario: %.2f failed PoPs, %.2f severed links, "
-              "%.2f dead-endpoint pairs, %.2f stranded pairs\n",
-              report.mean_failed_pops, report.mean_severed_links,
-              report.mean_endpoint_pairs, report.mean_disconnected_pairs);
-  std::printf("\nmost critical links (by summed damage when out of service):\n");
-  std::printf("  %-44s %8s %9s %14s\n", "link", "miles", "failures",
-              "mean delta");
-  for (const auto& link : report.criticality) {
-    const std::string name =
-        engine.node_name(link.a) + " <-> " + engine.node_name(link.b);
-    std::printf("  %-44s %8.0f %9zu %14.6g\n", name.c_str(), link.miles,
-                static_cast<std::size_t>(link.failures),
-                link.MeanDelta(report.scenarios));
-  }
+  request.seed = args.GetSize("ensemble-seed", 2026);
+  request.month = static_cast<int>(args.GetSize("month", 0));
+  request.top = args.GetSize("top", 10);
+  request.json = args.Has("json");
+  std::fputs(service.Ensemble(request).body.c_str(), stdout);
   return 0;
 }
 
@@ -499,6 +449,56 @@ int CmdFreeze(const Args& args) {
   return 0;
 }
 
+/// SIGINT/SIGTERM flag for `riskroute serve`.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(const Args& args) {
+  const std::string socket_path = args.GetOr("socket", "");
+  const bool has_port = args.Has("port");
+  if (socket_path.empty() && !has_port) {
+    throw InvalidArgument("serve needs --socket PATH and/or --port P");
+  }
+
+  std::optional<core::Study> study;
+  std::optional<core::RiskGraph> graph;
+  util::ThreadPool pool(PoolThreads(args));
+  api::ServiceOptions service_options;
+  service_options.pool = &pool;
+  const api::Service service(BootEngine(args, study, graph, "Level3"),
+                             service_options);
+  // The study corpus is only needed to freeze the engine; release it
+  // before serving (snapshot boots never build one at all).
+  graph.reset();
+  study.reset();
+
+  server::ServerOptions options;
+  options.unix_path = socket_path;
+  if (has_port) options.tcp_port = static_cast<int>(args.GetSize("port", 0));
+  options.scheduler.workers = args.GetSize("workers", 1);
+  options.scheduler.queue_capacity = args.GetSize("queue", 64);
+
+  server::Server daemon(service, options);
+  daemon.Start();
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::fprintf(stderr, "serving %zu PoPs", service.engine().node_count());
+  if (!socket_path.empty()) {
+    std::fprintf(stderr, " | unix %s", socket_path.c_str());
+  }
+  if (has_port) std::fprintf(stderr, " | tcp 127.0.0.1:%d", daemon.tcp_port());
+  std::fprintf(stderr, " | %zu workers, queue %zu\n",
+               args.GetSize("workers", 1), args.GetSize("queue", 64));
+
+  while (g_serve_stop == 0 &&
+         !daemon.WaitFor(std::chrono::milliseconds(100))) {
+  }
+  daemon.Stop();
+  std::fprintf(stderr, "served %zu requests\n", daemon.requests_served());
+  return 0;
+}
+
 int CmdTable3(const Args& args) {
   const double scale = args.GetDouble("scale", 1.0);
   const std::uint64_t seed = args.GetSize("seed", 123);
@@ -548,6 +548,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "ospf") return CmdOspf(args);
   if (command == "bgp") return CmdBgp(args);
   if (command == "freeze") return CmdFreeze(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "table3") return CmdTable3(args);
   if (command == "help" || command == "--help") return Usage();
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
@@ -563,7 +564,8 @@ FlagRegistry CliFlags() {
        {"network", "from", "to", "lambda-h", "lambda-f", "latency-budget",
         "links", "storm", "project", "trials", "scenarios", "ensemble-seed",
         "month", "top", "dest", "format", "seed", "blocks", "threads",
-        "metrics-out", "scale", "alt-landmarks", "engine-snapshot", "out"}) {
+        "metrics-out", "scale", "alt-landmarks", "engine-snapshot", "out",
+        "socket", "port", "workers", "queue"}) {
     flags.Value(value);
   }
   for (const char* boolean : {"geojson", "any-peer", "risk-aware", "json"}) {

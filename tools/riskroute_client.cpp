@@ -1,0 +1,137 @@
+// riskroute_client — wire-protocol client for riskroute_serverd.
+//
+//   riskroute_client route     --socket /tmp/rr.sock --from "Houston, TX"
+//                              --to "Boston, MA"
+//   riskroute_client ratios    --socket /tmp/rr.sock [--network LABEL]
+//   riskroute_client ensemble  --port 4913 [--scenarios K] [--json]
+//   riskroute_client augment   --socket /tmp/rr.sock [--links K]
+//   riskroute_client ping      --socket /tmp/rr.sock [--delay-ms D]
+//   riskroute_client shutdown  --socket /tmp/rr.sock
+//
+// Connects over --socket PATH (unix) or --host/--port (TCP loopback),
+// sends one typed request, and prints the response body to stdout — for
+// kOk replies those bytes are identical to the equivalent `riskroute`
+// subcommand's stdout against the same snapshot. Non-ok replies print
+// the status to stderr and exit with the wire status code.
+#include <cstdio>
+#include <string>
+
+#include "server/client.h"
+#include "server/wire.h"
+#include "tools/args.h"
+#include "util/error.h"
+
+namespace riskroute::cli {
+namespace {
+
+namespace wire = server::wire;
+
+int Usage() {
+  std::puts(
+      "usage: riskroute_client <command> [options]\n"
+      "\n"
+      "commands: route | ratios | ensemble | augment | ping | shutdown\n"
+      "\n"
+      "transport: --socket PATH (unix) or --host H --port P (tcp; host\n"
+      "           defaults to 127.0.0.1)\n"
+      "request:   --deadline-ms D (0 = none; expired requests answer\n"
+      "           deadline_exceeded without running)\n"
+      "route:     --from \"City, ST\" --to \"City, ST\"\n"
+      "ratios:    --network LABEL (the table's network column)\n"
+      "ensemble:  --scenarios K --ensemble-seed S --month 1-12 --top L\n"
+      "           [--json]\n"
+      "augment:   --links K\n"
+      "ping:      --delay-ms D (worker sleeps D ms before answering)");
+  return 2;
+}
+
+wire::Request BuildRequest(const std::string& command, const Args& args) {
+  wire::Request request;
+  request.deadline_ms =
+      static_cast<std::uint32_t>(args.GetSize("deadline-ms", 0));
+  if (command == "route") {
+    request.kind = wire::FrameKind::kRouteRequest;
+    request.route.from = args.GetOr("from", "Houston, TX");
+    request.route.to = args.GetOr("to", "Boston, MA");
+  } else if (command == "ratios") {
+    request.kind = wire::FrameKind::kRatiosRequest;
+    request.ratios.label = args.GetOr("network", "snapshot");
+  } else if (command == "ensemble") {
+    request.kind = wire::FrameKind::kEnsembleRequest;
+    request.ensemble.scenarios = args.GetSize("scenarios", 256);
+    request.ensemble.seed = args.GetSize("ensemble-seed", 2026);
+    request.ensemble.month = static_cast<int>(args.GetSize("month", 0));
+    request.ensemble.top = args.GetSize("top", 10);
+    request.ensemble.json = args.Has("json");
+  } else if (command == "augment") {
+    request.kind = wire::FrameKind::kProvisionRequest;
+    request.provision.links = args.GetSize("links", 5);
+  } else if (command == "ping") {
+    request.kind = wire::FrameKind::kPingRequest;
+    request.ping_delay_ms =
+        static_cast<std::uint32_t>(args.GetSize("delay-ms", 0));
+  } else if (command == "shutdown") {
+    request.kind = wire::FrameKind::kShutdownRequest;
+  } else {
+    throw InvalidArgument("unknown command: " + command);
+  }
+  return request;
+}
+
+server::Client Connect(const Args& args) {
+  if (const auto socket_path = args.Get("socket")) {
+    return server::Client::ConnectUnix(*socket_path);
+  }
+  if (args.Has("port")) {
+    return server::Client::ConnectTcp(
+        args.GetOr("host", "127.0.0.1"),
+        static_cast<int>(args.GetSize("port", 0)));
+  }
+  throw InvalidArgument("need --socket PATH or --port P");
+}
+
+FlagRegistry ClientFlags() {
+  FlagRegistry flags;
+  for (const char* value :
+       {"socket", "host", "port", "deadline-ms", "from", "to", "network",
+        "scenarios", "ensemble-seed", "month", "top", "links", "delay-ms"}) {
+    flags.Value(value);
+  }
+  flags.Bool("json");
+  return flags;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") return Usage();
+  auto parsed = Args::Parse(argc, argv, 2, ClientFlags());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().Render().c_str());
+    return Usage();
+  }
+  const Args args = std::move(parsed).ValueOrThrow();
+
+  wire::Request request = BuildRequest(command, args);
+  server::Client client = Connect(args);
+  const server::Client::Result result = client.Call(request);
+  if (result.status != wire::Status::kOk) {
+    std::fprintf(stderr, "%s: %s", wire::ToString(result.status),
+                 result.body.c_str());
+    return static_cast<int>(result.status);
+  }
+  std::fputs(result.body.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace riskroute::cli
+
+int main(int argc, char** argv) {
+  try {
+    return riskroute::cli::Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

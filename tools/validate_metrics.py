@@ -4,9 +4,11 @@
 The container ships no third-party jsonschema package, so this implements
 the small JSON-Schema subset the schema actually uses: ``type`` (single name
 or list), ``enum``, ``minimum``, ``required``, ``properties``,
-``additionalProperties`` (boolean or schema), ``items``, and ``$ref`` into
-``#/definitions``. Unknown keywords are an error — the schema must stay
-inside the subset this validator understands.
+``additionalProperties`` (boolean or schema), ``items``, ``namePrefixes``
+(custom: every property key of an object must start with one of the listed
+prefixes — the metric-namespace gate), and ``$ref`` into ``#/definitions``.
+Unknown keywords are an error — the schema must stay inside the subset this
+validator understands.
 
 Usage:
 
@@ -24,7 +26,7 @@ import sys
 
 _KNOWN_KEYWORDS = {
     "$ref", "type", "enum", "minimum", "required", "properties",
-    "additionalProperties", "items",
+    "additionalProperties", "items", "namePrefixes",
     # Annotations carried for humans, ignored by validation.
     "description", "definitions",
 }
@@ -85,6 +87,13 @@ def _validate(value, schema: dict, root: dict, path: str,
         for key in schema.get("required", []):
             if key not in value:
                 errors.append(f"{where}: missing required property '{key}'")
+        prefixes = schema.get("namePrefixes")
+        if prefixes is not None:
+            for key in value:
+                if not any(key.startswith(p) for p in prefixes):
+                    errors.append(
+                        f"{where}: metric name '{key}' is outside the "
+                        f"registered namespaces {prefixes}")
         properties = schema.get("properties", {})
         additional = schema.get("additionalProperties", True)
         for key, item in value.items():

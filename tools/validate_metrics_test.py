@@ -103,6 +103,26 @@ class MetricsSchemaTest(unittest.TestCase):
         self.assertEqual(len(errors), 1)
         self.assertIn("stable.gauges.core.route_engine.nodes", errors[0])
 
+    def test_server_and_api_namespaces_validate(self):
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["api.requests.route"] = 3
+        doc["volatile"]["counters"]["server.scheduler.rejected_full"] = 1
+        doc["volatile"]["gauges"]["server.scheduler.queue_depth_peak"] = 4
+        self.assertEqual(validate(doc, self.schema), [])
+
+    def test_unregistered_metric_namespace_fails(self):
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["telemetry.unheard.of"] = 1
+        errors = validate(doc, self.schema)
+        self.assertTrue(any("'telemetry.unheard.of' is outside the "
+                            "registered namespaces" in e for e in errors))
+
+    def test_prefix_must_include_the_dot(self):
+        # "serverless.x" must not ride on the "server." prefix.
+        doc = _metrics_doc()
+        doc["volatile"]["counters"]["serverless.x"] = 1
+        self.assertTrue(validate(doc, self.schema))
+
 
 class KeywordSubsetTest(unittest.TestCase):
     """Each supported keyword, probed with minimal synthetic schemas."""
@@ -143,6 +163,14 @@ class KeywordSubsetTest(unittest.TestCase):
     def test_external_ref_raises(self):
         with self.assertRaises(ValueError):
             validate(1, {"$ref": "http://example.com/schema"})
+
+    def test_name_prefixes_keyword(self):
+        schema = {"type": "object", "namePrefixes": ["a.", "b."],
+                  "additionalProperties": {"type": "integer"}}
+        self.assertEqual(validate({"a.x": 1, "b.y": 2}, schema), [])
+        errors = validate({"c.z": 3}, schema)
+        self.assertTrue(any("outside the registered namespaces" in e
+                            for e in errors))
 
 
 if __name__ == "__main__":
