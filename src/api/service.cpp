@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "forecast/parser.h"
 #include "hazard/synthesis.h"
 #include "obs/metrics.h"
 #include "util/error.h"
@@ -102,6 +103,21 @@ obs::Counter& RequestCounter(const char* kind) {
   return obs::MetricsRegistry::Global().GetCounter(name);
 }
 
+/// Whether two option sets build the same EnsembleEngine (every field
+/// feeds construction: the baseline sweep, the seasonal slices, or the
+/// per-scenario draw parameters the engine snapshots).
+bool SameEnsembleOptions(const sim::EnsembleOptions& a,
+                         const sim::EnsembleOptions& b) {
+  return a.scenarios == b.scenarios && a.seed == b.seed &&
+         a.month == b.month &&
+         a.damage_radius_scale == b.damage_radius_scale &&
+         a.center_jitter == b.center_jitter &&
+         a.fringe_factor == b.fringe_factor &&
+         a.fringe_fail_scale == b.fringe_fail_scale &&
+         a.link_cut_prob == b.link_cut_prob &&
+         a.criticality_top == b.criticality_top;
+}
+
 }  // namespace
 
 Service::Service(core::RouteEngine engine, const ServiceOptions& options)
@@ -192,11 +208,69 @@ EnsembleResponse Service::Ensemble(const EnsembleRequest& request) const {
   options.month = request.month;
   options.criticality_top = request.top;
 
-  const sim::EnsembleEngine ensemble(engine_, Catalogs(), options, &pool());
+  const std::shared_ptr<const sim::EnsembleEngine> ensemble =
+      EnsembleFor(options);
   EnsembleResponse response;
-  response.report = ensemble.Run(&pool());
+  response.report = ensemble->Run(&pool());
   response.body = request.json ? response.report.ToJson()
                                : RenderEnsembleText(engine_, response.report);
+  return response;
+}
+
+std::shared_ptr<const sim::EnsembleEngine> Service::EnsembleFor(
+    const sim::EnsembleOptions& options) const {
+  std::lock_guard<std::mutex> lock(lazy_->ensemble_mutex);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (lazy_->ensemble != nullptr &&
+      SameEnsembleOptions(lazy_->ensemble_options, options)) {
+    reg.GetCounter("api.ensemble.engine_reuses").Add(1);
+    return lazy_->ensemble;
+  }
+  reg.GetCounter("api.ensemble.engine_builds").Add(1);
+  lazy_->ensemble = std::make_shared<const sim::EnsembleEngine>(
+      engine_, Catalogs(), options, &pool());
+  lazy_->ensemble_options = options;
+  return lazy_->ensemble;
+}
+
+RouteDiffResponse Service::StreamAdvisory(
+    const StreamAdvisoryRequest& request) const {
+  static obs::TraceScope scope(obs::MetricsRegistry::Global(), "api.stream");
+  obs::TraceSpan span(scope);
+  RequestCounter("stream").Add();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(lazy_->stream_mutex);
+  if (request.reset) lazy_->stream.reset();
+  if (lazy_->stream == nullptr) {
+    forecast::StreamOptions options;
+    options.top_moves = request.top;
+    options.pool = &pool();
+    lazy_->stream =
+        std::make_unique<forecast::StreamingReroute>(engine_, options);
+    reg.GetCounter("api.stream.sessions").Add(1);
+  } else {
+    reg.GetCounter("api.stream.session_reuses").Add(1);
+  }
+
+  RouteDiffResponse response;
+  util::ParseResult<forecast::Advisory> parsed =
+      forecast::ParseAdvisoryResult(request.bulletin);
+  if (!parsed.ok()) {
+    // The live feed turned unreadable: revert to the static plane and
+    // keep answering, tagged so the caller knows what it is getting.
+    response.diff = lazy_->stream->FallbackToStatic();
+    response.body = "advisory rejected: " + parsed.error().Render() + "\n" +
+                    forecast::RenderRouteDiff(response.diff, engine_,
+                                              request.top);
+    return response;
+  }
+  util::ParseResult<forecast::RouteDiff> diff =
+      lazy_->stream->Ingest(parsed.value());
+  if (!diff.ok()) throw InvalidArgument(diff.error().Render());
+  response.diff = std::move(diff.value());
+  response.body =
+      forecast::RenderRouteDiff(response.diff, engine_, request.top);
   return response;
 }
 

@@ -32,6 +32,7 @@
 #include "core/risk_params.h"
 #include "core/route_engine.h"
 #include "core/riskroute.h"
+#include "forecast/streaming.h"
 #include "hazard/catalog.h"
 #include "provision/augmentation.h"
 #include "sim/ensemble.h"
@@ -99,6 +100,29 @@ struct EnsembleResponse {
   std::string body;
 };
 
+/// One advisory bulletin pushed into the rolling re-route session
+/// (CLI: `riskroute stream`; serverd frame kind kStreamAdvisory). The
+/// session is created on the first request and reused across requests —
+/// one frozen engine, one baseline pair table — until `reset` starts a
+/// fresh session.
+struct StreamAdvisoryRequest {
+  std::string bulletin;
+  bool reset = false;
+  std::size_t top = 3;  // moves rendered in the body
+};
+
+/// The structured routing diff plus the rendered body. A parseable
+/// bulletin answers with source "live"; an unreadable one reverts the
+/// session to the static baseline plane and answers with source
+/// "static-fallback" (the live-feed mitigation pattern) rather than
+/// failing the request. Sequencing violations (duplicate or
+/// out-of-order advisory numbers) DO throw InvalidArgument: the feed is
+/// readable but the caller replayed it wrong.
+struct RouteDiffResponse {
+  forecast::RouteDiff diff;
+  std::string body;
+};
+
 /// Greedy link augmentation (CLI: `riskroute augment`).
 struct ProvisionRequest {
   std::size_t links = 5;
@@ -140,6 +164,11 @@ class Service {
   /// Throws InvalidArgument when links == 0.
   [[nodiscard]] ProvisionResponse Provision(const ProvisionRequest& request) const;
 
+  /// Rolling incremental re-route; see StreamAdvisoryRequest. Requests
+  /// serialize on the session (concurrent callers queue briefly).
+  [[nodiscard]] RouteDiffResponse StreamAdvisory(
+      const StreamAdvisoryRequest& request) const;
+
   [[nodiscard]] const core::RouteEngine& engine() const { return engine_; }
   /// The worker pool (borrowed or owned; spawned on first use).
   [[nodiscard]] util::ThreadPool& pool() const;
@@ -149,17 +178,31 @@ class Service {
   /// a stable member: EnsembleEngine keeps a pointer into it.
   [[nodiscard]] const std::vector<hazard::Catalog>& Catalogs() const;
 
+  /// Cached EnsembleEngine for `options`, rebuilt only when the
+  /// construction-relevant options change. Returned shared so a
+  /// concurrent request with different options cannot dangle a caller
+  /// mid-run. Fixes the latent per-request rebuild: repeated identical
+  /// ensemble queries (the serverd steady state) reuse one prepared
+  /// engine — baseline sweep, seasonal slices and all.
+  [[nodiscard]] std::shared_ptr<const sim::EnsembleEngine> EnsembleFor(
+      const sim::EnsembleOptions& options) const;
+
   core::RouteEngine engine_;
   std::size_t pool_threads_ = 0;
   util::ThreadPool* borrowed_pool_ = nullptr;
 
   // Lazy state lives behind a pointer so Service stays movable
-  // (std::once_flag is not).
+  // (std::once_flag and std::mutex are not).
   struct Lazy {
     std::once_flag pool_once;
     std::once_flag catalogs_once;
     std::unique_ptr<util::ThreadPool> pool;
     std::vector<hazard::Catalog> catalogs;
+    std::mutex stream_mutex;
+    std::unique_ptr<forecast::StreamingReroute> stream;
+    std::mutex ensemble_mutex;
+    std::shared_ptr<const sim::EnsembleEngine> ensemble;
+    sim::EnsembleOptions ensemble_options;  // valid iff ensemble != null
   };
   std::unique_ptr<Lazy> lazy_ = std::make_unique<Lazy>();
 };

@@ -19,13 +19,27 @@
 // A directed pair present in both the added and removed sets is treated
 // as removed (the sets are unordered, so "add then remove" and "remove
 // then re-add" collapse to removal winning).
+//
+// Node-score overrides (the streaming forecast path, PR 9): an overlay
+// may carry a full replacement for the engine's node-score plane. A
+// relaxation into node v then weighs miles + alpha * override[v] instead
+// of miles + alpha * NodeScore(v). The streaming layer fills the vector
+// with the engine's own baseline scores for untouched nodes and with
+// RouteEngine::ScoreWithForecast values for nodes inside an advisory
+// footprint, so an overlay sweep is bitwise identical to re-freezing the
+// engine at that advisory — same weights, same heap evolution, same
+// parent chains — without touching the frozen planes.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "util/error.h"
 
 namespace riskroute::core {
 
@@ -69,14 +83,45 @@ class EdgeOverlay {
     if (it == disabled_.end() || *it != v) disabled_.insert(it, v);
   }
 
+  /// Installs a full replacement node-score plane: `scores[v]` substitutes
+  /// for the engine's NodeScore(v) in every risk-weighted relaxation into
+  /// v. The vector must match the engine's node count (checked at sweep
+  /// time) and every entry must be finite and non-negative so ALT lower
+  /// bounds on the miles plane stay admissible.
+  void SetNodeScoreOverride(std::vector<double> scores) {
+    for (std::size_t v = 0; v < scores.size(); ++v) {
+      if (!std::isfinite(scores[v]) || scores[v] < 0.0) {
+        throw InvalidArgument(
+            "EdgeOverlay node-score override must be finite and "
+            "non-negative at every node (node " +
+            std::to_string(v) + ")");
+      }
+    }
+    score_override_ = std::move(scores);
+  }
+
+  void ClearNodeScoreOverride() { score_override_.clear(); }
+
+  /// Replacement node-score plane, or nullptr when the overlay leaves the
+  /// engine's frozen risk plane untouched.
+  [[nodiscard]] const double* node_score_override() const {
+    return score_override_.empty() ? nullptr : score_override_.data();
+  }
+
+  [[nodiscard]] std::size_t node_score_override_size() const {
+    return score_override_.size();
+  }
+
   void Clear() {
     added_.clear();
     removed_.clear();
     disabled_.clear();
+    score_override_.clear();
   }
 
   [[nodiscard]] bool empty() const {
-    return added_.empty() && removed_.empty() && disabled_.empty();
+    return added_.empty() && removed_.empty() && disabled_.empty() &&
+           score_override_.empty();
   }
 
   /// Overlay edges out of `from`, in insertion order.
@@ -127,6 +172,7 @@ class EdgeOverlay {
   std::vector<OverlayEdge> added_;  // sorted by from, insertion-stable
   std::vector<std::pair<std::size_t, std::size_t>> removed_;  // sorted
   std::vector<std::size_t> disabled_;                         // sorted
+  std::vector<double> score_override_;  // empty, or one score per node
 };
 
 }  // namespace riskroute::core

@@ -132,6 +132,20 @@ void RouteEngine::RebuildRiskPlane() {
   }
 }
 
+double RouteEngine::ScoreWithForecast(std::size_t v,
+                                      double forecast_risk) const {
+  if (v >= node_count()) {
+    throw InvalidArgument(
+        util::Format("RouteEngine::ScoreWithForecast: node %zu out of range",
+                     v));
+  }
+  // The RebuildRiskPlane expression verbatim: the overlay score planes the
+  // streaming layer assembles from these values reproduce the additive
+  // fold (and therefore the rounding) of a full refreeze.
+  return params_.lambda_historical * historical_[v] +
+         params_.lambda_forecast * forecast_risk;
+}
+
 void RouteEngine::SetForecastRisks(std::span<const double> risks) {
   if (risks.size() != forecast_.size()) {
     throw InvalidArgument(util::Format(
@@ -264,6 +278,17 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
   const std::uint32_t* const rows = row_offsets_.data();
   const double* const miles = miles_.data();
   const double* const risk = risk_.data();
+  const double* score_override = nullptr;
+  if constexpr (kOverlay) {
+    score_override = overlay->node_score_override();
+    if (score_override != nullptr &&
+        overlay->node_score_override_size() != n) {
+      throw InvalidArgument(util::Format(
+          "RouteEngine: overlay node-score override covers %zu nodes, "
+          "engine has %zu",
+          overlay->node_score_override_size(), n));
+    }
+  }
   double* const dist = ws.dist_.data();
   std::size_t* const parent = ws.parent_.data();
   // Counted in registers here, flushed to sharded atomics once per sweep
@@ -288,7 +313,15 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
       }
       ++relaxations;
       double weight = miles[e];
-      if constexpr (kRisk) weight += alpha * risk[e];
+      if constexpr (kRisk) {
+        if constexpr (kOverlay) {
+          weight +=
+              alpha * (score_override != nullptr ? score_override[to]
+                                                 : risk[e]);
+        } else {
+          weight += alpha * risk[e];
+        }
+      }
       const double candidate = base + weight;
       if (candidate < dist[to]) {
         dist[to] = candidate;
@@ -309,7 +342,10 @@ void RouteEngine::RunImpl(DijkstraWorkspace& ws, std::size_t source,
         if (ws.settled_[to] || overlay->Masks(top.node, to)) continue;
         ++relaxations;
         double weight = oe.miles;
-        if constexpr (kRisk) weight += alpha * node_score_[to];
+        if constexpr (kRisk) {
+          weight += alpha * (score_override != nullptr ? score_override[to]
+                                                       : node_score_[to]);
+        }
         const double candidate = base + weight;
         if (candidate < dist[to]) {
           dist[to] = candidate;
@@ -388,6 +424,15 @@ std::optional<Path> RouteEngine::FindPath(std::size_t source,
 double RouteEngine::PathWeight(const Path& path, double alpha,
                                const EdgeOverlay* overlay) const {
   if (path.empty()) throw InvalidArgument("RouteEngine::PathWeight: empty path");
+  const double* const score_override =
+      overlay != nullptr ? overlay->node_score_override() : nullptr;
+  if (score_override != nullptr &&
+      overlay->node_score_override_size() != node_count()) {
+    throw InvalidArgument(util::Format(
+        "RouteEngine::PathWeight: overlay node-score override covers %zu "
+        "nodes, engine has %zu",
+        overlay->node_score_override_size(), node_count()));
+  }
   double total = 0.0;
   for (std::size_t k = 1; k < path.size(); ++k) {
     const std::size_t u = path[k - 1];
@@ -417,7 +462,9 @@ double RouteEngine::PathWeight(const Path& path, double alpha,
       throw InvalidArgument(
           util::Format("RouteEngine: missing edge (%zu, %zu)", u, v));
     }
-    total += hop_miles + alpha * node_score_[v];
+    total += hop_miles + alpha * (score_override != nullptr
+                                      ? score_override[v]
+                                      : node_score_[v]);
   }
   return total;
 }

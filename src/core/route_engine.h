@@ -99,6 +99,17 @@ class RouteEngine {
   [[nodiscard]] double NodeScore(std::size_t v) const {
     return node_score_[v];
   }
+  /// Node score under a hypothetical forecast risk, evaluated with the
+  /// exact RebuildRiskPlane expression (same translation unit, same
+  /// flags). The streaming layer builds EdgeOverlay node-score override
+  /// planes from these values, which is what makes an overlay sweep
+  /// bitwise equal to re-freezing the engine at that forecast plane.
+  [[nodiscard]] double ScoreWithForecast(std::size_t v,
+                                         double forecast_risk) const;
+  /// Frozen forecast-risk input at v (zero on a baseline engine).
+  [[nodiscard]] double forecast_risk(std::size_t v) const {
+    return forecast_[v];
+  }
   /// alpha_ij = c_i + c_j.
   [[nodiscard]] double Alpha(std::size_t i, std::size_t j) const {
     return impact_[i] + impact_[j];

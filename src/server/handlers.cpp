@@ -24,6 +24,9 @@ obs::Counter& RequestCounter(wire::FrameKind kind) {
       name = "server.requests.provision";
       break;
     case wire::FrameKind::kPingRequest: name = "server.requests.ping"; break;
+    case wire::FrameKind::kStreamAdvisory:
+      name = "server.requests.stream";
+      break;
     default: break;
   }
   return obs::MetricsRegistry::Global().GetCounter(
@@ -46,6 +49,8 @@ std::pair<wire::Status, std::string> Execute(const api::Service& service,
       return {wire::Status::kOk, service.Ensemble(request.ensemble).body};
     case wire::FrameKind::kProvisionRequest:
       return {wire::Status::kOk, service.Provision(request.provision).body};
+    case wire::FrameKind::kStreamAdvisory:
+      return {wire::Status::kOk, service.StreamAdvisory(request.stream).body};
     case wire::FrameKind::kPingRequest:
       if (request.ping_delay_ms > 0) {
         std::this_thread::sleep_for(

@@ -102,7 +102,7 @@ class Reader {
 
 [[nodiscard]] bool ValidRequestKind(std::uint16_t kind) {
   return kind >= static_cast<std::uint16_t>(FrameKind::kRouteRequest) &&
-         kind <= static_cast<std::uint16_t>(FrameKind::kShutdownRequest);
+         kind <= static_cast<std::uint16_t>(FrameKind::kStreamAdvisory);
 }
 
 std::string EncodeFrame(FrameKind kind, std::uint64_t id,
@@ -145,6 +145,12 @@ std::string EncodeRequest(const Request& request) {
       PutU32(payload, request.ping_delay_ms);
       break;
     case FrameKind::kShutdownRequest:
+      break;
+    case FrameKind::kStreamAdvisory:
+      payload.push_back(request.stream.reset ? '\x01' : '\x00');
+      PutU32(payload, static_cast<std::uint32_t>(request.stream.top));
+      PutU32(payload, static_cast<std::uint32_t>(request.stream.bulletin.size()));
+      payload.append(request.stream.bulletin);
       break;
     case FrameKind::kResponse:
       throw InvalidArgument("EncodeRequest on a response kind");
@@ -316,6 +322,36 @@ util::ParseResult<Request> DecodeRequestPayload(
       break;
     case FrameKind::kShutdownRequest:
       break;
+    case FrameKind::kStreamAdvisory: {
+      std::uint8_t reset = 0;
+      std::uint32_t top = 0;
+      std::uint32_t bulletin_len = 0;
+      if (!reader.ReadU8(reset) || !reader.ReadU32(top) ||
+          !reader.ReadU32(bulletin_len)) {
+        return truncated();
+      }
+      if (reset > 1) {
+        return Reject<Request>(ParseErrorKind::kBadValue,
+                               "reset flag must be 0 or 1");
+      }
+      if (top > limits.max_top) {
+        return Reject<Request>(
+            ParseErrorKind::kLimitExceeded,
+            util::Format("top %u exceeds limit %u", top, limits.max_top));
+      }
+      if (bulletin_len > limits.max_bulletin_bytes) {
+        return Reject<Request>(
+            ParseErrorKind::kLimitExceeded,
+            util::Format("bulletin length %u exceeds limit %u", bulletin_len,
+                         limits.max_bulletin_bytes));
+      }
+      if (!reader.ReadBytes(bulletin_len, request.stream.bulletin)) {
+        return truncated();
+      }
+      request.stream.reset = reset != 0;
+      request.stream.top = top;
+      break;
+    }
     case FrameKind::kResponse:
       break;  // unreachable; rejected above
   }

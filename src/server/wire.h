@@ -50,6 +50,9 @@ enum class FrameKind : std::uint16_t {
   // "pong" — the knob the backpressure and deadline tests turn.
   kPingRequest = 5,
   kShutdownRequest = 6,
+  // Rolling incremental re-route: one advisory bulletin per frame
+  // (existing kind values are frozen — corpus files carry them).
+  kStreamAdvisory = 7,
   kResponse = 100,
 };
 
@@ -86,6 +89,9 @@ struct WireLimits {
   std::uint32_t max_links = 64;
   std::uint32_t max_ping_delay_ms = 60'000;
   std::uint32_t max_deadline_ms = 3'600'000;
+  /// Advisory bulletins are prose, not names: they get their own cap
+  /// (real NHC advisories are a few KiB) instead of max_string_bytes.
+  std::uint32_t max_bulletin_bytes = 32 * 1024;
 };
 
 /// Client-side limits: same field caps, room for large response bodies.
@@ -106,6 +112,7 @@ struct Request {
   api::RatiosRequest ratios;
   api::EnsembleRequest ensemble;
   api::ProvisionRequest provision;
+  api::StreamAdvisoryRequest stream;
   std::uint32_t ping_delay_ms = 0;
 };
 

@@ -7,15 +7,22 @@
 // continuously. Runs under the `sanitize` label so ASan/UBSan replay
 // the whole wall.
 #include <climits>
+#include <cstdint>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/risk_graph.h"
+#include "core/route_engine.h"
 #include "forecast/advisory.h"
 #include "forecast/parser.h"
+#include "forecast/streaming.h"
 #include "forecast/writer.h"
+#include "geo/geo_point.h"
+#include "server/wire.h"
 #include "hazard/catalog_io.h"
 #include "obs/metrics.h"
 #include "tools/args.h"
@@ -530,6 +537,161 @@ TEST(IngestMetrics, CountersTrackAcceptsAndRejects) {
   EXPECT_EQ(CounterTotal("ingest.csv.accepted"), accepted0 + 2);
   EXPECT_EQ(CounterTotal("ingest.csv.rejects.bad_syntax"), syntax0 + 1);
   EXPECT_EQ(CounterTotal("ingest.args.rejects.unknown_option"), unknown0 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// PR-9 additions: the streaming session's sequence guard and the
+// StreamAdvisory wire frame are ingestion boundaries too — hostile or
+// out-of-order input must come back as structured diagnostics, never as
+// corrupted session state.
+
+/// Tiny west-coast graph: far from kIrene's center, so replays are
+/// cheap (empty footprints) and only the sequencing contract is on
+/// trial.
+core::RiskGraph TinyWestGraph() {
+  core::RiskGraph graph;
+  for (int i = 0; i < 4; ++i) {
+    graph.AddNode(core::RiskNode{"pop-" + std::to_string(i),
+                                 geo::GeoPoint(37.0 + i, -120.0 - i), 0.5,
+                                 0.1, 0.0});
+  }
+  for (std::size_t i = 1; i < 4; ++i) graph.AddEdgeByDistance(i - 1, i);
+  return graph;
+}
+
+std::string BulletinWithNumber(int number) {
+  std::string text(kIrene);
+  const std::string from = "NUMBER  23";
+  text.replace(text.find(from), from.size(),
+               "NUMBER " + std::to_string(number));
+  return text;
+}
+
+TEST(StreamSequencing, DuplicateBulletinIsStructuredReject) {
+  const core::RiskGraph graph = TinyWestGraph();
+  const core::RouteEngine engine(graph, core::RiskParams{1e5, 1e3});
+  forecast::StreamingReroute session(engine);
+  const std::uint64_t rejects0 = CounterTotal("stream.rejects.sequence");
+
+  ASSERT_TRUE(session.IngestText(kIrene).ok());
+  const auto duplicate = session.IngestText(kIrene);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.error().kind, ParseErrorKind::kBadValue);
+  EXPECT_EQ(duplicate.error().message,
+            "duplicate advisory number 23 (session already at 23)");
+  EXPECT_EQ(CounterTotal("stream.rejects.sequence"), rejects0 + 1);
+  // The reject left the session where it was: the next live number lands.
+  EXPECT_EQ(session.last_advisory_number(), 23);
+  EXPECT_TRUE(session.IngestText(BulletinWithNumber(24)).ok());
+}
+
+TEST(StreamSequencing, OutOfOrderBulletinIsStructuredReject) {
+  const core::RiskGraph graph = TinyWestGraph();
+  const core::RouteEngine engine(graph, core::RiskParams{1e5, 1e3});
+  forecast::StreamingReroute session(engine);
+
+  ASSERT_TRUE(session.IngestText(kIrene).ok());
+  const auto stale = session.IngestText(BulletinWithNumber(7));
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().kind, ParseErrorKind::kBadValue);
+  EXPECT_EQ(stale.error().message,
+            "out-of-order advisory number 7 (session already at 23)");
+  EXPECT_EQ(session.advisory_count(), 1u);
+
+  // Parser diagnostics pass through IngestText verbatim — a malformed
+  // bulletin is a parse reject, not a sequence reject.
+  const auto garbage = session.IngestText("NOT A BULLETIN");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.error().kind, ParseErrorKind::kMissingField);
+}
+
+// ---------------------------------------------------------------------------
+// StreamAdvisory wire frames: hostile mutations of a valid frame come
+// back as structured rejects (the fuzz corpus archives the same shapes
+// under fuzz/corpus/wire/).
+
+std::string EncodedStreamFrame() {
+  server::wire::Request request;
+  request.kind = server::wire::FrameKind::kStreamAdvisory;
+  request.id = 7;
+  request.deadline_ms = 250;
+  request.stream.bulletin = "HURRICANE WIRE ADVISORY NUMBER 1";
+  request.stream.reset = false;
+  request.stream.top = 3;
+  return server::wire::EncodeRequest(request);
+}
+
+util::ParseResult<server::wire::Request> DecodeFrameBytes(
+    const std::string& bytes) {
+  const server::wire::WireLimits limits;
+  const std::span<const std::uint8_t> span(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  auto frame = server::wire::DecodeSingleFrame(span, limits);
+  if (!frame.ok()) return frame.error();
+  return server::wire::DecodeRequestPayload(
+      frame.value().header,
+      {reinterpret_cast<const std::uint8_t*>(frame.value().payload.data()),
+       frame.value().payload.size()},
+      limits);
+}
+
+// Payload layout after the 20-byte header: u32 deadline | u8 reset |
+// u32 top | u32 bulletin_len | bulletin bytes.
+constexpr std::size_t kResetOffset = 20 + 4;
+constexpr std::size_t kLenOffset = 20 + 4 + 1 + 4;
+
+TEST(StreamAdvisoryWire, BadResetFlagIsBadValue) {
+  std::string bytes = EncodedStreamFrame();
+  bytes[kResetOffset] = '\x02';
+  const auto decoded = DecodeFrameBytes(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().kind, ParseErrorKind::kBadValue);
+  EXPECT_EQ(decoded.error().message, "reset flag must be 0 or 1");
+}
+
+TEST(StreamAdvisoryWire, OversizedBulletinLengthIsLimitExceeded) {
+  std::string bytes = EncodedStreamFrame();
+  // Claim a bulletin one byte past the cap without supplying it: the
+  // limit check must fire before any read is attempted.
+  const std::uint32_t huge = 32 * 1024 + 1;
+  for (int b = 0; b < 4; ++b) {
+    bytes[kLenOffset + static_cast<std::size_t>(b)] =
+        static_cast<char>((huge >> (8 * b)) & 0xff);
+  }
+  const auto decoded = DecodeFrameBytes(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().kind, ParseErrorKind::kLimitExceeded);
+  EXPECT_NE(decoded.error().message.find("bulletin length"),
+            std::string::npos);
+}
+
+TEST(StreamAdvisoryWire, TruncatedAndTrailingPayloadsAreRejected) {
+  const std::string bytes = EncodedStreamFrame();
+
+  // Drop the bulletin's last byte (and fix the header length so the
+  // frame still spans the buffer): truncated payload.
+  std::string cut = bytes.substr(0, bytes.size() - 1);
+  const std::uint32_t cut_len =
+      static_cast<std::uint32_t>(cut.size() - server::wire::kFrameHeaderBytes);
+  for (int b = 0; b < 4; ++b) {
+    cut[16 + static_cast<std::size_t>(b)] =
+        static_cast<char>((cut_len >> (8 * b)) & 0xff);
+  }
+  const auto truncated = DecodeFrameBytes(cut);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().kind, ParseErrorKind::kBadSyntax);
+  EXPECT_NE(truncated.error().message.find("truncated"), std::string::npos);
+
+  // One spare byte after the bulletin: canonical decode rejects it.
+  std::string padded = bytes + '\x00';
+  const std::uint32_t pad_len = static_cast<std::uint32_t>(
+      padded.size() - server::wire::kFrameHeaderBytes);
+  for (int b = 0; b < 4; ++b) {
+    padded[16 + static_cast<std::size_t>(b)] =
+        static_cast<char>((pad_len >> (8 * b)) & 0xff);
+  }
+  const auto trailing = DecodeFrameBytes(padded);
+  ASSERT_FALSE(trailing.ok());
 }
 
 }  // namespace

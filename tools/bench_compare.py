@@ -85,6 +85,13 @@ PAIRS = {
     # for process spawn, so the real gap is wider).
     "server_route": ("bench_server",
                      "BM_ColdCliRoute", "BM_WarmServerRoute", 10.0),
+    # Streaming re-route: one rolling StreamingReroute session ingesting
+    # an advisory (footprint raster + overlay sweeps over affected pairs
+    # only) against a full per-advisory rebuild (forecast plane + engine
+    # refreeze + every-pair sweep). The answers are bitwise identical
+    # (tests/streaming_test.cpp); only the work per advisory differs.
+    "stream_reroute": ("bench_stream",
+                       "BM_StreamFullRebuild", "BM_StreamIncremental", 5.0),
 }
 
 

@@ -42,6 +42,12 @@ CASES = {
     "ensemble_sprint_season": ["ensemble", "--network", "Sprint",
                                "--scenarios", "32", "--ensemble-seed", "7",
                                "--month", "9", "--json"] + COMMON,
+    # Rolling streaming session: every 4th Irene advisory through one
+    # StreamAdvisory session. stdout is the concatenation of the served
+    # response bodies, so this golden byte-pins the served wire bodies
+    # too (body == stdout by construction).
+    "stream_irene": ["stream", "--network", "Level3", "--storm", "IRENE",
+                     "--step", "4"] + COMMON,
 }
 
 # Alias name -> (base case, extra CLI arguments). An alias replays its
@@ -62,6 +68,9 @@ ALIASES = {
 BITWISE_THREAD_CASES = {
     "ensemble_digex": ["1", "2", "8"],
     "ensemble_digex_alt": ["1", "2", "8"],
+    # The streaming correctness contract is thread-count independence of
+    # every incremental answer; the rendered diff stream inherits it.
+    "stream_irene": ["1", "2", "8"],
 }
 
 NUMBER = re.compile(r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?")

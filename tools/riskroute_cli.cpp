@@ -5,6 +5,7 @@
 //   riskroute augment  --network Sprint [--links 5]
 //   riskroute peering  --network Digex [--any-peer]
 //   riskroute storm    --network Level3 --storm SANDY [--project 24]
+//   riskroute stream   --network Level3 --storm IRENE [--step 1] [--top 3]
 //   riskroute simulate --network Tinet [--trials 2000]
 //   riskroute export   [--network NAME] [--format geojson|rrt]
 //   riskroute ospf     --network Deutsche
@@ -64,6 +65,8 @@ int Usage() {
       "  augment   --network N [--links K]\n"
       "  peering   --network N [--any-peer]\n"
       "  storm     --network N --storm IRENE|KATRINA|SANDY [--project H]\n"
+      "  stream    --network N --storm IRENE|KATRINA|SANDY [--step K]\n"
+      "            [--top L] [--engine-snapshot FILE]   (rolling re-route)\n"
       "  simulate  --network N [--trials T] [--lambda-h X]\n"
       "  ensemble  --network N [--scenarios K] [--ensemble-seed S]\n"
       "            [--month 1-12] [--top L] [--json] [--engine-snapshot FILE]\n"
@@ -332,6 +335,39 @@ int CmdStorm(const Args& args) {
   return 0;
 }
 
+/// Replays a storm's advisory bulletins through api::Service as one
+/// rolling StreamAdvisory session. stdout is exactly the concatenation
+/// of the served response bodies — the golden harness byte-pins it, so
+/// boot/progress chatter stays on stderr.
+int CmdStream(const Args& args) {
+  const std::string storm = util::ToUpper(args.GetOr("storm", "SANDY"));
+  const forecast::StormTrack* track = &forecast::SandyTrack();
+  if (storm == "IRENE") track = &forecast::IreneTrack();
+  if (storm == "KATRINA") track = &forecast::KatrinaTrack();
+
+  std::optional<core::Study> study;
+  std::optional<core::RiskGraph> graph;
+  util::ThreadPool pool(PoolThreads(args));
+  api::ServiceOptions service_options;
+  service_options.pool = &pool;
+  const api::Service service(BootEngine(args, study, graph, "Level3"),
+                             service_options);
+
+  const std::size_t step = args.GetSize("step", 1);
+  if (step == 0) throw InvalidArgument("--step must be at least 1");
+  const std::vector<std::string> texts =
+      forecast::GenerateAdvisoryTexts(*track);
+  std::fprintf(stderr, "streaming %s: %zu advisories, step %zu\n",
+               storm.c_str(), texts.size(), step);
+  for (std::size_t i = 0; i < texts.size(); i += step) {
+    api::StreamAdvisoryRequest request;
+    request.bulletin = texts[i];
+    request.top = args.GetSize("top", 3);
+    std::fputs(service.StreamAdvisory(request).body.c_str(), stdout);
+  }
+  return 0;
+}
+
 int CmdSimulate(const Args& args) {
   const core::Study study = BuildStudy(args);
   const std::string network = args.GetOr("network", "Tinet");
@@ -542,6 +578,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "augment") return CmdAugment(args);
   if (command == "peering") return CmdPeering(args);
   if (command == "storm") return CmdStorm(args);
+  if (command == "stream") return CmdStream(args);
   if (command == "simulate") return CmdSimulate(args);
   if (command == "ensemble") return CmdEnsemble(args);
   if (command == "export") return CmdExport(args);
@@ -565,7 +602,7 @@ FlagRegistry CliFlags() {
         "links", "storm", "project", "trials", "scenarios", "ensemble-seed",
         "month", "top", "dest", "format", "seed", "blocks", "threads",
         "metrics-out", "scale", "alt-landmarks", "engine-snapshot", "out",
-        "socket", "port", "workers", "queue"}) {
+        "socket", "port", "workers", "queue", "step"}) {
     flags.Value(value);
   }
   for (const char* boolean : {"geojson", "any-peer", "risk-aware", "json"}) {

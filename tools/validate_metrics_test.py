@@ -110,6 +110,21 @@ class MetricsSchemaTest(unittest.TestCase):
         doc["volatile"]["gauges"]["server.scheduler.queue_depth_peak"] = 4
         self.assertEqual(validate(doc, self.schema), [])
 
+    def test_stream_namespace_validates(self):
+        # PR-9 streaming re-route metrics: session + per-advisory counters
+        # in the stable section (pure functions of engine + advisory
+        # sequence), api-side session accounting next to them.
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["stream.sessions"] = 2
+        doc["stable"]["counters"]["stream.advisories"] = 191
+        doc["stable"]["counters"]["stream.cache.hits"] = 1000
+        doc["stable"]["counters"]["stream.pairs.recomputed"] = 77
+        doc["stable"]["counters"]["api.stream.session_reuses"] = 5
+        self.assertEqual(validate(doc, self.schema), [])
+        # "streamliner.x" must not ride on the "stream." prefix.
+        doc["stable"]["counters"]["streamliner.x"] = 1
+        self.assertTrue(validate(doc, self.schema))
+
     def test_unregistered_metric_namespace_fails(self):
         doc = _metrics_doc()
         doc["stable"]["counters"]["telemetry.unheard.of"] = 1
