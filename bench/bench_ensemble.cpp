@@ -17,6 +17,7 @@
 #include "bench/common.h"
 #include "hazard/synthesis.h"
 #include "sim/ensemble.h"
+#include "sim/triage.h"
 
 namespace {
 
@@ -179,6 +180,51 @@ double BatchedScenarioDelta(const EnsembleBenchFixture& fixture,
   return fixture.ensemble.Evaluate(scenario).delta_bit_risk_miles;
 }
 
+// ---------------------------------------------------------------------------
+// Triaged vs exact-only full runs (the "ensemble_triage" bench_compare
+// pair, scenarios/sec at N = 100k, floor 5x). Both sides reduce the same
+// 100k-scenario universe over the same engine, serial, so the ratio is
+// pure triage leverage: the exact side evaluates every scenario, the
+// triaged side pays features for all but exact engine work only for the
+// pilot/audit/flagged/sampled lanes. Footprints are widened
+// (damage_radius_scale 6) so most non-empty draws sever real spans and
+// the exact side pays an overlay sweep per scenario — the regime a
+// million-scenario ensemble actually runs in.
+
+constexpr std::size_t kTriageBenchScenarios = 100'000;
+
+sim::TriageOptions TriageBenchOptions() {
+  sim::TriageOptions options;
+  options.pilot = 96;
+  options.audit_stride = 1024;
+  options.base_rate = 0.01;
+  options.min_rate = 0.0025;
+  options.impact_quantile = 0.98;
+  options.uncertainty_margin = 0.5;
+  return options;
+}
+
+/// The 100k-universe ensemble engine over the shared Digex fixture's
+/// graph and catalogs (baseline sweep untimed, at construction).
+struct TriageBenchFixture {
+  sim::EnsembleEngine ensemble;
+
+  TriageBenchFixture()
+      : ensemble(SharedEnsembleFixture().engine,
+                 SharedEnsembleFixture().catalogs,
+                 [] {
+                   sim::EnsembleOptions options = BenchEnsembleOptions();
+                   options.scenarios = kTriageBenchScenarios;
+                   options.damage_radius_scale = 6.0;
+                   return options;
+                 }()) {}
+};
+
+const TriageBenchFixture& SharedTriageFixture() {
+  static const TriageBenchFixture fixture;
+  return fixture;
+}
+
 void Reproduce() {
   const EnsembleBenchFixture& fixture = SharedEnsembleFixture();
   std::printf("ensemble bench fixture: Digex, %zu scenarios, "
@@ -195,6 +241,17 @@ void Reproduce() {
                   static_cast<std::size_t>(scenario.index), legacy, batched);
     }
   }
+  // Triaged-vs-exact context for the ensemble_triage pair: same universe,
+  // same draws; the triaged mean is an HT estimate of the exact one.
+  const TriageBenchFixture& triage = SharedTriageFixture();
+  const sim::EnsembleReport exact = triage.ensemble.Run();
+  const sim::TriagedReport triaged =
+      sim::TriagedEnsemble(triage.ensemble, TriageBenchOptions()).Run();
+  std::printf("triage fixture: %zu scenarios, exact mean %.6g, triaged "
+              "mean %.6g (%zu exact evals, %.2f%% of universe)\n",
+              kTriageBenchScenarios, exact.delta_mean,
+              triaged.estimate.delta_mean, triaged.exact_evaluations,
+              100.0 * triaged.exact_fraction);
 }
 
 void BM_EnsembleLegacy(benchmark::State& state) {
@@ -225,6 +282,29 @@ void BM_EnsembleBatched(benchmark::State& state) {
                           static_cast<std::int64_t>(fixture.scenarios.size()));
 }
 BENCHMARK(BM_EnsembleBatched)->Unit(benchmark::kMillisecond);
+
+void BM_EnsembleExactFull(benchmark::State& state) {
+  const TriageBenchFixture& fixture = SharedTriageFixture();
+  for (auto _ : state) {
+    const sim::EnsembleReport report = fixture.ensemble.Run();
+    benchmark::DoNotOptimize(report.delta_mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTriageBenchScenarios));
+}
+BENCHMARK(BM_EnsembleExactFull)->Unit(benchmark::kMillisecond);
+
+void BM_EnsembleTriaged(benchmark::State& state) {
+  const TriageBenchFixture& fixture = SharedTriageFixture();
+  const sim::TriagedEnsemble triaged(fixture.ensemble, TriageBenchOptions());
+  for (auto _ : state) {
+    const sim::TriagedReport report = triaged.Run();
+    benchmark::DoNotOptimize(report.estimate.delta_mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTriageBenchScenarios));
+}
+BENCHMARK(BM_EnsembleTriaged)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <utility>
@@ -94,6 +95,30 @@ std::string RenderEnsembleText(const core::RouteEngine& engine,
                         link.miles, static_cast<std::size_t>(link.failures),
                         link.MeanDelta(report.scenarios));
   }
+  return out;
+}
+
+/// The triaged-ensemble human summary: the estimate in the same shape as
+/// the exact summary, plus the triage accounting and the audit-lane
+/// calibration line.
+std::string RenderTriagedText(const core::RouteEngine& engine,
+                              const sim::TriagedReport& report) {
+  std::string out = RenderEnsembleText(engine, report.estimate);
+  out += util::Format(
+      "\ntriage: %zu exact of %zu (%.1f%%) | pilot %zu, audit %zu, "
+      "flagged %zu, sampled %zu, skipped %zu, empty %zu | %zu strata, "
+      "weight sum %.6g\n",
+      report.exact_evaluations, report.universe,
+      100.0 * report.exact_fraction, report.pilot_exact, report.audit_exact,
+      report.flagged_exact, report.sampled_exact, report.skipped,
+      report.empty_scenarios, report.strata, report.weight_sum);
+  out += util::Format(
+      "calibration (%zu audits): mae %.6g rmse %.6g max %.6g bias %.6g | "
+      "pilot residual sd %.6g r2 %.3f\n",
+      report.calibration.audits, report.calibration.mean_abs_error,
+      report.calibration.rmse, report.calibration.max_abs_error,
+      report.calibration.bias, report.calibration.pilot_residual_sd,
+      report.calibration.pilot_r2);
   return out;
 }
 
@@ -211,9 +236,24 @@ EnsembleResponse Service::Ensemble(const EnsembleRequest& request) const {
   const std::shared_ptr<const sim::EnsembleEngine> ensemble =
       EnsembleFor(options);
   EnsembleResponse response;
-  response.report = ensemble->Run(&pool());
-  response.body = request.json ? response.report.ToJson()
-                               : RenderEnsembleText(engine_, response.report);
+  if (request.triage) {
+    sim::TriageOptions triage;
+    triage.pilot = request.pilot;
+    triage.audit_stride = request.audit_stride;
+    triage.base_rate = static_cast<double>(request.base_rate_ppm) / 1e6;
+    triage.min_rate = std::min(triage.min_rate, triage.base_rate);
+    const sim::TriagedEnsemble triaged(*ensemble, triage);
+    response.triaged = triaged.Run(&pool());
+    response.report = response.triaged->estimate;
+    response.body = request.json
+                        ? response.triaged->ToJson()
+                        : RenderTriagedText(engine_, *response.triaged);
+  } else {
+    response.report = ensemble->Run(&pool());
+    response.body = request.json
+                        ? response.report.ToJson()
+                        : RenderEnsembleText(engine_, response.report);
+  }
   return response;
 }
 

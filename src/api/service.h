@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "hazard/catalog.h"
 #include "provision/augmentation.h"
 #include "sim/ensemble.h"
+#include "sim/triage.h"
 #include "util/parse_result.h"
 #include "util/thread_pool.h"
 
@@ -87,16 +89,31 @@ struct RatiosResponse {
 
 /// Monte Carlo outage ensemble (CLI: `riskroute ensemble`). Defaults
 /// mirror the CLI flag defaults the golden fixtures pin.
+///
+/// With `triage` set, the run goes through sim::TriagedEnsemble: exact
+/// engine work only for pilot/audit/flagged/sampled scenarios, the rest
+/// carried by Horvitz-Thompson reweighting. The knobs are integers
+/// (rate in parts-per-million) so the wire codec, the CLI and the
+/// service quantize identically and served bodies stay byte-equal to
+/// CLI stdout.
 struct EnsembleRequest {
   std::size_t scenarios = 256;
   std::uint64_t seed = 2026;
   int month = 0;  // 0 = annual archive, 1-12 = season filter
   std::size_t top = 10;
   bool json = false;  // body = ToJson() instead of the human summary
+  bool triage = false;
+  std::size_t pilot = 96;         // exact pilot batch (surrogate fit)
+  std::size_t audit_stride = 64;  // calibration lane: ids % stride == 0
+  std::uint32_t base_rate_ppm = 50000;  // sampled-lane keep rate, ppm
 };
 
 struct EnsembleResponse {
+  /// Plain run: the exact report. Triaged run: the HT-weighted estimate
+  /// (triage accounting lives in `triaged`).
   sim::EnsembleReport report;
+  /// Engaged iff the request asked for triage.
+  std::optional<sim::TriagedReport> triaged;
   std::string body;
 };
 

@@ -58,6 +58,18 @@ GeoPoint Destination(const GeoPoint& origin, double bearing_deg, double miles) {
   return GeoPoint(std::clamp(RadToDeg(lat2), -90.0, 90.0), lon_deg);
 }
 
+UnitVec3 ToUnitVec(const GeoPoint& p) {
+  const double lat = DegToRad(p.latitude());
+  const double lon = DegToRad(p.longitude());
+  const double cos_lat = std::cos(lat);
+  return UnitVec3{cos_lat * std::cos(lon), cos_lat * std::sin(lon),
+                  std::sin(lat)};
+}
+
+double CosArcMiles(double miles) {
+  return std::cos(std::min(miles / kEarthRadiusMiles, kPi));
+}
+
 GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double t) {
   if (t <= 0.0) return a;
   if (t >= 1.0) return b;

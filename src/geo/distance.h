@@ -36,4 +36,27 @@ inline constexpr double kMilesPerKm = 0.621371;
 [[nodiscard]] GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b,
                                    double t);
 
+/// Unit direction vector of a point on the sphere. Dot(u, v) is the
+/// cosine of the central angle between the two points, so radius tests
+/// against a precomputed set of vectors need one multiply-add triple per
+/// point instead of a haversine evaluation — the hot-loop form used by
+/// the ensemble footprint scans.
+struct UnitVec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+[[nodiscard]] UnitVec3 ToUnitVec(const GeoPoint& p);
+
+[[nodiscard]] inline double Dot(const UnitVec3& a, const UnitVec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cosine of the central angle subtended by `miles` of great-circle arc,
+/// clamped to pi so "Dot(u, center) >= CosArcMiles(r)" is equivalent to
+/// "central angle <= r of arc" for any non-negative radius (beyond half
+/// the circumference everything is inside).
+[[nodiscard]] double CosArcMiles(double miles);
+
 }  // namespace riskroute::geo

@@ -1,10 +1,12 @@
 #include "provision/shared_risk.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geo/distance.h"
 #include "sim/outage_sim.h"
 #include "util/error.h"
+#include "util/philox.h"
 
 namespace riskroute::provision {
 namespace {
@@ -56,18 +58,30 @@ SharedRiskReport AnalyzeSharedRisk(const topology::Network& a,
   report.overlap_a_in_b = Overlap(a, b, options.colocation_radius_miles);
   report.overlap_b_in_a = Overlap(b, a, options.colocation_radius_miles);
 
-  std::vector<double> weights;
-  weights.reserve(catalogs.size());
+  // Exact integer prefix sums over catalog sizes: the catalog pick is
+  // one uniform event index bucketed against them, never a double CDF.
+  std::vector<std::uint64_t> prefix;
+  prefix.reserve(catalogs.size());
+  std::uint64_t total_events = 0;
   for (const hazard::Catalog& c : catalogs) {
-    weights.push_back(static_cast<double>(c.size()));
+    total_events += static_cast<std::uint64_t>(c.size());
+    prefix.push_back(total_events);
+  }
+  if (total_events == 0) {
+    throw InvalidArgument("AnalyzeSharedRisk: catalogs hold no events");
   }
 
-  util::Rng rng(options.seed);
   std::size_t hits_a = 0, hits_b = 0, hits_both = 0;
   for (std::size_t t = 0; t < options.trials; ++t) {
-    const hazard::Catalog& catalog = catalogs[rng.WeightedIndex(weights)];
-    const hazard::Event& event = catalog.events()[static_cast<std::size_t>(
-        rng.UniformInt(0, static_cast<std::int64_t>(catalog.size()) - 1))];
+    // One Philox stream per trial index: trial t's event is a pure
+    // function of (seed, t), whatever order trials run in.
+    util::PhiloxRng rng(options.seed, t);
+    const std::uint64_t pick = rng.NextIndex(total_events);
+    const std::size_t catalog_id = static_cast<std::size_t>(
+        std::upper_bound(prefix.begin(), prefix.end(), pick) - prefix.begin());
+    const hazard::Catalog& catalog = catalogs[catalog_id];
+    const hazard::Event& event =
+        catalog.events()[rng.NextIndex(catalog.size())];
     const double radius =
         options.damage_radius_miles > 0.0
             ? options.damage_radius_miles

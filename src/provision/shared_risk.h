@@ -15,7 +15,6 @@
 
 #include "hazard/catalog.h"
 #include "topology/network.h"
-#include "util/rng.h"
 
 namespace riskroute::provision {
 
@@ -52,7 +51,10 @@ struct SharedRiskReport {
 };
 
 /// Samples `trials` events from the catalogs (weighted by event count) and
-/// measures the fate indicators. Deterministic in `options.seed`.
+/// measures the fate indicators. Trial t draws from a counter-based
+/// Philox stream keyed (seed, t), so the report is a pure function of
+/// (inputs, seed) — independent of trial evaluation order, matching the
+/// determinism contract of the ensemble engine.
 [[nodiscard]] SharedRiskReport AnalyzeSharedRisk(
     const topology::Network& a, const topology::Network& b,
     const std::vector<hazard::Catalog>& catalogs,

@@ -20,6 +20,9 @@ obs::Counter& RequestCounter(wire::FrameKind kind) {
     case wire::FrameKind::kEnsembleRequest:
       name = "server.requests.ensemble";
       break;
+    case wire::FrameKind::kEnsembleTriageRequest:
+      name = "server.requests.ensemble_triage";
+      break;
     case wire::FrameKind::kProvisionRequest:
       name = "server.requests.provision";
       break;
@@ -46,6 +49,9 @@ std::pair<wire::Status, std::string> Execute(const api::Service& service,
     case wire::FrameKind::kRatiosRequest:
       return {wire::Status::kOk, service.Ratios(request.ratios).body};
     case wire::FrameKind::kEnsembleRequest:
+    case wire::FrameKind::kEnsembleTriageRequest:
+      // The decoder sets ensemble.triage for kind 8; one handler serves
+      // both shapes.
       return {wire::Status::kOk, service.Ensemble(request.ensemble).body};
     case wire::FrameKind::kProvisionRequest:
       return {wire::Status::kOk, service.Provision(request.provision).body};

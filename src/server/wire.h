@@ -53,6 +53,11 @@ enum class FrameKind : std::uint16_t {
   // Rolling incremental re-route: one advisory bulletin per frame
   // (existing kind values are frozen — corpus files carry them).
   kStreamAdvisory = 7,
+  // Surrogate-triaged ensemble: the kEnsembleRequest fields plus the
+  // integer triage knobs (pilot, audit_stride, base_rate in ppm). A new
+  // kind rather than new fields on kind 3 — kind 3's byte layout is
+  // frozen by the canonical corpus.
+  kEnsembleTriageRequest = 8,
   kResponse = 100,
 };
 
@@ -86,6 +91,7 @@ struct WireLimits {
   std::uint16_t max_string_bytes = 256;
   std::uint32_t max_scenarios = 1u << 20;
   std::uint32_t max_top = 10'000;
+  std::uint32_t max_audit_stride = 1u << 20;
   std::uint32_t max_links = 64;
   std::uint32_t max_ping_delay_ms = 60'000;
   std::uint32_t max_deadline_ms = 3'600'000;

@@ -1,7 +1,9 @@
 #include "sim/ensemble.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
@@ -85,8 +87,30 @@ EnsembleEngine::EnsembleEngine(const core::RouteEngine& engine,
   if (options_.month < 0 || options_.month > 12) {
     throw InvalidArgument("EnsembleEngine: month must be 0 (annual) or 1-12");
   }
-  if (options_.fringe_factor < 1.0) {
-    throw InvalidArgument("EnsembleEngine: fringe_factor must be >= 1");
+  // Sampling-knob domains, written NaN-safely: a NaN fails every
+  // ordered comparison, so `!(x >= lo) || !(x <= hi)` rejects it where
+  // the naive `x < lo || x > hi` would let it slip through into the
+  // coin-flip thresholds.
+  if (!(options_.center_jitter >= 0.0) ||
+      options_.center_jitter > std::numeric_limits<double>::max()) {
+    throw InvalidArgument(
+        "EnsembleEngine: center_jitter must be finite and >= 0");
+  }
+  if (!(options_.fringe_factor >= 1.0) ||
+      options_.fringe_factor > std::numeric_limits<double>::max()) {
+    throw InvalidArgument(
+        "EnsembleEngine: fringe_factor must be finite and >= 1");
+  }
+  if (!(options_.fringe_fail_scale >= 0.0) ||
+      !(options_.fringe_fail_scale <= 1.0)) {
+    throw InvalidArgument(
+        "EnsembleEngine: fringe_fail_scale must be within [0, 1]");
+  }
+  if (!(options_.link_cut_prob >= 0.0) || !(options_.link_cut_prob <= 1.0)) {
+    throw InvalidArgument("EnsembleEngine: link_cut_prob must be within [0, 1]");
+  }
+  if (options_.criticality_top == 0) {
+    throw InvalidArgument("EnsembleEngine: criticality_top must be positive");
   }
 
   // Eligible event tables: with a month, only events in that month's
@@ -111,11 +135,10 @@ EnsembleEngine::EnsembleEngine(const core::RouteEngine& engine,
     throw InvalidArgument(
         "EnsembleEngine: season filter leaves no eligible events");
   }
-  double cumulative = 0.0;
-  slice_cdf_.reserve(slices_.size());
+  slice_prefix_.reserve(slices_.size());
   for (const CatalogSlice& slice : slices_) {
-    cumulative += static_cast<double>(slice.events.size());
-    slice_cdf_.push_back(cumulative);
+    slice_total_ += static_cast<std::uint64_t>(slice.events.size());
+    slice_prefix_.push_back(slice_total_);
   }
 
   // Undirected edge table, ascending (a, b), with the per-tail row index
@@ -139,6 +162,23 @@ EnsembleEngine::EnsembleEngine(const core::RouteEngine& engine,
 
   for (std::size_t v = 0; v < n; ++v) {
     max_node_score_ = std::max(max_node_score_, engine.NodeScore(v));
+  }
+
+  // Footprint-scan geometry: unit vectors for every PoP and for three
+  // fixed sample points along each frozen span. Draw compares their dot
+  // products against the scenario center's vector, reserving haversines
+  // for the few fringe-annulus nodes that need an exact falloff distance.
+  node_units_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    node_units_.push_back(geo::ToUnitVec(engine.location(v)));
+  }
+  edge_span_units_.reserve(edges_.size());
+  for (const UndirectedEdge& edge : edges_) {
+    const geo::GeoPoint& a = engine.location(edge.a);
+    const geo::GeoPoint& b = engine.location(edge.b);
+    edge_span_units_.push_back({geo::ToUnitVec(geo::Interpolate(a, b, 0.25)),
+                                geo::ToUnitVec(geo::Interpolate(a, b, 0.5)),
+                                geo::ToUnitVec(geo::Interpolate(a, b, 0.75))});
   }
 
   // Baseline upper-triangle bit-risk distances and path-edge masks: one
@@ -169,6 +209,23 @@ EnsembleEngine::EnsembleEngine(const core::RouteEngine& engine,
       ++baseline_pairs_;
     }
   }
+
+  // Per-edge baseline usage: how many connected pairs route over each
+  // frozen edge. A serial popcount pass over the recorded path masks —
+  // the static criticality rank the triage surrogate reads per footprint.
+  baseline_edge_usage_.assign(edges_.size(), 0);
+  for (std::size_t slot = 0; slot < baseline_dist_.size(); ++slot) {
+    if (baseline_dist_[slot] == kInf) continue;
+    const std::uint64_t* mask = &pair_path_mask_[slot * mask_words_];
+    for (std::size_t w = 0; w < mask_words_; ++w) {
+      std::uint64_t bits = mask[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        ++baseline_edge_usage_[w * 64 + static_cast<std::size_t>(bit)];
+        bits &= bits - 1;
+      }
+    }
+  }
 }
 
 std::size_t EnsembleEngine::PairSlot(std::size_t i, std::size_t j) const {
@@ -185,6 +242,17 @@ std::uint32_t EnsembleEngine::EdgeIdFor(std::size_t u, std::size_t v) const {
   throw InvalidArgument("EnsembleEngine: path hop is not a frozen edge");
 }
 
+std::vector<std::pair<std::size_t, std::uint64_t>>
+EnsembleEngine::SliceLayout() const {
+  std::vector<std::pair<std::size_t, std::uint64_t>> layout;
+  layout.reserve(slices_.size());
+  for (const CatalogSlice& slice : slices_) {
+    layout.emplace_back(slice.catalog,
+                        static_cast<std::uint64_t>(slice.events.size()));
+  }
+  return layout;
+}
+
 Scenario EnsembleEngine::Draw(std::uint64_t k) const {
   EnsembleMetrics& metrics = EnsembleMetrics::Get();
   obs::ScopedTimer timer(metrics.draw_ns);
@@ -193,13 +261,20 @@ Scenario EnsembleEngine::Draw(std::uint64_t k) const {
   Scenario scenario;
   scenario.index = k;
 
-  // Event pick: catalog by archive-mix CDF, then uniform within the
-  // eligible slice.
-  const CatalogSlice& slice = slices_[rng.NextWeightedIndex(slice_cdf_)];
+  // Event pick: catalog by archive-mix weights, then uniform within the
+  // eligible slice. The slice draw is one uniform event index in
+  // [0, total) bucketed by exact integer prefix sums — no floating-point
+  // CDF, so boundary draws land in the right slice at any archive scale.
+  const std::uint64_t pick = rng.NextIndex(slice_total_);
+  const std::size_t slice_id = static_cast<std::size_t>(
+      std::upper_bound(slice_prefix_.begin(), slice_prefix_.end(), pick) -
+      slice_prefix_.begin());
+  const CatalogSlice& slice = slices_[slice_id];
   const hazard::Catalog& catalog = (*catalogs_)[slice.catalog];
   const hazard::Event& event =
       catalog.events()[slice.events[rng.NextIndex(slice.events.size())]];
   scenario.type = catalog.type();
+  scenario.event_month = event.month;
   scenario.radius_miles =
       DefaultDamageRadiusMiles(catalog.type()) * options_.damage_radius_scale;
   scenario.center = event.location;
@@ -213,17 +288,26 @@ Scenario EnsembleEngine::Draw(std::uint64_t k) const {
   // Node failures: hard inside the radius; fragility coin flips in the
   // fringe, weighted by the engine's Eq 1 node score (the risk field) and
   // a linear falloff. Draws are consumed in ascending node order, so the
-  // sequence is pinned by (seed, k) alone.
+  // sequence is pinned by (seed, k) alone. The radius/fringe membership
+  // tests are dot products against precomputed unit vectors (the cosine
+  // of the central angle is monotone in arc length); only nodes inside
+  // the fringe annulus recover an exact falloff distance.
   const std::size_t n = engine_->node_count();
   const double radius = scenario.radius_miles;
   const double fringe = options_.fringe_factor * radius;
+  const geo::UnitVec3 center = geo::ToUnitVec(scenario.center);
+  const double cos_radius = geo::CosArcMiles(radius);
+  const double cos_fringe = geo::CosArcMiles(fringe);
   for (std::size_t v = 0; v < n; ++v) {
-    const double d = geo::GreatCircleMiles(engine_->location(v),
-                                           scenario.center);
-    if (d <= radius) {
+    const double cos_d = geo::Dot(node_units_[v], center);
+    if (cos_d >= cos_radius) {
       scenario.failed_nodes.push_back(v);
-    } else if (d <= fringe && options_.fringe_fail_scale > 0.0 &&
+    } else if (cos_d >= cos_fringe && options_.fringe_fail_scale > 0.0 &&
                max_node_score_ > 0.0) {
+      // Arc distance recovered from the dot product already in hand; the
+      // annulus is far from the acos precision cliff at tiny angles.
+      const double d = geo::kEarthRadiusMiles *
+                       std::acos(std::clamp(cos_d, -1.0, 1.0));
       const double falloff = 1.0 - (d - radius) / (fringe - radius);
       const double p = options_.fringe_fail_scale *
                        (engine_->NodeScore(v) / max_node_score_) * falloff;
@@ -234,23 +318,23 @@ Scenario EnsembleEngine::Draw(std::uint64_t k) const {
   // Long-haul cuts: a surviving link whose span crosses the footprint is
   // severed with link_cut_prob. Edge ids ascend, so draw order is fixed.
   if (options_.link_cut_prob > 0.0) {
-    std::vector<bool> dead(n, false);
+    // Reusable scratch: a fresh vector per draw is measurable at
+    // million-draw scale. Cleared by un-marking (failure sets are tiny).
+    thread_local std::vector<bool> dead;
+    dead.resize(std::max(dead.size(), n));
     for (const std::size_t v : scenario.failed_nodes) dead[v] = true;
     for (std::uint32_t id = 0; id < edges_.size(); ++id) {
       const UndirectedEdge& edge = edges_[id];
       if (dead[edge.a] || dead[edge.b]) continue;
-      double min_d = kInf;
-      for (const double t : {0.25, 0.5, 0.75}) {
-        min_d = std::min(
-            min_d, geo::GreatCircleMiles(
-                       geo::Interpolate(engine_->location(edge.a),
-                                        engine_->location(edge.b), t),
-                       scenario.center));
-      }
-      if (min_d <= radius && rng.NextUniform() < options_.link_cut_prob) {
+      const std::array<geo::UnitVec3, 3>& span = edge_span_units_[id];
+      const double cos_span = std::max(
+          {geo::Dot(span[0], center), geo::Dot(span[1], center),
+           geo::Dot(span[2], center)});
+      if (cos_span >= cos_radius && rng.NextUniform() < options_.link_cut_prob) {
         scenario.severed_edges.push_back(id);
       }
     }
+    for (const std::size_t v : scenario.failed_nodes) dead[v] = false;
   }
   return scenario;
 }
@@ -375,74 +459,116 @@ EnsembleReport EnsembleEngine::Run(util::ThreadPool* pool) const {
   for (std::size_t k = 0; k < ids.size(); ++k) ids[k] = k;
   const std::vector<ScenarioOutcome> outcomes = EvaluateScenarios(ids, pool);
 
-  EnsembleReport report;
-  report.seed = options_.seed;
-  report.scenarios = options_.scenarios;
-  report.baseline_pairs = baseline_pairs_;
-  report.baseline_bit_risk_miles = baseline_;
+  // Fixed-order reduction over the scenario slots, unit-weighted: the
+  // reducer's weighted arithmetic degenerates bitwise to the historical
+  // unweighted Welford / sorted-quantile path when every weight is 1.
+  EnsembleReducer reducer(*this, options_.criticality_top);
+  for (const ScenarioOutcome& outcome : outcomes) reducer.Add(outcome, 1.0);
+  return std::move(reducer).Finish(options_.seed, options_.scenarios);
+}
 
-  // Fixed-order reductions over the scenario slots: Welford for
-  // mean/variance, running extrema, per-link criticality sums. Quantiles
-  // come from the exact sorted deltas below — with every scenario's value
-  // present, sorting is the exact merge of any per-thread partials.
-  double mean = 0.0;
-  double m2 = 0.0;
-  report.delta_min = kInf;
-  report.delta_max = -kInf;
-  std::vector<LinkCriticality> links(edges_.size());
-  for (std::size_t id = 0; id < edges_.size(); ++id) {
-    links[id].a = edges_[id].a;
-    links[id].b = edges_[id].b;
-    links[id].miles = edges_[id].miles;
+EnsembleReducer::EnsembleReducer(const EnsembleEngine& engine,
+                                 std::size_t criticality_top)
+    : engine_(&engine), top_(criticality_top), min_(kInf), max_(-kInf) {
+  links_.resize(engine.edge_count());
+  for (std::size_t id = 0; id < links_.size(); ++id) {
+    links_[id].a = engine.edge(id).a;
+    links_[id].b = engine.edge(id).b;
+    links_[id].miles = engine.edge(id).miles;
   }
-  for (std::size_t s = 0; s < outcomes.size(); ++s) {
-    const ScenarioOutcome& outcome = outcomes[s];
-    const double x = outcome.delta_bit_risk_miles;
-    const double d = x - mean;
-    mean += d / static_cast<double>(s + 1);
-    m2 += d * (x - mean);
-    report.delta_min = std::min(report.delta_min, x);
-    report.delta_max = std::max(report.delta_max, x);
-    report.mean_failed_pops += outcome.failed_pops;
-    report.mean_severed_links += outcome.severed_links;
-    report.mean_endpoint_pairs += outcome.endpoint_pairs;
-    report.mean_disconnected_pairs += outcome.disconnected_pairs;
-    for (const std::uint32_t id : outcome.failed_edge_ids) {
-      ++links[id].failures;
-      links[id].delta_sum += x;
+}
+
+void EnsembleReducer::Add(const ScenarioOutcome& outcome, double weight) {
+  // Weighted Welford. The increments are written as (w * d) / W and
+  // (w * d) * (x - mean) so that w == 1.0 multiplies exactly and the
+  // unit-weight path reproduces the unweighted recurrence bitwise.
+  const double x = outcome.delta_bit_risk_miles;
+  weight_sum_ += weight;
+  const double d = x - mean_;
+  const double wd = weight * d;
+  mean_ += wd / weight_sum_;
+  m2_ += wd * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  sum_failed_pops_ += weight * static_cast<double>(outcome.failed_pops);
+  sum_severed_links_ += weight * static_cast<double>(outcome.severed_links);
+  sum_endpoint_pairs_ += weight * static_cast<double>(outcome.endpoint_pairs);
+  sum_disconnected_pairs_ +=
+      weight * static_cast<double>(outcome.disconnected_pairs);
+  for (const std::uint32_t id : outcome.failed_edge_ids) {
+    ++links_[id].failures;
+    links_[id].delta_sum += weight * x;
+  }
+  deltas_.emplace_back(x, weight);
+}
+
+namespace {
+
+/// Weighted order-statistic quantile over (value, weight) pairs sorted by
+/// value: each pair stands for `weight` copies of its value, the virtual
+/// sorted array has total length W, and the estimate interpolates the
+/// values at virtual positions floor(p) and p + 1 for p = q * (W - 1) —
+/// exactly the stats::Quantile formula when every weight is 1.
+double WeightedQuantile(const std::vector<std::pair<double, double>>& sorted,
+                        double total_weight, double q) {
+  const auto value_at = [&](double p) {
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : sorted) {
+      cumulative += weight;
+      if (cumulative > p) return value;
     }
-  }
-  const auto count = static_cast<double>(outcomes.size());
-  report.delta_mean = mean;
-  report.delta_variance = outcomes.size() > 1
-                              ? m2 / static_cast<double>(outcomes.size() - 1)
-                              : 0.0;
-  report.mean_failed_pops /= count;
-  report.mean_severed_links /= count;
-  report.mean_endpoint_pairs /= count;
-  report.mean_disconnected_pairs /= count;
+    return sorted.back().first;
+  };
+  const double pos = q * (total_weight - 1.0);
+  const double frac = pos - std::floor(pos);
+  const double lo = value_at(std::floor(pos));
+  const double hi = value_at(std::min(pos + 1.0, total_weight - 1.0));
+  return lo * (1.0 - frac) + hi * frac;
+}
 
-  std::vector<double> deltas;
-  deltas.reserve(outcomes.size());
-  for (const ScenarioOutcome& outcome : outcomes) {
-    deltas.push_back(outcome.delta_bit_risk_miles);
-  }
-  report.delta_p5 = stats::Quantile(deltas, 0.05);
-  report.delta_p50 = stats::Quantile(deltas, 0.50);
-  report.delta_p95 = stats::Quantile(deltas, 0.95);
+}  // namespace
 
-  std::vector<std::size_t> order(links.size());
+EnsembleReport EnsembleReducer::Finish(std::uint64_t seed,
+                                       std::size_t scenarios) && {
+  if (deltas_.empty()) {
+    throw InvalidArgument("EnsembleReducer: no outcomes added");
+  }
+  EnsembleReport report;
+  report.seed = seed;
+  report.scenarios = scenarios;
+  report.baseline_pairs = engine_->baseline_pairs();
+  report.baseline_bit_risk_miles = engine_->baseline_bit_risk_miles();
+  report.delta_mean = mean_;
+  report.delta_variance = weight_sum_ > 1.0 ? m2_ / (weight_sum_ - 1.0) : 0.0;
+  report.delta_min = min_;
+  report.delta_max = max_;
+  report.mean_failed_pops = sum_failed_pops_ / weight_sum_;
+  report.mean_severed_links = sum_severed_links_ / weight_sum_;
+  report.mean_endpoint_pairs = sum_endpoint_pairs_ / weight_sum_;
+  report.mean_disconnected_pairs = sum_disconnected_pairs_ / weight_sum_;
+
+  // Quantiles: sort by value (ascending ids fixed the input order, and
+  // ties are value-identical, so the sort is deterministic), then read
+  // the weighted order statistics. A linear cumulative scan per quantile
+  // is O(n) — three scans, cheaper than it looks next to the sort.
+  std::sort(deltas_.begin(), deltas_.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  report.delta_p5 = WeightedQuantile(deltas_, weight_sum_, 0.05);
+  report.delta_p50 = WeightedQuantile(deltas_, weight_sum_, 0.50);
+  report.delta_p95 = WeightedQuantile(deltas_, weight_sum_, 0.95);
+
+  std::vector<std::size_t> order(links_.size());
   for (std::size_t id = 0; id < order.size(); ++id) order[id] = id;
   std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    if (links[x].delta_sum != links[y].delta_sum) {
-      return links[x].delta_sum > links[y].delta_sum;
+    if (links_[x].delta_sum != links_[y].delta_sum) {
+      return links_[x].delta_sum > links_[y].delta_sum;
     }
     return x < y;  // ascending edge id breaks ties deterministically
   });
   for (const std::size_t id : order) {
-    if (report.criticality.size() >= options_.criticality_top) break;
-    if (links[id].failures == 0) continue;
-    report.criticality.push_back(links[id]);
+    if (report.criticality.size() >= top_) break;
+    if (links_[id].failures == 0) continue;
+    report.criticality.push_back(links_[id]);
   }
   return report;
 }

@@ -29,14 +29,17 @@
 //    pair sweep; the frozen engine is never copied or mutated.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/edge_overlay.h"
 #include "core/route_engine.h"
+#include "geo/distance.h"
 #include "geo/geo_point.h"
 #include "hazard/catalog.h"
 #include "util/thread_pool.h"
@@ -76,6 +79,9 @@ struct Scenario {
   hazard::HazardType type = hazard::HazardType::kFemaHurricane;
   geo::GeoPoint center;
   double radius_miles = 0.0;
+  /// Calendar month (1-12) of the sampled archive event; the season
+  /// stratum key for triaged sampling.
+  int event_month = 6;
   /// Failed PoPs, ascending node index.
   std::vector<std::size_t> failed_nodes;
   /// Severed frozen links (ids into the engine's undirected edge table,
@@ -171,7 +177,10 @@ struct EnsembleReport {
 class EnsembleEngine {
  public:
   /// Throws InvalidArgument on empty catalogs, zero scenarios, a month
-  /// outside 0-12, or when the season filter leaves no eligible events.
+  /// outside 0-12, when the season filter leaves no eligible events, or
+  /// on out-of-domain sampling knobs (NaN/negative center_jitter,
+  /// fringe_factor < 1, fringe_fail_scale or link_cut_prob outside
+  /// [0, 1], criticality_top == 0 — NaN never passes).
   /// `pool` parallelizes the baseline sweep only.
   EnsembleEngine(const core::RouteEngine& engine,
                  const std::vector<hazard::Catalog>& catalogs,
@@ -206,6 +215,10 @@ class EnsembleEngine {
   [[nodiscard]] const EnsembleOptions& options() const { return options_; }
   [[nodiscard]] double baseline_bit_risk_miles() const { return baseline_; }
   [[nodiscard]] std::size_t baseline_pairs() const { return baseline_pairs_; }
+  /// The frozen routing engine the ensemble scores against.
+  [[nodiscard]] const core::RouteEngine& route_engine() const {
+    return *engine_;
+  }
 
   /// The engine's undirected edge table (a < b, ascending (a, b)); the
   /// id space of Scenario::severed_edges and criticality rows.
@@ -219,6 +232,29 @@ class EnsembleEngine {
     return edges_[id];
   }
 
+  /// How many baseline-connected pairs route over each frozen edge
+  /// (indexed by undirected edge id): the static criticality rank the
+  /// triage surrogate uses as a feature. Computed once at construction
+  /// from the recorded baseline path masks.
+  [[nodiscard]] std::span<const std::uint32_t> baseline_edge_usage() const {
+    return baseline_edge_usage_;
+  }
+  /// Edge-id range [begin, end) of undirected edges whose lower endpoint
+  /// is u; edges with u as the higher endpoint live in lower rows.
+  [[nodiscard]] std::uint32_t EdgeRowBegin(std::size_t u) const {
+    return edge_row_[u];
+  }
+  [[nodiscard]] std::uint32_t EdgeRowEnd(std::size_t u) const {
+    return edge_row_[u + 1];
+  }
+
+  /// Per-slice (catalog index, eligible event count) in draw order: the
+  /// exact integer layout behind the event pick. Exposed so boundary
+  /// draws (picks landing on a prefix-sum edge) can be regression-tested
+  /// against the slice they must bucket into.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::uint64_t>>
+  SliceLayout() const;
+
  private:
   /// Eligible (catalog, event) sampling tables under the season filter.
   struct CatalogSlice {
@@ -231,7 +267,12 @@ class EnsembleEngine {
   EnsembleOptions options_;
 
   std::vector<CatalogSlice> slices_;
-  std::vector<double> slice_cdf_;  // cumulative eligible event counts
+  /// Inclusive prefix sums of eligible event counts, kept in exact
+  /// integer arithmetic: a double CDF starts mis-bucketing boundary
+  /// draws once cumulative counts pass 2^53 (continental archives), so
+  /// the slice pick is an integer NextIndex against these sums.
+  std::vector<std::uint64_t> slice_prefix_;
+  std::uint64_t slice_total_ = 0;
 
   std::vector<UndirectedEdge> edges_;
   /// First undirected edge id with .a == u (size N + 1): maps a failed
@@ -239,6 +280,14 @@ class EnsembleEngine {
   std::vector<std::uint32_t> edge_row_;
 
   double max_node_score_ = 0.0;
+  /// Unit direction vectors of the PoP locations and of three sample
+  /// points along each frozen link span (t = 0.25/0.5/0.75), precomputed
+  /// so Draw's footprint and link-cut scans are dot-product compares
+  /// against the scenario center instead of per-draw haversines — the
+  /// difference between ~29us and ~3us per draw at continental archive
+  /// scale (a million draws is seconds, not minutes).
+  std::vector<geo::UnitVec3> node_units_;
+  std::vector<std::array<geo::UnitVec3, 3>> edge_span_units_;
   /// Baseline bit-risk distance for pair (i, j), j > i, flat upper
   /// triangle; +inf marks baseline-disconnected pairs (excluded
   /// everywhere).
@@ -249,12 +298,56 @@ class EnsembleEngine {
   /// the pair's distance bitwise unchanged.
   std::size_t mask_words_ = 0;
   std::vector<std::uint64_t> pair_path_mask_;
+  std::vector<std::uint32_t> baseline_edge_usage_;
   double baseline_ = 0.0;
   std::size_t baseline_pairs_ = 0;
 
   [[nodiscard]] std::size_t PairSlot(std::size_t i, std::size_t j) const;
   /// Id of the frozen undirected edge {u, v}; the edge must exist.
   [[nodiscard]] std::uint32_t EdgeIdFor(std::size_t u, std::size_t v) const;
+};
+
+/// The single fixed-order reduction path behind EnsembleEngine::Run and
+/// sim::TriagedEnsemble. Add() must be called in ascending scenario-id
+/// order; `weight` folds the outcome in as if it stood for `weight`
+/// scenarios of the universe (the Horvitz-Thompson 1/pi reweighting of
+/// the triaged sampler). With every weight exactly 1.0 the arithmetic is
+/// bitwise identical to the historical unweighted reduction: weighted
+/// increments are computed as (w * d) / W so the w == 1.0 multiplications
+/// are exact, and the weighted quantile interpolation degenerates to the
+/// stats::Quantile order-statistic formula when cumulative weights are
+/// the integers 1..n.
+class EnsembleReducer {
+ public:
+  /// `engine` supplies the frozen edge table for the criticality rows.
+  EnsembleReducer(const EnsembleEngine& engine, std::size_t criticality_top);
+
+  /// Folds one evaluated outcome in with Horvitz-Thompson weight
+  /// `weight` (> 0). Call in ascending scenario-id order.
+  void Add(const ScenarioOutcome& outcome, double weight);
+
+  /// Finalizes the report. `scenarios` is the universe size the report
+  /// describes (for the triaged path this exceeds the Add() count).
+  [[nodiscard]] EnsembleReport Finish(std::uint64_t seed,
+                                      std::size_t scenarios) &&;
+
+  [[nodiscard]] double weight_sum() const { return weight_sum_; }
+
+ private:
+  const EnsembleEngine* engine_;
+  std::size_t top_;
+  double weight_sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+  double sum_failed_pops_ = 0.0;
+  double sum_severed_links_ = 0.0;
+  double sum_endpoint_pairs_ = 0.0;
+  double sum_disconnected_pairs_ = 0.0;
+  std::vector<LinkCriticality> links_;
+  /// (delta, weight) per Add, for the weighted quantiles.
+  std::vector<std::pair<double, double>> deltas_;
 };
 
 }  // namespace riskroute::sim

@@ -155,6 +155,16 @@ TEST(ApiServiceTest, SnapshotBootServesByteIdenticalBodies) {
   api::ProvisionRequest provision;
   provision.links = 2;
   EXPECT_EQ(live.Provision(provision).body, frozen.Provision(provision).body);
+
+  // Triaged ensemble: same frozen-vs-live contract, both renderings.
+  ensemble.json = false;
+  ensemble.triage = true;
+  ensemble.scenarios = 512;
+  ensemble.pilot = 32;
+  ensemble.audit_stride = 64;
+  EXPECT_EQ(live.Ensemble(ensemble).body, frozen.Ensemble(ensemble).body);
+  ensemble.json = true;
+  EXPECT_EQ(live.Ensemble(ensemble).body, frozen.Ensemble(ensemble).body);
 }
 
 TEST(ApiServiceTest, SnapshotBootRejectsHostileBytesWithDiagnostic) {
@@ -211,6 +221,49 @@ TEST(ApiServiceTest, BodiesAreThreadCountIndependent) {
       EXPECT_EQ(ratios_body, ratios_baseline) << threads << " threads";
     }
   }
+}
+
+TEST(ApiServiceTest, TriagedEnsembleBodiesAndAccounting) {
+  const RiskGraph graph = SampleGraph(18, 13);
+  api::EnsembleRequest request;
+  request.scenarios = 4096;
+  request.top = 4;
+  request.triage = true;
+  request.pilot = 48;
+  request.audit_stride = 128;
+  request.base_rate_ppm = 50'000;
+
+  const api::Service service = MakeService(graph);
+  const api::EnsembleResponse text = service.Ensemble(request);
+  ASSERT_TRUE(text.triaged.has_value());
+  // The response's headline report IS the HT estimate.
+  EXPECT_EQ(text.report.ToJson(), text.triaged->estimate.ToJson());
+  // The human body carries the triage accounting line.
+  EXPECT_NE(text.body.find("triage:"), std::string::npos);
+
+  api::EnsembleRequest json_request = request;
+  json_request.json = true;
+  const api::EnsembleResponse json = service.Ensemble(json_request);
+  ASSERT_TRUE(json.triaged.has_value());
+  // JSON body is exactly the triaged report's serialization.
+  EXPECT_EQ(json.body, json.triaged->ToJson());
+  EXPECT_NE(json.body.find("\"triage\""), std::string::npos);
+
+  // Bitwise across worker-pool sizes, like the exact path.
+  std::string baseline;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    api::ServiceOptions options;
+    options.pool = &pool;
+    const api::Service pooled = MakeService(graph, options);
+    const std::string body = pooled.Ensemble(json_request).body;
+    if (baseline.empty()) {
+      baseline = body;
+    } else {
+      EXPECT_EQ(body, baseline) << threads << " threads";
+    }
+  }
+  EXPECT_EQ(json.body, baseline);
 }
 
 TEST(ApiServiceTest, ProvisionMatchesGraphOverloadPath) {

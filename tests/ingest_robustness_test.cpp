@@ -8,6 +8,7 @@
 // the whole wall.
 #include <climits>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <sstream>
 #include <string>
@@ -23,7 +24,9 @@
 #include "forecast/writer.h"
 #include "geo/geo_point.h"
 #include "server/wire.h"
+#include "hazard/catalog.h"
 #include "hazard/catalog_io.h"
+#include "sim/ensemble.h"
 #include "obs/metrics.h"
 #include "tools/args.h"
 #include "util/csv.h"
@@ -692,6 +695,73 @@ TEST(StreamAdvisoryWire, TruncatedAndTrailingPayloadsAreRejected) {
   }
   const auto trailing = DecodeFrameBytes(padded);
   ASSERT_FALSE(trailing.ok());
+}
+
+// ---------------------------------------------------------------------------
+// EnsembleOptions domain wall.
+//
+// The sampling knobs feed coin-flip thresholds inside Draw(); a NaN
+// smuggled through any of them silently biases every comparison it
+// touches (NaN < p is false, so e.g. a NaN fringe_fail_scale would
+// never fail a fringe node — a mis-sample, not a crash). The engine
+// constructor must reject the whole domain wall up front.
+
+sim::EnsembleOptions SmallEnsembleOptions() {
+  sim::EnsembleOptions options;
+  options.scenarios = 8;
+  options.seed = 11;
+  return options;
+}
+
+TEST(EnsembleOptionsWall, NonFiniteAndOutOfDomainKnobsAreRejected) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  core::RiskGraph graph;
+  util::Rng rng(3);
+  for (int i = 0; i < 4; ++i) {
+    graph.AddNode(core::RiskNode{
+        "n" + std::to_string(i),
+        geo::GeoPoint(rng.Uniform(30, 45), rng.Uniform(-110, -80)), 0.25,
+        0.1, 0.0});
+  }
+  for (std::size_t i = 1; i < 4; ++i) graph.AddEdgeByDistance(i, i - 1);
+  const core::RouteEngine engine(graph, core::RiskParams{1e5, 1e3});
+  std::vector<hazard::Event> events;
+  for (int m = 1; m <= 12; ++m) {
+    events.push_back(
+        hazard::Event{geo::GeoPoint(37.0 + 0.1 * m, -95.0), 2000 + m, m});
+  }
+  std::vector<hazard::Catalog> catalogs;
+  catalogs.emplace_back(hazard::HazardType::kFemaHurricane, events);
+
+  const auto rejects = [&](auto&& mutate) {
+    sim::EnsembleOptions options = SmallEnsembleOptions();
+    mutate(options);
+    EXPECT_THROW(sim::EnsembleEngine(engine, catalogs, options),
+                 InvalidArgument);
+  };
+  // Positive control: the defaults construct.
+  EXPECT_NO_THROW(
+      sim::EnsembleEngine(engine, catalogs, SmallEnsembleOptions()));
+
+  // center_jitter: finite, non-negative miles.
+  rejects([&](sim::EnsembleOptions& o) { o.center_jitter = -1.0; });
+  rejects([&](sim::EnsembleOptions& o) { o.center_jitter = kNan; });
+  rejects([&](sim::EnsembleOptions& o) { o.center_jitter = kInf; });
+  // fringe_factor: finite multiplier >= 1 (the fringe contains the core).
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_factor = 0.5; });
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_factor = kNan; });
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_factor = kInf; });
+  // fringe_fail_scale and link_cut_prob: probabilities.
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_fail_scale = -0.1; });
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_fail_scale = 1.5; });
+  rejects([&](sim::EnsembleOptions& o) { o.fringe_fail_scale = kNan; });
+  rejects([&](sim::EnsembleOptions& o) { o.link_cut_prob = -0.25; });
+  rejects([&](sim::EnsembleOptions& o) { o.link_cut_prob = 2.0; });
+  rejects([&](sim::EnsembleOptions& o) { o.link_cut_prob = kNan; });
+  // criticality_top: at least one ranked link.
+  rejects([&](sim::EnsembleOptions& o) { o.criticality_top = 0; });
 }
 
 }  // namespace

@@ -87,6 +87,18 @@ TEST(WireTest, RequestRoundTripsAllKinds) {
   ensemble.ensemble.top = 3;
   ensemble.ensemble.json = true;
   requests.push_back(ensemble);
+  wire::Request triage;
+  triage.kind = wire::FrameKind::kEnsembleTriageRequest;
+  triage.ensemble.scenarios = 100'000;
+  triage.ensemble.seed = 2026;
+  triage.ensemble.month = 8;
+  triage.ensemble.top = 5;
+  triage.ensemble.json = true;
+  triage.ensemble.triage = true;  // decoder sets this; canonical re-encode
+  triage.ensemble.pilot = 96;
+  triage.ensemble.audit_stride = 1024;
+  triage.ensemble.base_rate_ppm = 10'000;
+  requests.push_back(triage);
   wire::Request provision;
   provision.kind = wire::FrameKind::kProvisionRequest;
   provision.provision.links = 7;
@@ -171,6 +183,102 @@ TEST(WireTest, HostileFramesRejectWithDiagnostics) {
   EXPECT_FALSE(decode(valid + "ZZ").ok());
   // Every reject explains itself.
   EXPECT_FALSE(decode(valid.substr(0, 10)).error().message.empty());
+}
+
+// Kind 8 carries the triage knobs after the kind-3 fields; each knob has
+// its own domain and the payload must be exactly consumed. The encoder is
+// deliberately non-validating (canonical bytes for whatever it is handed),
+// so hostile values are produced by encoding them directly.
+TEST(WireTest, EnsembleTriagePayloadValidation) {
+  const wire::WireLimits limits;
+  wire::Request valid;
+  valid.kind = wire::FrameKind::kEnsembleTriageRequest;
+  valid.ensemble.scenarios = 4096;
+  valid.ensemble.seed = 7;
+  valid.ensemble.month = 9;
+  valid.ensemble.top = 4;
+  valid.ensemble.triage = true;
+  valid.ensemble.pilot = 48;
+  valid.ensemble.audit_stride = 256;
+  valid.ensemble.base_rate_ppm = 250'000;
+
+  // Decode the payload of an encoded request, optionally resized.
+  const auto decode = [&](const wire::Request& request,
+                          int payload_delta = 0) {
+    std::string encoded = wire::EncodeRequest(request);
+    if (payload_delta > 0) {
+      encoded.append(static_cast<std::size_t>(payload_delta), '\x00');
+      // Patch the declared payload length to cover the trailing bytes.
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          encoded.size() - wire::kFrameHeaderBytes);
+      encoded[16] = static_cast<char>(len & 0xff);
+      encoded[17] = static_cast<char>((len >> 8) & 0xff);
+      encoded[18] = static_cast<char>((len >> 16) & 0xff);
+      encoded[19] = static_cast<char>((len >> 24) & 0xff);
+    }
+    const auto frame = wire::DecodeSingleFrame(
+        {reinterpret_cast<const std::uint8_t*>(encoded.data()),
+         encoded.size()},
+        limits);
+    if (!frame.ok()) return wire::DecodeRequestPayload(wire::FrameHeader{},
+                                                       {}, limits);
+    std::span<const std::uint8_t> payload{
+        reinterpret_cast<const std::uint8_t*>(frame.value().payload.data()),
+        frame.value().payload.size()};
+    if (payload_delta < 0) {
+      payload = payload.subspan(
+          0, payload.size() - static_cast<std::size_t>(-payload_delta));
+    }
+    return wire::DecodeRequestPayload(frame.value().header, payload, limits);
+  };
+
+  ASSERT_TRUE(decode(valid).ok()) << decode(valid).error().Render();
+
+  const auto mutate = [&](auto&& fn) {
+    wire::Request request = valid;
+    fn(request);
+    return request;
+  };
+  // pilot must be in [1, max_scenarios].
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.pilot = 0;
+               })).ok());
+  EXPECT_FALSE(decode(mutate([&](wire::Request& r) {
+                 r.ensemble.pilot = limits.max_scenarios + 1u;
+               })).ok());
+  // audit_stride must be in [1, max_audit_stride].
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.audit_stride = 0;
+               })).ok());
+  EXPECT_FALSE(decode(mutate([&](wire::Request& r) {
+                 r.ensemble.audit_stride = limits.max_audit_stride + 1u;
+               })).ok());
+  // base_rate_ppm must be in [1, 1000000] — a zero keep rate samples
+  // nothing and anything over 1.0 is not a probability.
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.base_rate_ppm = 0;
+               })).ok());
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.base_rate_ppm = 1'000'001;
+               })).ok());
+  // The kind-3 domain checks still apply to the shared prefix.
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.scenarios = 0;
+               })).ok());
+  EXPECT_FALSE(decode(mutate([](wire::Request& r) {
+                 r.ensemble.month = 13;
+               })).ok());
+  // Truncated and oversized payloads reject (exact consumption).
+  for (int delta : {-1, -4, 1, 3}) {
+    const auto result = decode(valid, delta);
+    EXPECT_FALSE(result.ok()) << "delta " << delta;
+    EXPECT_FALSE(result.error().message.empty());
+  }
+  // Rejects carry a diagnostic.
+  EXPECT_FALSE(
+      decode(mutate([](wire::Request& r) { r.ensemble.pilot = 0; }))
+          .error()
+          .message.empty());
 }
 
 TEST(WireTest, AssemblerReassemblesByteDribble) {

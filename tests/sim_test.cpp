@@ -219,6 +219,27 @@ TEST(SharedRisk, Validation) {
       InvalidArgument);
 }
 
+TEST(SharedRisk, PinnedTrialStreamRegression) {
+  // Byte-pinned report: trial t draws from PhiloxRng(seed, t), so the
+  // numbers below are a pure function of (networks, catalog, options).
+  // The pre-fix code fed one shared mt19937_64 through every trial,
+  // which silently re-ordered draws under any loop restructuring; these
+  // EXPECT_EQs fail if anyone reintroduces sequential-stream sampling or
+  // perturbs the per-trial draw order.
+  const auto a = CityPairNetwork("A", 32.0, -95.0, 32.3, -95.2);
+  const auto b = CityPairNetwork("B", 32.1, -95.1, 33.5, -93.5);
+  provision::SharedRiskOptions options;
+  options.trials = 256;
+  options.damage_radius_miles = 60.0;
+  const auto report =
+      provision::AnalyzeSharedRisk(a, b, SouthernEvents(), options);
+  EXPECT_EQ(report.trials, 256u);
+  EXPECT_EQ(report.outage_probability_a, 0.70703125);
+  EXPECT_EQ(report.outage_probability_b, 0.671875);
+  EXPECT_EQ(report.joint_outage_probability, 0.6640625);
+  EXPECT_EQ(report.outage_correlation, 0.88456023318033661);
+}
+
 // ---------- hazard type weights (paper Section 5.2 extension) ----------
 
 TEST(TypeWeights, WeightsScaleAggregateRisk) {

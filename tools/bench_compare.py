@@ -92,6 +92,13 @@ PAIRS = {
     # (tests/streaming_test.cpp); only the work per advisory differs.
     "stream_reroute": ("bench_stream",
                        "BM_StreamFullRebuild", "BM_StreamIncremental", 5.0),
+    # Surrogate-triaged ensemble: a full exact run over a 100k-scenario
+    # universe against TriagedEnsemble's pilot-fit + flag/audit/importance
+    # -sample run over the same universe (identical draws, identical
+    # engine). The triaged side pays features for every scenario but
+    # exact overlay sweeps only for the ~1% it keeps.
+    "ensemble_triage": ("bench_ensemble",
+                        "BM_EnsembleExactFull", "BM_EnsembleTriaged", 5.0),
 }
 
 

@@ -42,6 +42,13 @@ CASES = {
     "ensemble_sprint_season": ["ensemble", "--network", "Sprint",
                                "--scenarios", "32", "--ensemble-seed", "7",
                                "--month", "9", "--json"] + COMMON,
+    # Surrogate-triaged run: pins the pilot fit, the flag/audit lanes,
+    # and the Horvitz-Thompson reweighting end to end through the CLI.
+    "ensemble_digex_triage": ["ensemble", "--network", "Digex",
+                              "--scenarios", "4096", "--ensemble-seed",
+                              "2026", "--triage", "--pilot", "64",
+                              "--audit-stride", "128", "--base-rate",
+                              "0.05", "--json"] + COMMON,
     # Rolling streaming session: every 4th Irene advisory through one
     # StreamAdvisory session. stdout is the concatenation of the served
     # response bodies, so this golden byte-pins the served wire bodies
@@ -68,6 +75,7 @@ ALIASES = {
 BITWISE_THREAD_CASES = {
     "ensemble_digex": ["1", "2", "8"],
     "ensemble_digex_alt": ["1", "2", "8"],
+    "ensemble_digex_triage": ["1", "2", "8"],
     # The streaming correctness contract is thread-count independence of
     # every incremental answer; the rendered diff stream inherits it.
     "stream_irene": ["1", "2", "8"],

@@ -70,6 +70,8 @@ int Usage() {
       "  simulate  --network N [--trials T] [--lambda-h X]\n"
       "  ensemble  --network N [--scenarios K] [--ensemble-seed S]\n"
       "            [--month 1-12] [--top L] [--json] [--engine-snapshot FILE]\n"
+      "            [--triage [--pilot P] [--audit-stride A] [--base-rate R]]\n"
+      "            (--triage: surrogate-triaged importance sampling)\n"
       "  export    [--network N] [--format geojson|rrt]\n"
       "  ospf      --network N [--lambda-h X]\n"
       "  bgp       --dest N [--risk-aware]\n"
@@ -404,6 +406,13 @@ int CmdEnsemble(const Args& args) {
   request.month = static_cast<int>(args.GetSize("month", 0));
   request.top = args.GetSize("top", 10);
   request.json = args.Has("json");
+  request.triage = args.Has("triage");
+  request.pilot = args.GetSize("pilot", 96);
+  request.audit_stride = args.GetSize("audit-stride", 64);
+  // Quantized to ppm exactly as the wire codec carries it, so a served
+  // triage body is byte-identical to this stdout.
+  request.base_rate_ppm = static_cast<std::uint32_t>(
+      std::llround(args.GetDouble("base-rate", 0.05) * 1e6));
   std::fputs(service.Ensemble(request).body.c_str(), stdout);
   return 0;
 }
@@ -602,10 +611,12 @@ FlagRegistry CliFlags() {
         "links", "storm", "project", "trials", "scenarios", "ensemble-seed",
         "month", "top", "dest", "format", "seed", "blocks", "threads",
         "metrics-out", "scale", "alt-landmarks", "engine-snapshot", "out",
-        "socket", "port", "workers", "queue", "step"}) {
+        "socket", "port", "workers", "queue", "step", "pilot", "audit-stride",
+        "base-rate"}) {
     flags.Value(value);
   }
-  for (const char* boolean : {"geojson", "any-peer", "risk-aware", "json"}) {
+  for (const char* boolean :
+       {"geojson", "any-peer", "risk-aware", "json", "triage"}) {
     flags.Bool(boolean);
   }
   return flags;

@@ -13,6 +13,7 @@
 // kOk replies those bytes are identical to the equivalent `riskroute`
 // subcommand's stdout against the same snapshot. Non-ok replies print
 // the status to stderr and exit with the wire status code.
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -39,7 +40,8 @@ int Usage() {
       "route:     --from \"City, ST\" --to \"City, ST\"\n"
       "ratios:    --network LABEL (the table's network column)\n"
       "ensemble:  --scenarios K --ensemble-seed S --month 1-12 --top L\n"
-      "           [--json]\n"
+      "           [--json] [--triage [--pilot P] [--audit-stride A]\n"
+      "           [--base-rate R]]  (kind 8: surrogate-triaged run)\n"
       "augment:   --links K\n"
       "ping:      --delay-ms D (worker sleeps D ms before answering)");
   return 2;
@@ -57,12 +59,20 @@ wire::Request BuildRequest(const std::string& command, const Args& args) {
     request.kind = wire::FrameKind::kRatiosRequest;
     request.ratios.label = args.GetOr("network", "snapshot");
   } else if (command == "ensemble") {
-    request.kind = wire::FrameKind::kEnsembleRequest;
+    request.kind = args.Has("triage") ? wire::FrameKind::kEnsembleTriageRequest
+                                      : wire::FrameKind::kEnsembleRequest;
     request.ensemble.scenarios = args.GetSize("scenarios", 256);
     request.ensemble.seed = args.GetSize("ensemble-seed", 2026);
     request.ensemble.month = static_cast<int>(args.GetSize("month", 0));
     request.ensemble.top = args.GetSize("top", 10);
     request.ensemble.json = args.Has("json");
+    request.ensemble.triage = args.Has("triage");
+    request.ensemble.pilot = args.GetSize("pilot", 96);
+    request.ensemble.audit_stride = args.GetSize("audit-stride", 64);
+    // Same ppm quantization as the riskroute CLI, so both ends of the
+    // wire agree on the rate byte-for-byte.
+    request.ensemble.base_rate_ppm = static_cast<std::uint32_t>(
+        std::llround(args.GetDouble("base-rate", 0.05) * 1e6));
   } else if (command == "augment") {
     request.kind = wire::FrameKind::kProvisionRequest;
     request.provision.links = args.GetSize("links", 5);
@@ -94,10 +104,12 @@ FlagRegistry ClientFlags() {
   FlagRegistry flags;
   for (const char* value :
        {"socket", "host", "port", "deadline-ms", "from", "to", "network",
-        "scenarios", "ensemble-seed", "month", "top", "links", "delay-ms"}) {
+        "scenarios", "ensemble-seed", "month", "top", "links", "delay-ms",
+        "pilot", "audit-stride", "base-rate"}) {
     flags.Value(value);
   }
   flags.Bool("json");
+  flags.Bool("triage");
   return flags;
 }
 

@@ -125,6 +125,31 @@ class MetricsSchemaTest(unittest.TestCase):
         doc["stable"]["counters"]["streamliner.x"] = 1
         self.assertTrue(validate(doc, self.schema))
 
+    def test_ensemble_triage_namespace_validates(self):
+        # PR-10 triaged-ensemble metrics: lane counters in the stable
+        # section (pure functions of engine + options + universe), the
+        # wall-clock timing volatile.
+        doc = _metrics_doc()
+        doc["stable"]["counters"]["ensemble.triage.universe"] = 100000
+        doc["stable"]["counters"]["ensemble.triage.pilot_exact"] = 96
+        doc["stable"]["counters"]["ensemble.triage.audit_exact"] = 1524
+        doc["stable"]["counters"]["ensemble.triage.flagged_exact"] = 9800
+        doc["stable"]["counters"]["ensemble.triage.sampled_exact"] = 4100
+        doc["stable"]["counters"]["ensemble.triage.skipped"] = 60000
+        doc["stable"]["counters"]["ensemble.triage.exact_evaluations"] = 15520
+        doc["volatile"]["timings"]["ensemble.triage.run_ns"] = {
+            "bounds": [1000],
+            "counts": [1, 0],
+            "count": 1,
+            "sum": 500,
+            "min": 500,
+            "max": 500,
+        }
+        self.assertEqual(validate(doc, self.schema), [])
+        # "ensembles.x" must not ride on the "ensemble." prefix.
+        doc["stable"]["counters"]["ensembles.x"] = 1
+        self.assertTrue(validate(doc, self.schema))
+
     def test_unregistered_metric_namespace_fails(self):
         doc = _metrics_doc()
         doc["stable"]["counters"]["telemetry.unheard.of"] = 1
